@@ -1,0 +1,70 @@
+//! §2.3 motivation experiment: the cost of naive crash consistency.
+//!
+//! The paper implements strict consistency (SC) — aggressively
+//! flushing all security metadata per write-back — and reports that it
+//! "can increase memory writes by 5.5× and deteriorate system
+//! performance by 41.4%, when compared to conventional security
+//! architecture without crash consistency guarantees".
+//!
+//! ```text
+//! cargo run -p ccnvm-bench --release --bin motivation [instructions]
+//! ```
+
+use ccnvm::prelude::*;
+use ccnvm_bench::{geomean, instructions_from_args, mean, row, run_design};
+
+fn main() {
+    let instructions = instructions_from_args();
+    let suite = profiles::spec2006();
+    println!(
+        "§2.3 motivation — {} instructions per point\n",
+        instructions
+    );
+    println!(
+        "{}",
+        row(
+            "benchmark",
+            &[
+                "IPC w/o CC".into(),
+                "IPC SC".into(),
+                "IPC loss".into(),
+                "writes ×".into(),
+            ]
+        )
+    );
+
+    let mut ipc_ratio = Vec::new();
+    let mut write_ratio = Vec::new();
+    for profile in &suite {
+        let base = run_design(DesignKind::WithoutCc, profile, instructions);
+        let sc = run_design(DesignKind::StrictConsistency, profile, instructions);
+        let r_ipc = sc.ipc() / base.ipc();
+        ipc_ratio.push(r_ipc);
+        // Cache-resident benchmarks may emit no NVM writes in a short
+        // window; exclude them from the amplification average.
+        let r_writes = if base.total_writes() > 0 {
+            let r = sc.total_writes() as f64 / base.total_writes() as f64;
+            write_ratio.push(r);
+            format!("{r:.2}x")
+        } else {
+            "-".to_string()
+        };
+        println!(
+            "{}",
+            row(
+                &profile.name,
+                &[
+                    format!("{:.3}", base.ipc()),
+                    format!("{:.3}", sc.ipc()),
+                    format!("{:.1}%", (1.0 - r_ipc) * 100.0),
+                    r_writes,
+                ]
+            )
+        );
+    }
+
+    let loss = (1.0 - geomean(&ipc_ratio)) * 100.0;
+    let amp = mean(&write_ratio);
+    println!("\naverage IPC deterioration: {loss:.1}%   (paper: 41.4%)");
+    println!("average write amplification: {amp:.2}x  (paper: 5.5x)");
+}

@@ -1,0 +1,237 @@
+//! §4.4 experiment: crash recovery and attack locating.
+//!
+//! The paper has no figure for this — its claim is qualitative:
+//! *"instead of dropping all the data due to malicious attacks,
+//! cc-NVM is able to detect and locate the exact tampered data"* after
+//! a crash. This harness makes that claim measurable:
+//!
+//! 1. run a workload on each crash-consistent design, crash at many
+//!    points mid-execution and verify recovery restores every counter
+//!    within the N-retry budget;
+//! 2. inject each attack class (spoof / splice / data replay /
+//!    counter replay) into crash images and record, per design,
+//!    whether it was detected and whether it was *located*.
+//!
+//! ```text
+//! cargo run -p ccnvm-bench --release --bin recovery [instructions]
+//! ```
+
+use ccnvm::attack;
+use ccnvm::prelude::*;
+use ccnvm::recovery::RootMatch;
+use ccnvm_bench::row;
+use ccnvm_mem::LineAddr;
+
+const CRASH_POINTS: usize = 8;
+
+fn main() {
+    let instructions = ccnvm_bench::instructions_from_args().min(400_000);
+    let profile = profiles::mixed();
+
+    println!("§4.4 — crash recovery and attack locating\n");
+    println!("== part 1: attack-free crash recovery ==");
+    println!(
+        "{}",
+        row(
+            "design",
+            &[
+                "crashes".into(),
+                "clean".into(),
+                "max retries/line".into(),
+                "ctr lines".into(),
+            ]
+        )
+    );
+    for design in [
+        DesignKind::StrictConsistency,
+        DesignKind::OsirisPlus,
+        DesignKind::CcNvmNoDs,
+        DesignKind::CcNvm,
+    ] {
+        let mut clean = 0usize;
+        let mut max_retries = 0u64;
+        let mut recovered = 0u64;
+        for point in 1..=CRASH_POINTS {
+            let mut sim = Simulator::new(SimConfig::paper(design)).expect("valid config");
+            let trace = TraceGenerator::new(profile.clone(), ccnvm_bench::SEED);
+            let budget = instructions * point as u64 / CRASH_POINTS as u64;
+            sim.run(trace, budget).expect("attack-free run");
+            let report = recover(&sim.memory().crash_image());
+            if report.is_clean() {
+                clean += 1;
+            }
+            let truth = sim.memory().ground_truth();
+            assert_eq!(
+                report.rebuilt_root, truth.current_root,
+                "{design}: recovery must reconstruct the exact pre-crash state"
+            );
+            max_retries = max_retries.max(report.max_line_retries);
+            recovered += report.recovered_counter_lines;
+        }
+        println!(
+            "{}",
+            row(
+                design.label(),
+                &[
+                    format!("{CRASH_POINTS}"),
+                    format!("{clean}/{CRASH_POINTS}"),
+                    format!("<= {max_retries}"),
+                    format!("{recovered}"),
+                ]
+            )
+        );
+    }
+
+    println!("\n== part 2: attack detection & locating (crash images) ==");
+    println!(
+        "{}",
+        row(
+            "design",
+            &[
+                "spoof".into(),
+                "splice".into(),
+                "ctr replay".into(),
+                "data replay".into(),
+                "fig4 replay".into(),
+            ]
+        )
+    );
+    for design in [
+        DesignKind::StrictConsistency,
+        DesignKind::OsirisPlus,
+        DesignKind::CcNvmNoDs,
+        DesignKind::CcNvm,
+    ] {
+        let (old, img) = two_epoch_images(design);
+        let spoof = {
+            let mut img = img.clone();
+            attack::spoof_data(&mut img, LineAddr(0));
+            verdict(&recover(&img), LineAddr(0))
+        };
+        let splice = {
+            let mut img = img.clone();
+            attack::splice_data(&mut img, LineAddr(0), LineAddr(64));
+            verdict(&recover(&img), LineAddr(0))
+        };
+        let ctr_replay = {
+            let mut img = img.clone();
+            let ctr = ccnvm::layout::SecureLayout::new(img.capacity_bytes)
+                .counter_line_of(LineAddr(0));
+            attack::replay_counter(&mut img, &old, ctr);
+            let r = recover(&img);
+            if design == DesignKind::OsirisPlus {
+                // Osiris ignores stored tree nodes; detection is via
+                // the rebuilt root only.
+                detect_only(&r)
+            } else if r
+                .located
+                .iter()
+                .any(|a| matches!(a, LocatedAttack::MetadataTampered { .. }))
+            {
+                "LOCATED"
+            } else {
+                detect_only(&r)
+            }
+        };
+        let data_replay = {
+            let mut img = img.clone();
+            attack::replay_data(&mut img, &old, LineAddr(0));
+            let r = recover(&img);
+            if r.located.iter().any(|a| {
+                matches!(a, LocatedAttack::DataTampered { line } if *line == LineAddr(0))
+            }) {
+                "LOCATED"
+            } else if r.potential_replay || !r.is_clean() {
+                "detected"
+            } else {
+                "MISSED"
+            }
+        };
+        let fig4 = {
+            // The Figure-4 window: crash *mid-epoch*, then replay a
+            // freshly written line to its previous version — locally
+            // consistent, caught only by N_wb / the eager root.
+            let (old, mut img) = mid_epoch_images(design);
+            attack::replay_data(&mut img, &old, LineAddr(0));
+            let r = recover(&img);
+            if r
+                .located
+                .iter()
+                .any(|a| matches!(a, LocatedAttack::DataTampered { .. }))
+            {
+                "LOCATED"
+            } else if r.potential_replay || !r.is_clean() {
+                "detected"
+            } else {
+                "MISSED"
+            }
+        };
+        println!(
+            "{}",
+            row(
+                design.label(),
+                &[
+                    spoof.into(),
+                    splice.into(),
+                    ctr_replay.into(),
+                    data_replay.into(),
+                    fig4.into(),
+                ]
+            )
+        );
+    }
+    println!("\nLOCATED = exact tampered line identified; detected = attack known, location unknown.");
+    println!("The paper's claim: only cc-NVM both survives crashes *and* locates attacks afterwards");
+    println!("(SC locates too but at 5-7x write traffic; Osiris Plus can only detect, not locate).");
+}
+
+fn detect_only(r: &RecoveryReport) -> &'static str {
+    if r.rebuilt_root_match == RootMatch::Neither || r.potential_replay || !r.is_clean() {
+        "detected"
+    } else {
+        "MISSED"
+    }
+}
+
+fn verdict(r: &RecoveryReport, line: LineAddr) -> &'static str {
+    if r
+        .located
+        .iter()
+        .any(|a| matches!(a, LocatedAttack::DataTampered { line: l } if *l == line))
+    {
+        "LOCATED"
+    } else if !r.is_clean() {
+        "detected"
+    } else {
+        "MISSED"
+    }
+}
+
+/// Like [`two_epoch_images`] but the second image is taken *mid-epoch*
+/// (no committed drain after the last write to line 0), opening the
+/// Figure-4 replay window for the deferred-spreading design.
+fn mid_epoch_images(design: DesignKind) -> (CrashImage, CrashImage) {
+    let mut mem = SecureMemory::new(SimConfig::paper(design)).expect("valid config");
+    mem.write_back(LineAddr(0), 0).expect("wb");
+    mem.drain(1_000_000, DrainTrigger::External);
+    let old = mem.crash_image();
+    mem.write_back(LineAddr(0), 2_000_000).expect("wb");
+    (old, mem.crash_image())
+}
+
+/// Builds two crash images one committed epoch apart, with line 0 and
+/// line 64 written in both epochs.
+fn two_epoch_images(design: DesignKind) -> (CrashImage, CrashImage) {
+    let mut mem = SecureMemory::new(SimConfig::paper(design)).expect("valid config");
+    for i in 0..40u64 {
+        mem.write_back(LineAddr((i % 4) * 64), i * 50_000).expect("wb");
+    }
+    mem.drain(10_000_000, DrainTrigger::External);
+    let old = mem.crash_image();
+    for i in 0..40u64 {
+        mem.write_back(LineAddr((i % 4) * 64), 20_000_000 + i * 50_000)
+            .expect("wb");
+    }
+    mem.drain(40_000_000, DrainTrigger::External);
+    (old, mem.crash_image())
+}

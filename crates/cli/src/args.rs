@@ -1,0 +1,334 @@
+//! A small, dependency-free argument parser for `ccnvm-sim`.
+//!
+//! Grammar:
+//!
+//! ```text
+//! ccnvm-sim run     [--design D] [--bench B | --trace FILE] [--instructions N]
+//!                   [--seed S] [--limit-n N] [--queue-m M] [--split-meta] [--csv]
+//! ccnvm-sim sweep   --param {n|m} --values a,b,c [run options]
+//! ccnvm-sim recover [run options]                 # run, crash, recover, report
+//! ccnvm-sim list    # available designs and benchmarks
+//! ```
+
+use ccnvm::config::DesignKind;
+use std::fmt;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run one simulation.
+    Run(RunArgs),
+    /// Sweep one epoch-trigger parameter.
+    Sweep(SweepArgs),
+    /// Run, crash at the end, recover and report.
+    Recover(RunArgs),
+    /// List designs and benchmarks.
+    List,
+    /// Print usage.
+    Help,
+}
+
+/// Options shared by `run` / `recover` / `sweep`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Design to simulate.
+    pub design: DesignKind,
+    /// Synthetic benchmark name (ignored when `trace` is given).
+    pub bench: String,
+    /// Path to a text-format trace to replay instead of a profile.
+    pub trace: Option<String>,
+    /// Instruction budget.
+    pub instructions: u64,
+    /// Workload seed.
+    pub seed: u64,
+    /// Update-times limit N.
+    pub limit_n: u32,
+    /// Dirty address queue entries M.
+    pub queue_m: usize,
+    /// Use the split counter/tree meta-cache organization.
+    pub split_meta: bool,
+    /// Emit CSV instead of human-readable output.
+    pub csv: bool,
+}
+
+impl Default for RunArgs {
+    fn default() -> Self {
+        Self {
+            design: DesignKind::CcNvm,
+            bench: "mixed".to_owned(),
+            trace: None,
+            instructions: 1_000_000,
+            seed: 42,
+            limit_n: 16,
+            queue_m: 64,
+            split_meta: false,
+            csv: false,
+        }
+    }
+}
+
+/// `sweep` subcommand options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Common run options.
+    pub run: RunArgs,
+    /// Which parameter to sweep.
+    pub param: SweepParam,
+    /// The values to sweep over.
+    pub values: Vec<u64>,
+}
+
+/// The sweepable epoch-trigger parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SweepParam {
+    /// Update-times limit N.
+    N,
+    /// Dirty address queue entries M.
+    M,
+}
+
+/// Error from argument parsing, with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseArgsError(pub String);
+
+impl fmt::Display for ParseArgsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseArgsError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+ccnvm-sim — drive the cc-NVM secure-NVM simulator
+
+USAGE:
+  ccnvm-sim run     [OPTIONS]          run one simulation
+  ccnvm-sim sweep   --param {n|m} --values A,B,C [OPTIONS]
+  ccnvm-sim recover [OPTIONS]          run, crash, recover, report
+  ccnvm-sim list                       list designs and benchmarks
+
+OPTIONS:
+  --design D          wo-cc | sc | osiris-plus | ccnvm-no-ds | ccnvm   [ccnvm]
+  --bench B           synthetic benchmark name                         [mixed]
+  --trace FILE        replay a text-format trace instead of a profile
+  --instructions N    instruction budget                               [1000000]
+  --seed S            workload seed                                    [42]
+  --limit-n N         update-times drain/stop-loss limit               [16]
+  --queue-m M         dirty address queue entries                      [64]
+  --split-meta        split counter/tree meta cache (default shared)
+  --csv               machine-readable CSV output
+";
+
+fn take_value<'a, I: Iterator<Item = &'a str>>(
+    flag: &str,
+    iter: &mut I,
+) -> Result<&'a str, ParseArgsError> {
+    iter.next()
+        .ok_or_else(|| ParseArgsError(format!("{flag} needs a value")))
+}
+
+fn parse_common<'a, I: Iterator<Item = &'a str>>(
+    args: &mut RunArgs,
+    flag: &str,
+    iter: &mut I,
+) -> Result<bool, ParseArgsError> {
+    match flag {
+        "--design" => {
+            let v = take_value(flag, iter)?;
+            args.design = v
+                .parse()
+                .map_err(|e| ParseArgsError(format!("--design: {e}")))?;
+        }
+        "--bench" => args.bench = take_value(flag, iter)?.to_owned(),
+        "--trace" => args.trace = Some(take_value(flag, iter)?.to_owned()),
+        "--instructions" => {
+            args.instructions = parse_number(flag, take_value(flag, iter)?)?;
+        }
+        "--seed" => args.seed = parse_number(flag, take_value(flag, iter)?)?,
+        "--limit-n" => {
+            args.limit_n = parse_number(flag, take_value(flag, iter)?)? as u32;
+        }
+        "--queue-m" => {
+            args.queue_m = parse_number(flag, take_value(flag, iter)?)? as usize;
+        }
+        "--split-meta" => args.split_meta = true,
+        "--csv" => args.csv = true,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+fn parse_number(flag: &str, v: &str) -> Result<u64, ParseArgsError> {
+    v.replace('_', "")
+        .parse()
+        .map_err(|_| ParseArgsError(format!("{flag}: {v:?} is not a number")))
+}
+
+/// Parses the full command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`ParseArgsError`] describing the first invalid argument.
+pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
+    let mut iter = argv.iter().map(AsRef::as_ref);
+    let sub = match iter.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s,
+    };
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => Ok(Command::List),
+        "run" | "recover" => {
+            let mut args = RunArgs::default();
+            while let Some(flag) = iter.next() {
+                if !parse_common(&mut args, flag, &mut iter)? {
+                    return Err(ParseArgsError(format!("unknown option {flag:?}")));
+                }
+            }
+            Ok(if sub == "run" {
+                Command::Run(args)
+            } else {
+                Command::Recover(args)
+            })
+        }
+        "sweep" => {
+            let mut args = RunArgs::default();
+            let mut param = None;
+            let mut values = Vec::new();
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--param" => {
+                        param = Some(match take_value(flag, &mut iter)? {
+                            "n" | "N" => SweepParam::N,
+                            "m" | "M" => SweepParam::M,
+                            other => {
+                                return Err(ParseArgsError(format!(
+                                    "--param must be n or m, got {other:?}"
+                                )))
+                            }
+                        });
+                    }
+                    "--values" => {
+                        for v in take_value(flag, &mut iter)?.split(',') {
+                            values.push(parse_number("--values", v)?);
+                        }
+                    }
+                    _ => {
+                        if !parse_common(&mut args, flag, &mut iter)? {
+                            return Err(ParseArgsError(format!("unknown option {flag:?}")));
+                        }
+                    }
+                }
+            }
+            let param = param
+                .ok_or_else(|| ParseArgsError("sweep needs --param {n|m}".into()))?;
+            if values.is_empty() {
+                return Err(ParseArgsError("sweep needs --values a,b,c".into()));
+            }
+            Ok(Command::Sweep(SweepArgs {
+                run: args,
+                param,
+                values,
+            }))
+        }
+        other => Err(ParseArgsError(format!(
+            "unknown subcommand {other:?} (try `ccnvm-sim help`)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_is_help() {
+        assert_eq!(parse::<&str>(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&["--help"]).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn run_defaults() {
+        let Command::Run(args) = parse(&["run"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args, RunArgs::default());
+    }
+
+    #[test]
+    fn run_with_options() {
+        let Command::Run(args) = parse(&[
+            "run",
+            "--design",
+            "sc",
+            "--bench",
+            "lbm",
+            "--instructions",
+            "500_000",
+            "--seed",
+            "7",
+            "--limit-n",
+            "32",
+            "--queue-m",
+            "48",
+            "--split-meta",
+            "--csv",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.design, DesignKind::StrictConsistency);
+        assert_eq!(args.bench, "lbm");
+        assert_eq!(args.instructions, 500_000);
+        assert_eq!(args.seed, 7);
+        assert_eq!(args.limit_n, 32);
+        assert_eq!(args.queue_m, 48);
+        assert!(args.split_meta);
+        assert!(args.csv);
+    }
+
+    #[test]
+    fn sweep_parses_param_and_values() {
+        let Command::Sweep(sw) = parse(&[
+            "sweep", "--param", "n", "--values", "4,8,16", "--bench", "mixed",
+        ])
+        .unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(sw.param, SweepParam::N);
+        assert_eq!(sw.values, vec![4, 8, 16]);
+    }
+
+    #[test]
+    fn sweep_requires_param_and_values() {
+        assert!(parse(&["sweep", "--values", "1"]).is_err());
+        assert!(parse(&["sweep", "--param", "n"]).is_err());
+        assert!(parse(&["sweep", "--param", "x", "--values", "1"]).is_err());
+    }
+
+    #[test]
+    fn errors_mention_the_offender() {
+        let err = parse(&["run", "--bogus"]).unwrap_err();
+        assert!(err.to_string().contains("--bogus"));
+        let err = parse(&["run", "--design", "zzz"]).unwrap_err();
+        assert!(err.to_string().contains("--design"));
+        let err = parse(&["frobnicate"]).unwrap_err();
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn missing_value_is_an_error() {
+        assert!(parse(&["run", "--bench"]).is_err());
+        assert!(parse(&["run", "--instructions", "many"]).is_err());
+    }
+
+    #[test]
+    fn recover_shares_run_grammar() {
+        let Command::Recover(args) = parse(&["recover", "--bench", "gcc"]).unwrap() else {
+            panic!("expected recover");
+        };
+        assert_eq!(args.bench, "gcc");
+    }
+}

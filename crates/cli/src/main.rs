@@ -1,0 +1,217 @@
+//! `ccnvm-sim` — command-line driver for the cc-NVM simulator.
+//!
+//! ```text
+//! ccnvm-sim run --design ccnvm --bench lbm --instructions 1000000
+//! ccnvm-sim sweep --param n --values 4,8,16,32,64
+//! ccnvm-sim recover --bench gcc
+//! ccnvm-sim run --trace my_trace.txt --design sc
+//! ```
+
+mod args;
+
+use args::{Command, RunArgs, SweepArgs, SweepParam, USAGE};
+use ccnvm::metacache::MetaCacheOrg;
+use ccnvm::prelude::*;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::List => {
+            list();
+            Ok(())
+        }
+        Command::Run(run) => cmd_run(&run),
+        Command::Sweep(sweep) => cmd_sweep(&sweep),
+        Command::Recover(run) => cmd_recover(&run),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn list() {
+    println!("designs:");
+    for d in DesignKind::ALL {
+        println!("  {:<14} {}", cli_name(d), d.label());
+    }
+    println!("\nbenchmarks (synthetic SPEC2006 stand-ins):");
+    for p in profiles::spec2006() {
+        println!(
+            "  {:<12} {:>4} refs/ki, {:>4.0}% stores, {:>5} MiB working set",
+            p.name,
+            p.mem_ops_per_kilo_instrs,
+            p.write_fraction * 100.0,
+            p.working_set_bytes >> 20
+        );
+    }
+    println!("  {:<12} balanced mix for sensitivity sweeps", "mixed");
+}
+
+fn cli_name(d: DesignKind) -> &'static str {
+    match d {
+        DesignKind::WithoutCc => "wo-cc",
+        DesignKind::StrictConsistency => "sc",
+        DesignKind::OsirisPlus => "osiris-plus",
+        DesignKind::CcNvmNoDs => "ccnvm-no-ds",
+        DesignKind::CcNvm => "ccnvm",
+    }
+}
+
+fn config_of(run: &RunArgs) -> Result<SimConfig, String> {
+    let mut config = SimConfig::paper(run.design);
+    config.update_limit = run.limit_n;
+    config.dirty_queue_entries = run.queue_m;
+    if run.split_meta {
+        config.meta_org = MetaCacheOrg::Split;
+    }
+    config.validate()?;
+    Ok(config)
+}
+
+fn simulate(run: &RunArgs) -> Result<Simulator, String> {
+    let config = config_of(run)?;
+    let mut sim = Simulator::new(config)?;
+    if let Some(path) = &run.trace {
+        let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let ops = ccnvm_trace::text::read_trace(BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        if ops.is_empty() {
+            return Err(format!("{path}: trace is empty"));
+        }
+        // Replay the trace cyclically until the instruction budget is
+        // met, so short captures still produce steady-state numbers.
+        while sim.instructions() < run.instructions {
+            sim.run(ops.iter().copied(), run.instructions - sim.instructions())
+                .map_err(|e| e.to_string())?;
+        }
+    } else {
+        let profile = profiles::by_name(&run.bench)
+            .ok_or_else(|| format!("unknown benchmark {:?} (try `list`)", run.bench))?;
+        let trace = TraceGenerator::new(profile, run.seed);
+        sim.run(trace, run.instructions).map_err(|e| e.to_string())?;
+    }
+    Ok(sim)
+}
+
+fn cmd_run(run: &RunArgs) -> Result<(), String> {
+    let sim = simulate(run)?;
+    let stats = sim.stats();
+    if run.csv {
+        println!("design,bench,{}", RunStats::csv_header());
+        println!("{},{},{}", cli_name(run.design), run.bench, stats.csv_row());
+    } else {
+        println!(
+            "{} on {} ({} instructions, seed {}):",
+            run.design, run.bench, run.instructions, run.seed
+        );
+        println!("{stats}");
+        let wear = sim.memory().wear_stats();
+        println!(
+            "wear: hottest line {} with {} writes; {} lines written (mean {:.2})",
+            wear.hottest_line.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+            wear.max_line_writes,
+            wear.lines_written,
+            wear.mean_line_writes
+        );
+    }
+    Ok(())
+}
+
+fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
+    if sweep.run.csv {
+        println!("param,value,design,bench,{}", RunStats::csv_header());
+    } else {
+        println!(
+            "{:<10}{:>12}{:>14}{:>12}{:>14}",
+            "value", "IPC", "NVM writes", "epochs", "wb/epoch"
+        );
+    }
+    for &value in &sweep.values {
+        let mut run = sweep.run.clone();
+        let name = match sweep.param {
+            SweepParam::N => {
+                run.limit_n = value as u32;
+                "n"
+            }
+            SweepParam::M => {
+                run.queue_m = value as usize;
+                "m"
+            }
+        };
+        let stats = simulate(&run)?.stats();
+        if run.csv {
+            println!(
+                "{},{},{},{},{}",
+                name,
+                value,
+                cli_name(run.design),
+                run.bench,
+                stats.csv_row()
+            );
+        } else {
+            println!(
+                "{:<10}{:>12.4}{:>14}{:>12}{:>14.1}",
+                format!("{name}={value}"),
+                stats.ipc(),
+                stats.total_writes(),
+                stats.drains,
+                stats.write_backs as f64 / stats.drains.max(1) as f64
+            );
+        }
+    }
+    Ok(())
+}
+
+fn cmd_recover(run: &RunArgs) -> Result<(), String> {
+    let sim = simulate(run)?;
+    let image = sim.memory().crash_image();
+    let report = recover(&image);
+    println!(
+        "{} on {}: crashed after {} instructions",
+        run.design,
+        run.bench,
+        sim.instructions()
+    );
+    println!(
+        "recovery: {} counter lines patched ({} data lines), {} retries \
+         (max {} per line, N_wb {})",
+        report.recovered_counter_lines,
+        report.recovered_data_lines,
+        report.total_retries,
+        report.max_line_retries,
+        report.nwb
+    );
+    println!(
+        "stored tree vs TCB roots: {:?}; rebuilt tree: {:?}; located attacks: {}",
+        report.stored_root_match,
+        report.rebuilt_root_match,
+        report.located.len()
+    );
+    if report.is_clean() {
+        println!("verdict: CLEAN — memory fully recovered");
+        Ok(())
+    } else if run.design.is_crash_consistent() {
+        Err("recovery reported attacks on an attack-free run (bug!)".into())
+    } else {
+        println!("verdict: UNRECOVERABLE — expected for w/o CC, the motivating deficiency");
+        Ok(())
+    }
+}

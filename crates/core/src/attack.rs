@@ -1,0 +1,237 @@
+//! Attack injection on crash images.
+//!
+//! The threat model (§2.1) gives the adversary full control over
+//! off-chip NVM: spoofing (overwriting a value), splicing (moving a
+//! value between addresses) and replay (restoring an old value at the
+//! same address). These helpers apply exactly those manipulations to a
+//! [`CrashImage`], so tests and the recovery experiment can assert
+//! that §4.4 detects — and where promised, *locates* — each of them.
+//!
+//! Runtime (pre-crash) attacks go through
+//! [`SecureMemory::tamper_durable`] instead.
+//!
+//! [`SecureMemory::tamper_durable`]: crate::secmem::SecureMemory::tamper_durable
+
+use crate::crash::CrashImage;
+use crate::layout::SecureLayout;
+use ccnvm_mem::LineAddr;
+
+/// Spoofing: flips bits of the stored ciphertext of `line`.
+///
+/// # Panics
+///
+/// Panics if `line` is outside the data region.
+pub fn spoof_data(image: &mut CrashImage, line: LineAddr) {
+    let layout = SecureLayout::new(image.capacity_bytes);
+    assert!(layout.is_data_line(line), "{line} is not a data line");
+    let mut ct = image.nvm.read(line);
+    ct[0] ^= 0xa5;
+    ct[63] ^= 0x5a;
+    image.nvm.write(line, ct);
+}
+
+/// Splicing: swaps the ciphertext *and* data HMACs of two data lines —
+/// the "copy a valid value somewhere else" attack.
+///
+/// # Panics
+///
+/// Panics if either line is outside the data region.
+pub fn splice_data(image: &mut CrashImage, a: LineAddr, b: LineAddr) {
+    let layout = SecureLayout::new(image.capacity_bytes);
+    assert!(layout.is_data_line(a) && layout.is_data_line(b));
+    let ct_a = image.nvm.read(a);
+    let ct_b = image.nvm.read(b);
+    image.nvm.write(a, ct_b);
+    image.nvm.write(b, ct_a);
+
+    let (dh_line_a, off_a) = layout.dh_slot_of(a);
+    let (dh_line_b, off_b) = layout.dh_slot_of(b);
+    let mut dha = image.nvm.read(dh_line_a);
+    let mut dhb = image.nvm.read(dh_line_b);
+    if dh_line_a == dh_line_b {
+        for i in 0..16 {
+            dha.swap(off_a + i, off_b + i);
+        }
+        image.nvm.write(dh_line_a, dha);
+    } else {
+        for i in 0..16 {
+            std::mem::swap(&mut dha[off_a + i], &mut dhb[off_b + i]);
+        }
+        image.nvm.write(dh_line_a, dha);
+        image.nvm.write(dh_line_b, dhb);
+    }
+}
+
+/// Replay: restores `line`'s ciphertext and data HMAC from an older
+/// crash image — the Figure-4 attack. If the counter in the current
+/// image still matches the old epoch (crash before the drain), the
+/// pair is locally consistent and only the `N_wb`/`N_retry` check can
+/// catch it.
+///
+/// # Panics
+///
+/// Panics if `line` is outside the data region.
+pub fn replay_data(image: &mut CrashImage, old: &CrashImage, line: LineAddr) {
+    let layout = SecureLayout::new(image.capacity_bytes);
+    assert!(layout.is_data_line(line), "{line} is not a data line");
+    image.nvm.write(line, old.nvm.read(line));
+    let (dh_line, off) = layout.dh_slot_of(line);
+    let mut dh = image.nvm.read(dh_line);
+    let old_dh = old.nvm.read(dh_line);
+    dh[off..off + 16].copy_from_slice(&old_dh[off..off + 16]);
+    image.nvm.write(dh_line, dh);
+}
+
+/// Replays a counter line (and nothing else) from an older image —
+/// a metadata replay the stored-tree scan locates.
+///
+/// # Panics
+///
+/// Panics if `ctr_line` is outside the counter region.
+pub fn replay_counter(image: &mut CrashImage, old: &CrashImage, ctr_line: LineAddr) {
+    let layout = SecureLayout::new(image.capacity_bytes);
+    assert!(
+        layout.is_counter_line(ctr_line),
+        "{ctr_line} is not a counter line"
+    );
+    image.nvm.write(ctr_line, old.nvm.read(ctr_line));
+}
+
+/// Spoofs a stored Merkle-tree node.
+///
+/// # Panics
+///
+/// Panics if `(level, idx)` is out of range for this image's layout.
+pub fn spoof_tree_node(image: &mut CrashImage, level: usize, idx: u64) {
+    let layout = SecureLayout::new(image.capacity_bytes);
+    let line = layout.node_line(level, idx);
+    let mut content = image.nvm.read(line);
+    content[7] ^= 0xff;
+    image.nvm.write(line, content);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DesignKind, SimConfig};
+    use crate::recovery::{recover, LocatedAttack, RootMatch};
+    use crate::secmem::{DrainTrigger, SecureMemory};
+
+    fn populated(design: DesignKind) -> SecureMemory {
+        let mut m = SecureMemory::new(SimConfig::small(design)).unwrap();
+        for i in 0..8u64 {
+            m.write_back(LineAddr(i * 64), i * 300_000).unwrap();
+        }
+        m.drain(10_000_000, DrainTrigger::External);
+        m
+    }
+
+    #[test]
+    fn spoofed_data_is_located_at_exact_line() {
+        let m = populated(DesignKind::CcNvm);
+        let mut img = m.crash_image();
+        spoof_data(&mut img, LineAddr(3 * 64));
+        let report = recover(&img);
+        assert!(report
+            .located
+            .contains(&LocatedAttack::DataTampered { line: LineAddr(192) }));
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn spliced_data_located_at_both_lines() {
+        let m = populated(DesignKind::CcNvm);
+        let mut img = m.crash_image();
+        splice_data(&mut img, LineAddr(0), LineAddr(64));
+        let report = recover(&img);
+        // The address is part of each HMAC, so both landing spots fail.
+        assert!(report
+            .located
+            .contains(&LocatedAttack::DataTampered { line: LineAddr(0) }));
+        assert!(report
+            .located
+            .contains(&LocatedAttack::DataTampered { line: LineAddr(64) }));
+    }
+
+    #[test]
+    fn replayed_counter_located_by_tree_scan() {
+        let mut m = SecureMemory::new(SimConfig::small(DesignKind::CcNvm)).unwrap();
+        m.write_back(LineAddr(0), 0).unwrap();
+        m.drain(100_000, DrainTrigger::External);
+        let old = m.crash_image();
+        m.write_back(LineAddr(0), 200_000).unwrap();
+        m.drain(300_000, DrainTrigger::External);
+        let mut img = m.crash_image();
+        let ctr_line = m.layout().counter_line_of(LineAddr(0));
+        replay_counter(&mut img, &old, ctr_line);
+        let report = recover(&img);
+        assert!(
+            report
+                .located
+                .iter()
+                .any(|a| matches!(a, LocatedAttack::MetadataTampered { child_level: 0, .. })),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn figure4_replay_detected_by_nwb() {
+        // Crash *mid-epoch*: data replayed to the old version is
+        // locally consistent (old counter still in NVM), and only
+        // N_wb ≠ N_retry exposes it.
+        let mut m = SecureMemory::new(SimConfig::small(DesignKind::CcNvm)).unwrap();
+        m.write_back(LineAddr(0), 0).unwrap();
+        m.drain(100_000, DrainTrigger::External);
+        let old = m.crash_image();
+        // Mid-epoch write-back, then crash before any drain.
+        m.write_back(LineAddr(0), 200_000).unwrap();
+        let mut img = m.crash_image();
+        assert_eq!(img.tcb.nwb, 1);
+        replay_data(&mut img, &old, LineAddr(0));
+        let report = recover(&img);
+        assert!(report.located.is_empty(), "locally consistent: {report:?}");
+        assert!(report.potential_replay, "N_wb=1 but N_retry=0");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn spoofed_tree_node_located() {
+        let m = populated(DesignKind::CcNvmNoDs);
+        let mut img = m.crash_image();
+        spoof_tree_node(&mut img, 1, 0);
+        let report = recover(&img);
+        assert!(
+            report
+                .located
+                .iter()
+                .any(|a| matches!(a, LocatedAttack::MetadataTampered { .. })),
+            "{report:?}"
+        );
+    }
+
+    #[test]
+    fn osiris_detects_replay_but_cannot_locate() {
+        // Osiris Plus: replaying (data, DH) together with its counter
+        // line to the old epoch passes every local check; only the
+        // rebuilt-root comparison fails, with no location information.
+        let mut m = SecureMemory::new(SimConfig::small(DesignKind::OsirisPlus)).unwrap();
+        m.write_back(LineAddr(0), 0).unwrap();
+        let n = m.config().update_limit as u64;
+        // Reach the stop-loss so the counter persists.
+        for i in 1..n {
+            m.write_back(LineAddr(0), i * 300_000).unwrap();
+        }
+        let old = m.crash_image();
+        for i in 0..n {
+            m.write_back(LineAddr(0), (n + i) * 300_000).unwrap();
+        }
+        let mut img = m.crash_image();
+        let ctr_line = m.layout().counter_line_of(LineAddr(0));
+        replay_data(&mut img, &old, LineAddr(0));
+        img.nvm.write(ctr_line, old.nvm.read(ctr_line));
+        let report = recover(&img);
+        assert!(report.located.is_empty(), "{report:?}");
+        assert_eq!(report.rebuilt_root_match, RootMatch::Neither);
+        assert!(!report.is_clean());
+    }
+}

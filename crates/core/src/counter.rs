@@ -1,0 +1,228 @@
+//! Split-counter encoding.
+//!
+//! Following the standard split-counter organization the paper builds
+//! on (Yan et al., ISCA'06), one 64-byte counter line serves a 4 KB
+//! page: a 64-bit **major** counter shared by the page plus 64
+//! per-line 7-bit **minor** counters, packed into exactly 64 bytes
+//! (8 + 64×7/8 = 64).
+//!
+//! The encryption seed of a data line combines its address, the major
+//! and its minor (see `ccnvm_crypto::otp`). A write-back increments the
+//! minor; on overflow the major increments, every minor resets, and the
+//! whole page must be re-encrypted — a rare but accounted event.
+
+use ccnvm_mem::addr::LINES_PER_PAGE;
+use ccnvm_mem::Line;
+
+/// Highest value a 7-bit minor counter can hold.
+pub const MINOR_MAX: u8 = 127;
+
+/// Decoded split-counter line: one major and 64 minors.
+///
+/// # Example
+///
+/// ```
+/// use ccnvm::counter::CounterLine;
+///
+/// let mut ctr = CounterLine::default();
+/// assert!(!ctr.bump(5));
+/// assert_eq!(ctr.minor(5), 1);
+/// let encoded = ctr.encode();
+/// assert_eq!(CounterLine::decode(&encoded), ctr);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterLine {
+    major: u64,
+    minors: [u8; LINES_PER_PAGE as usize],
+}
+
+impl Default for CounterLine {
+    fn default() -> Self {
+        Self {
+            major: 0,
+            minors: [0; LINES_PER_PAGE as usize],
+        }
+    }
+}
+
+impl CounterLine {
+    /// Creates the all-zero counter line (never-written page).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The page's major counter.
+    pub fn major(&self) -> u64 {
+        self.major
+    }
+
+    /// Minor counter of the line at `page_offset` (0..64).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_offset` is 64 or more.
+    pub fn minor(&self, page_offset: usize) -> u8 {
+        self.minors[page_offset]
+    }
+
+    /// `(major, minor)` pair used as the encryption seed of the line at
+    /// `page_offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_offset` is 64 or more.
+    pub fn seed(&self, page_offset: usize) -> (u64, u8) {
+        (self.major, self.minors[page_offset])
+    }
+
+    /// Whether this line has never counted a write (fresh page).
+    pub fn is_zero(&self) -> bool {
+        self.major == 0 && self.minors.iter().all(|&m| m == 0)
+    }
+
+    /// Increments the minor of `page_offset` for a write-back.
+    ///
+    /// Returns `true` if the minor overflowed: the major was bumped,
+    /// all minors reset, and the caller must re-encrypt the entire page
+    /// under the new major.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_offset` is 64 or more.
+    pub fn bump(&mut self, page_offset: usize) -> bool {
+        if self.minors[page_offset] == MINOR_MAX {
+            self.major += 1;
+            self.minors = [0; LINES_PER_PAGE as usize];
+            // The written line starts at 1 under the new major so its pad
+            // differs from the page's untouched lines.
+            self.minors[page_offset] = 1;
+            true
+        } else {
+            self.minors[page_offset] += 1;
+            false
+        }
+    }
+
+    /// Directly sets the minor of `page_offset` (recovery rebuilds
+    /// counters this way).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_offset` is 64 or more, or `value` exceeds
+    /// [`MINOR_MAX`].
+    pub fn set_minor(&mut self, page_offset: usize, value: u8) {
+        assert!(value <= MINOR_MAX, "minor {value} exceeds 7 bits");
+        self.minors[page_offset] = value;
+    }
+
+    /// Packs into the 64-byte NVM representation: 8-byte little-endian
+    /// major followed by 64 seven-bit minors.
+    pub fn encode(&self) -> Line {
+        let mut out = [0u8; 64];
+        out[..8].copy_from_slice(&self.major.to_le_bytes());
+        for (i, &m) in self.minors.iter().enumerate() {
+            let bit = i * 7;
+            let byte = 8 + bit / 8;
+            let shift = bit % 8;
+            out[byte] |= (m & 0x7f) << shift;
+            if shift > 1 {
+                out[byte + 1] |= (m & 0x7f) >> (8 - shift);
+            }
+        }
+        out
+    }
+
+    /// Unpacks from the 64-byte NVM representation.
+    pub fn decode(line: &Line) -> Self {
+        let major = u64::from_le_bytes(line[..8].try_into().expect("8 bytes"));
+        let mut minors = [0u8; LINES_PER_PAGE as usize];
+        for (i, m) in minors.iter_mut().enumerate() {
+            let bit = i * 7;
+            let byte = 8 + bit / 8;
+            let shift = bit % 8;
+            let mut v = (line[byte] >> shift) as u16;
+            if shift > 1 {
+                v |= (line[byte + 1] as u16) << (8 - shift);
+            }
+            *m = (v & 0x7f) as u8;
+        }
+        Self { major, minors }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_line_is_zero() {
+        assert!(CounterLine::new().is_zero());
+        assert_eq!(CounterLine::new().encode(), [0u8; 64]);
+    }
+
+    #[test]
+    fn bump_increments_one_minor() {
+        let mut c = CounterLine::new();
+        assert!(!c.bump(3));
+        assert!(!c.bump(3));
+        assert_eq!(c.minor(3), 2);
+        assert_eq!(c.minor(2), 0);
+        assert_eq!(c.major(), 0);
+        assert!(!c.is_zero());
+    }
+
+    #[test]
+    fn minor_overflow_bumps_major_and_resets() {
+        let mut c = CounterLine::new();
+        c.set_minor(0, MINOR_MAX);
+        c.set_minor(1, 50);
+        assert!(c.bump(0));
+        assert_eq!(c.major(), 1);
+        assert_eq!(c.minor(0), 1);
+        assert_eq!(c.minor(1), 0);
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_exhaustive_offsets() {
+        let mut c = CounterLine::new();
+        for i in 0..64 {
+            c.set_minor(i, ((i * 13 + 7) % 128) as u8);
+        }
+        for major in [0u64, 1, u64::MAX / 2, u64::MAX] {
+            let mut c2 = c;
+            c2.major = major;
+            assert_eq!(CounterLine::decode(&c2.encode()), c2);
+        }
+    }
+
+    #[test]
+    fn encode_uses_all_64_bytes() {
+        let mut c = CounterLine::new();
+        c.set_minor(63, MINOR_MAX);
+        let enc = c.encode();
+        assert_ne!(enc[63], 0, "last minor must land in the last byte");
+    }
+
+    #[test]
+    fn distinct_minors_distinct_encodings() {
+        let mut a = CounterLine::new();
+        let mut b = CounterLine::new();
+        a.set_minor(10, 1);
+        b.set_minor(11, 1);
+        assert_ne!(a.encode(), b.encode());
+    }
+
+    #[test]
+    fn seed_pairs() {
+        let mut c = CounterLine::new();
+        c.bump(9);
+        assert_eq!(c.seed(9), (0, 1));
+        assert_eq!(c.seed(8), (0, 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "7 bits")]
+    fn set_minor_rejects_wide_values() {
+        CounterLine::new().set_minor(0, 128);
+    }
+}

@@ -1,0 +1,49 @@
+//! Crash images: what survives a power failure.
+//!
+//! A crash wipes every volatile structure — L1/L2, the Meta Cache, the
+//! dirty address queue — and, per the ADR protocol of §4.2, drops any
+//! drain still in flight that had not yet received its `end` signal.
+//! What remains is the durable NVM image plus the persistent TCB
+//! registers; that pair is everything recovery (§4.4) may look at.
+
+use crate::config::DesignKind;
+use crate::tcb::Tcb;
+use ccnvm_mem::{LineStore, LineAddr};
+use std::collections::HashMap;
+
+/// The durable state recovery starts from.
+#[derive(Debug, Clone)]
+pub struct CrashImage {
+    /// Which design produced this image (recovery strategies differ).
+    pub design: DesignKind,
+    /// Protected capacity in bytes (reconstructs the layout).
+    pub capacity_bytes: u64,
+    /// The update-times limit N — the recovery retry budget.
+    pub update_limit: u32,
+    /// Persistent TCB state: keys, `ROOT_old`, `ROOT_new`, `N_wb`.
+    pub tcb: Tcb,
+    /// Durable NVM contents.
+    pub nvm: LineStore,
+}
+
+/// Simulator-side ground truth, *not* visible to recovery. Tests use
+/// it to assert that recovery reconstructed exactly the pre-crash
+/// state.
+#[derive(Debug, Clone, Default)]
+pub struct GroundTruth {
+    /// Logical write-back version of each data line (drives the
+    /// expected plaintext pattern).
+    pub data_versions: HashMap<u64, u64>,
+    /// Current (on-chip-truth) content of every materialized counter
+    /// line.
+    pub counter_lines: HashMap<u64, [u8; 64]>,
+    /// The root over the current logical tree state.
+    pub current_root: [u8; 16],
+}
+
+impl GroundTruth {
+    /// Version of `line` (0 = never written back).
+    pub fn version_of(&self, line: LineAddr) -> u64 {
+        self.data_versions.get(&line.0).copied().unwrap_or(0)
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for runtime integrity checking and simulation.
+
+use ccnvm_mem::LineAddr;
+use std::error::Error;
+use std::fmt;
+
+/// A runtime integrity violation detected by the secure memory path.
+///
+/// In an attack-free simulation none of these can occur; they surface
+/// when the attack-injection API tampers with live NVM state, and in
+/// tests asserting that tampering *is* detected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IntegrityError {
+    /// A data line's HMAC did not match `(ciphertext, address,
+    /// counter)` — spoofing or splicing of data.
+    DataHmacMismatch {
+        /// The offending data line.
+        line: LineAddr,
+    },
+    /// A fetched counter/tree line did not match its parent's slot —
+    /// tampering with the metadata (replay of counters, etc.).
+    TreeMismatch {
+        /// Level of the fetched child (0 = counter line).
+        child_level: usize,
+        /// Index of the fetched child within its level.
+        child_index: u64,
+    },
+    /// The fetched top tree node matched neither persistent root.
+    RootMismatch,
+    /// Decryption succeeded per the HMAC but the plaintext differs
+    /// from what the simulator wrote — an internal consistency bug,
+    /// never an expected attack outcome.
+    PlaintextMismatch {
+        /// The offending data line.
+        line: LineAddr,
+    },
+}
+
+impl fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IntegrityError::DataHmacMismatch { line } => {
+                write!(f, "data HMAC mismatch at {line} (spoofing/splicing)")
+            }
+            IntegrityError::TreeMismatch {
+                child_level,
+                child_index,
+            } => write!(
+                f,
+                "merkle tree mismatch at level {child_level} index {child_index}"
+            ),
+            IntegrityError::RootMismatch => write!(f, "top tree node matches neither TCB root"),
+            IntegrityError::PlaintextMismatch { line } => {
+                write!(f, "decrypted plaintext mismatch at {line} (simulator bug)")
+            }
+        }
+    }
+}
+
+impl Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_location() {
+        let e = IntegrityError::DataHmacMismatch { line: LineAddr(16) };
+        assert!(e.to_string().contains("L0x10"));
+        let e = IntegrityError::TreeMismatch {
+            child_level: 2,
+            child_index: 7,
+        };
+        assert!(e.to_string().contains("level 2"));
+    }
+}

@@ -1,0 +1,240 @@
+//! The on-chip security-metadata cache.
+//!
+//! The paper's configuration (§5) gives the processor a shared 128 KB,
+//! 8-way structure at the L2 level holding both encryption counters
+//! and Merkle-tree nodes — Figure 2 draws it as a single *Meta Cache*,
+//! while the text speaks of a "counter cache and Merkle Tree cache".
+//! Both organizations exist in real proposals, so this module provides
+//! either:
+//!
+//! * **shared** — one cache, counters and tree nodes compete for all
+//!   ways (the default, matching Figure 2), or
+//! * **split** — static partition into a counter cache and a tree
+//!   cache (half the capacity each by default), matching the
+//!   two-structure reading and enabling the ablation in
+//!   `ccnvm-bench`'s `ablation` binary.
+//!
+//! [`MetaCache`] presents one interface either way; the routing is by
+//! address region.
+
+use crate::layout::SecureLayout;
+use crate::secmem::MetaPayload;
+use ccnvm_mem::cache::{AccessResult, SetAssocCache};
+use ccnvm_mem::{CacheConfig, LineAddr};
+
+/// Organization of the metadata cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MetaCacheOrg {
+    /// One structure shared by counters and tree nodes (Figure 2).
+    #[default]
+    Shared,
+    /// Statically split: half for counters, half for tree nodes.
+    Split,
+}
+
+/// Counter + Merkle-tree node cache with a region-routing front end.
+#[derive(Debug)]
+pub struct MetaCache {
+    org: MetaCacheOrg,
+    /// Shared organization uses only `primary`; split puts counters in
+    /// `primary` and tree nodes in `tree`.
+    primary: SetAssocCache<MetaPayload>,
+    tree: Option<SetAssocCache<MetaPayload>>,
+    /// Counter-region boundary, for routing.
+    counter_base: u64,
+    counter_end: u64,
+}
+
+impl MetaCache {
+    /// Builds the cache for `layout` with total geometry `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a split organization cannot halve the capacity into
+    /// two valid caches.
+    pub fn new(config: CacheConfig, org: MetaCacheOrg, layout: &SecureLayout) -> Self {
+        let (primary, tree) = match org {
+            MetaCacheOrg::Shared => (SetAssocCache::new(config), None),
+            MetaCacheOrg::Split => {
+                let half = CacheConfig::new(config.capacity_bytes / 2, config.ways);
+                (
+                    SetAssocCache::new(half),
+                    Some(SetAssocCache::new(half)),
+                )
+            }
+        };
+        let counter_base = layout.counter_line_at(0).0;
+        Self {
+            org,
+            primary,
+            tree,
+            counter_base,
+            counter_end: counter_base + layout.counter_lines(),
+        }
+    }
+
+    /// The organization in use.
+    pub fn org(&self) -> MetaCacheOrg {
+        self.org
+    }
+
+    fn bank_for(&self, line: LineAddr) -> &SetAssocCache<MetaPayload> {
+        match &self.tree {
+            Some(tree) if !(self.counter_base..self.counter_end).contains(&line.0) => tree,
+            _ => &self.primary,
+        }
+    }
+
+    fn bank_for_mut(&mut self, line: LineAddr) -> &mut SetAssocCache<MetaPayload> {
+        match &mut self.tree {
+            Some(tree) if !(self.counter_base..self.counter_end).contains(&line.0) => tree,
+            _ => &mut self.primary,
+        }
+    }
+
+    /// Accesses `line` (see [`SetAssocCache::access`]).
+    pub fn access(&mut self, line: LineAddr, write: bool) -> AccessResult<MetaPayload> {
+        self.bank_for_mut(line).access(line, write)
+    }
+
+    /// Whether `line` is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.bank_for(line).contains(line)
+    }
+
+    /// Whether `line` is resident and dirty.
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        self.bank_for(line).is_dirty(line)
+    }
+
+    /// Victim an install of `line` would evict right now.
+    pub fn peek_victim(&self, line: LineAddr) -> Option<(LineAddr, bool)> {
+        self.bank_for(line).peek_victim(line)
+    }
+
+    /// Marks `line` dirty (resident lines only).
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        self.bank_for_mut(line).mark_dirty(line)
+    }
+
+    /// Clears `line`'s dirty bit.
+    pub fn mark_clean(&mut self, line: LineAddr) -> bool {
+        self.bank_for_mut(line).mark_clean(line)
+    }
+
+    /// Mutable payload of a resident line.
+    pub fn payload_mut(&mut self, line: LineAddr) -> Option<&mut MetaPayload> {
+        self.bank_for_mut(line).payload_mut(line)
+    }
+
+    /// Removes `line`, returning whether it was resident and dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        self.bank_for_mut(line).invalidate(line).map(|e| e.dirty)
+    }
+
+    /// All resident dirty lines across both banks.
+    pub fn dirty_lines(&self) -> Vec<LineAddr> {
+        let mut v = self.primary.dirty_lines();
+        if let Some(tree) = &self.tree {
+            v.extend(tree.dirty_lines());
+        }
+        v
+    }
+
+    /// `(hits, misses)` aggregated across banks.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        let (mut h, mut m) = self.primary.hit_miss();
+        if let Some(tree) = &self.tree {
+            let (th, tm) = tree.hit_miss();
+            h += th;
+            m += tm;
+        }
+        (h, m)
+    }
+
+    /// Total resident lines.
+    pub fn len(&self) -> usize {
+        self.primary.len() + self.tree.as_ref().map_or(0, |t| t.len())
+    }
+
+    /// Whether nothing is resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> SecureLayout {
+        SecureLayout::new(1 << 20)
+    }
+
+    fn ctr_line(l: &SecureLayout, idx: u64) -> LineAddr {
+        l.counter_line_at(idx)
+    }
+
+    fn node_line(l: &SecureLayout) -> LineAddr {
+        l.node_line(1, 0)
+    }
+
+    #[test]
+    fn shared_routes_everything_to_one_bank() {
+        let l = layout();
+        let mut c = MetaCache::new(CacheConfig::new(4096, 4), MetaCacheOrg::Shared, &l);
+        c.access(ctr_line(&l, 0), true);
+        c.access(node_line(&l), false);
+        assert_eq!(c.len(), 2);
+        assert!(c.is_dirty(ctr_line(&l, 0)));
+        assert!(!c.is_dirty(node_line(&l)));
+    }
+
+    #[test]
+    fn split_partitions_counters_and_nodes() {
+        let l = layout();
+        let mut c = MetaCache::new(CacheConfig::new(4096, 4), MetaCacheOrg::Split, &l);
+        assert_eq!(c.org(), MetaCacheOrg::Split);
+        // Fill the counter bank: counter lines never evict tree nodes.
+        c.access(node_line(&l), true);
+        for i in 0..64 {
+            c.access(ctr_line(&l, i), false);
+        }
+        assert!(c.contains(node_line(&l)), "tree bank is isolated");
+    }
+
+    #[test]
+    fn split_capacity_is_halved_per_bank() {
+        let l = layout();
+        let mut c = MetaCache::new(CacheConfig::new(4096, 4), MetaCacheOrg::Split, &l);
+        // 4096 B shared = 64 lines; split = 32 lines per bank. Insert
+        // 40 distinct counters: at most 32 survive.
+        for i in 0..40 {
+            c.access(ctr_line(&l, i), false);
+        }
+        assert!(c.len() <= 32);
+    }
+
+    #[test]
+    fn hit_miss_aggregates_banks() {
+        let l = layout();
+        let mut c = MetaCache::new(CacheConfig::new(4096, 4), MetaCacheOrg::Split, &l);
+        c.access(ctr_line(&l, 0), false); // miss
+        c.access(ctr_line(&l, 0), false); // hit
+        c.access(node_line(&l), false); // miss
+        assert_eq!(c.hit_miss(), (1, 2));
+    }
+
+    #[test]
+    fn payload_and_dirty_tracking_work_through_routing() {
+        let l = layout();
+        let mut c = MetaCache::new(CacheConfig::new(4096, 4), MetaCacheOrg::Split, &l);
+        c.access(ctr_line(&l, 3), true);
+        c.payload_mut(ctr_line(&l, 3)).unwrap().updates = 7;
+        assert_eq!(c.dirty_lines(), vec![ctr_line(&l, 3)]);
+        assert!(c.mark_clean(ctr_line(&l, 3)));
+        assert!(c.dirty_lines().is_empty());
+        assert_eq!(c.invalidate(ctr_line(&l, 3)), Some(false));
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,429 @@
+//! Crash recovery and attack locating (§4.4).
+//!
+//! Recovery starts from a [`CrashImage`] — durable NVM plus the
+//! persistent TCB registers — and proceeds in the paper's four steps:
+//!
+//! 1. **Locate normal replay attacks.** For the epoch designs the
+//!    stored tree is guaranteed internally consistent and to match one
+//!    of the TCB roots; any parent/child mismatch therefore *locates* a
+//!    replay on the stored metadata.
+//! 2. **Recover stalled counters and locate data attacks.** Each
+//!    stored data line's HMAC is recomputed with the stored counter; on
+//!    a mismatch the minor counter is advanced and the check retried,
+//!    up to N times (the update-times trigger guarantees N suffices).
+//!    A line whose HMAC never matches has been spoofed or spliced — and
+//!    is reported *by exact line address*.
+//! 3. **Detect potential replays.** With deferred spreading, a freshly
+//!    written (data, HMAC) pair replayed to its previous version is
+//!    locally consistent (Figure 4); it is caught because the total
+//!    retry count then disagrees with the persistent `N_wb` register.
+//! 4. **Rebuild the Merkle Tree** over the recovered counters and
+//!    compare its root with the TCB registers.
+
+use crate::bmt::{Bmt, TreeMismatch};
+use crate::config::DesignKind;
+use crate::counter::{CounterLine, MINOR_MAX};
+use crate::crash::CrashImage;
+use crate::engine::CryptoEngine;
+use crate::layout::SecureLayout;
+use ccnvm_crypto::Mac128;
+use ccnvm_mem::{LineAddr, LineStore};
+use std::fmt;
+
+/// An attack located at an exact place during recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocatedAttack {
+    /// A data line whose HMAC never matched within the retry budget —
+    /// spoofed or spliced data (or HMAC).
+    DataTampered {
+        /// The tampered data line.
+        line: LineAddr,
+    },
+    /// A stored counter or tree node inconsistent with its parent —
+    /// replayed/tampered metadata.
+    MetadataTampered {
+        /// Level of the mismatching child (0 = counter line).
+        child_level: usize,
+        /// Index of the mismatching child.
+        child_index: u64,
+    },
+}
+
+/// Which persistent root the rebuilt tree matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RootMatch {
+    /// Matched `ROOT_new` (all recovered state reconstructed).
+    New,
+    /// Matched `ROOT_old` only (the image is the last committed epoch).
+    Old,
+    /// Matched neither root — a replay the design detects here.
+    Neither,
+}
+
+/// Everything recovery produced.
+#[derive(Debug, Clone)]
+pub struct RecoveryReport {
+    /// Design the image came from.
+    pub design: DesignKind,
+    /// Counter lines whose content had to be advanced.
+    pub recovered_counter_lines: u64,
+    /// Data lines whose counters were advanced.
+    pub recovered_data_lines: u64,
+    /// Total counter-increment retries (the paper's `N_retry`).
+    pub total_retries: u64,
+    /// Largest retry count any single line needed (bounded by N for
+    /// every crash-consistent design).
+    pub max_line_retries: u64,
+    /// `N_wb` from the TCB at crash time.
+    pub nwb: u64,
+    /// Attacks located at exact addresses (steps 1 and 2).
+    pub located: Vec<LocatedAttack>,
+    /// Step 3: `N_wb ≠ N_retry` — a replay happened somewhere even
+    /// though every line looks locally consistent.
+    pub potential_replay: bool,
+    /// Root over the *stored* (pre-recovery) tree vs the TCB roots.
+    pub stored_root_match: RootMatch,
+    /// Root over the *rebuilt* tree vs the TCB roots.
+    pub rebuilt_root_match: RootMatch,
+    /// The rebuilt root itself (becomes the new TCB root on success).
+    pub rebuilt_root: Mac128,
+    /// The recovered NVM image: stored data, recovered counters and
+    /// the rebuilt tree.
+    pub recovered_nvm: LineStore,
+}
+
+impl RecoveryReport {
+    /// Whether every check the design supports came back clean.
+    pub fn is_clean(&self) -> bool {
+        if !self.located.is_empty() || self.potential_replay {
+            return false;
+        }
+        match self.design {
+            // Per-write-back root designs: the rebuilt (newest) state
+            // must match ROOT_new exactly.
+            DesignKind::StrictConsistency | DesignKind::OsirisPlus | DesignKind::CcNvmNoDs => {
+                self.rebuilt_root_match == RootMatch::New
+            }
+            // cc-NVM: the stored tree must match a TCB root; freshness
+            // of the tail is vouched for by N_wb == N_retry (already
+            // checked above).
+            DesignKind::CcNvm => self.stored_root_match != RootMatch::Neither,
+            // w/o CC guarantees nothing; "clean" just means the DH
+            // retries happened to succeed.
+            DesignKind::WithoutCc => true,
+        }
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "recovery of a {} image: {} counter lines patched ({} data lines), \
+             {} retries (max {}/line), N_wb {}",
+            self.design,
+            self.recovered_counter_lines,
+            self.recovered_data_lines,
+            self.total_retries,
+            self.max_line_retries,
+            self.nwb
+        )?;
+        writeln!(
+            f,
+            "stored tree vs TCB roots: {:?}; rebuilt tree: {:?}",
+            self.stored_root_match, self.rebuilt_root_match
+        )?;
+        if self.located.is_empty() {
+            writeln!(f, "no attacks located")?;
+        } else {
+            writeln!(f, "located attacks:")?;
+            for a in &self.located {
+                match a {
+                    LocatedAttack::DataTampered { line } => {
+                        writeln!(f, "  data tampered at {line}")?
+                    }
+                    LocatedAttack::MetadataTampered {
+                        child_level,
+                        child_index,
+                    } => writeln!(
+                        f,
+                        "  metadata tampered at level {child_level} index {child_index}"
+                    )?,
+                }
+            }
+        }
+        if self.potential_replay {
+            writeln!(f, "POTENTIAL REPLAY: N_wb != N_retry")?;
+        }
+        write!(
+            f,
+            "verdict: {}",
+            if self.is_clean() { "CLEAN" } else { "ATTACKED" }
+        )
+    }
+}
+
+/// Runs crash recovery over `image`.
+///
+/// Works for every design; what the result *means* differs (see
+/// [`RecoveryReport::is_clean`]). For `w/o CC` the retry budget is the
+/// same N, but nothing bounds counter staleness, so recovery may
+/// legitimately fail — the motivating deficiency of the baseline.
+pub fn recover(image: &CrashImage) -> RecoveryReport {
+    let layout = SecureLayout::new(image.capacity_bytes);
+    let engine = CryptoEngine::new(&image.tcb.keys);
+    let bmt = Bmt::new(layout.clone(), engine.clone());
+    let budget = image.update_limit as u64;
+
+    let mut located = Vec::new();
+
+    // Step 1: stored-tree consistency scan (meaningless for Osiris
+    // Plus, whose stored internal nodes are never maintained).
+    let stored_root = bmt.root(&image.nvm);
+    let stored_root_match = classify_root(&image.tcb, &stored_root);
+    if image.design != DesignKind::OsirisPlus {
+        for TreeMismatch {
+            child_level,
+            child_index,
+        } in bmt.consistency_scan(&image.nvm)
+        {
+            located.push(LocatedAttack::MetadataTampered {
+                child_level,
+                child_index,
+            });
+        }
+    }
+
+    // Step 2: recover counters through the data HMACs.
+    let mut working = image.nvm.clone();
+    let mut total_retries = 0u64;
+    let mut max_line_retries = 0u64;
+    let mut recovered_data_lines = 0u64;
+    let mut touched_counters = std::collections::BTreeSet::new();
+    let mut data_lines: Vec<LineAddr> = image
+        .nvm
+        .sorted_addrs()
+        .into_iter()
+        .filter(|l| layout.is_data_line(*l))
+        .collect();
+    data_lines.sort_unstable();
+    for line in data_lines {
+        let ct = image.nvm.read(line);
+        let ctr_line = layout.counter_line_of(line);
+        let mut ctr = CounterLine::decode(&working.read(ctr_line));
+        let off = line.page_offset();
+        let (major, minor) = ctr.seed(off);
+        let (dh_line, dh_off) = layout.dh_slot_of(line);
+        let dh_stored: &[u8] = &image.nvm.read(dh_line)[dh_off..dh_off + 16];
+
+        let mut found = None;
+        for k in 0..=budget {
+            let candidate = minor as u64 + k;
+            if candidate > MINOR_MAX as u64 {
+                // Overflow persists the counter atomically, so recovery
+                // never crosses a major boundary.
+                break;
+            }
+            let mac = engine.data_hmac(&ct, line, major, candidate as u8);
+            if mac[..] == *dh_stored {
+                found = Some(k);
+                break;
+            }
+        }
+        match found {
+            Some(0) => {}
+            Some(k) => {
+                total_retries += k;
+                max_line_retries = max_line_retries.max(k);
+                recovered_data_lines += 1;
+                ctr.set_minor(off, (minor as u64 + k) as u8);
+                working.write(ctr_line, ctr.encode());
+                touched_counters.insert(ctr_line.0);
+            }
+            None => located.push(LocatedAttack::DataTampered { line }),
+        }
+    }
+
+    // Step 3: potential replay detection (deferred spreading only).
+    let potential_replay =
+        image.design == DesignKind::CcNvm && total_retries != image.tcb.nwb;
+
+    // Step 4: rebuild the tree over the recovered counters.
+    let counters: Vec<(u64, [u8; 64])> = working
+        .sorted_addrs()
+        .into_iter()
+        .filter(|l| layout.is_counter_line(*l))
+        .map(|l| (layout.counter_index(l), working.read(l)))
+        .collect();
+    let (nodes, rebuilt_root) = bmt.rebuild(counters);
+    let rebuilt_root_match = classify_root(&image.tcb, &rebuilt_root);
+
+    let mut recovered_nvm = working;
+    for (line, content) in nodes.iter() {
+        recovered_nvm.write(line, *content);
+    }
+
+    RecoveryReport {
+        design: image.design,
+        recovered_counter_lines: touched_counters.len() as u64,
+        recovered_data_lines,
+        total_retries,
+        max_line_retries,
+        nwb: image.tcb.nwb,
+        located,
+        potential_replay,
+        stored_root_match,
+        rebuilt_root_match,
+        rebuilt_root,
+        recovered_nvm,
+    }
+}
+
+fn classify_root(tcb: &crate::tcb::Tcb, root: &Mac128) -> RootMatch {
+    if root == &tcb.root_new {
+        RootMatch::New
+    } else if root == &tcb.root_old {
+        RootMatch::Old
+    } else {
+        RootMatch::Neither
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{DesignKind, SimConfig};
+    use crate::secmem::{DrainTrigger, SecureMemory};
+
+    fn mem(design: DesignKind) -> SecureMemory {
+        SecureMemory::new(SimConfig::small(design)).expect("valid config")
+    }
+
+    #[test]
+    fn clean_image_after_drain_recovers_clean() {
+        let mut m = mem(DesignKind::CcNvm);
+        for i in 0..6u64 {
+            m.write_back(LineAddr(i * 64), i * 100_000).unwrap();
+        }
+        m.drain(10_000_000, DrainTrigger::External);
+        let report = recover(&m.crash_image());
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.total_retries, 0);
+        assert_eq!(report.stored_root_match, RootMatch::New);
+    }
+
+    #[test]
+    fn mid_epoch_crash_recovers_counters_exactly() {
+        let mut m = mem(DesignKind::CcNvm);
+        m.write_back(LineAddr(0), 0).unwrap();
+        m.drain(100_000, DrainTrigger::External);
+        // Three more write-backs, not drained.
+        for i in 0..3u64 {
+            m.write_back(LineAddr(0), 200_000 + i * 100_000).unwrap();
+        }
+        m.write_back(LineAddr(64), 900_000).unwrap();
+        let truth = m.ground_truth();
+        let report = recover(&m.crash_image());
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.total_retries, 4, "three bumps + one fresh line");
+        assert_eq!(report.nwb, 4);
+        // Recovered counters equal the pre-crash logical values.
+        for (line, content) in &truth.counter_lines {
+            assert_eq!(
+                report.recovered_nvm.read(LineAddr(*line)),
+                *content,
+                "counter line {line:#x}"
+            );
+        }
+        // The rebuilt tree equals the logical pre-crash tree.
+        assert_eq!(report.rebuilt_root, truth.current_root);
+    }
+
+    #[test]
+    fn retries_stay_within_budget_for_all_consistent_designs() {
+        for design in [
+            DesignKind::StrictConsistency,
+            DesignKind::OsirisPlus,
+            DesignKind::CcNvmNoDs,
+            DesignKind::CcNvm,
+        ] {
+            let mut m = mem(design);
+            for i in 0..40u64 {
+                m.write_back(LineAddr((i % 3) * 64), i * 400_000).unwrap();
+            }
+            let report = recover(&m.crash_image());
+            assert!(
+                report.located.is_empty(),
+                "{design}: no attacks were injected: {report:?}"
+            );
+            let truth = m.ground_truth();
+            for (line, content) in &truth.counter_lines {
+                assert_eq!(
+                    report.recovered_nvm.read(LineAddr(*line)),
+                    *content,
+                    "{design}: counter line {line:#x}"
+                );
+            }
+            assert_eq!(report.rebuilt_root, truth.current_root, "{design}");
+        }
+    }
+
+    #[test]
+    fn report_display_summarizes() {
+        let mut m = mem(DesignKind::CcNvm);
+        m.write_back(LineAddr(0), 0).unwrap();
+        let report = recover(&m.crash_image());
+        let text = report.to_string();
+        assert!(text.contains("retries"));
+        assert!(text.contains("CLEAN"));
+
+        let mut img = m.crash_image();
+        crate::attack::spoof_data(&mut img, LineAddr(0));
+        let text = recover(&img).to_string();
+        assert!(text.contains("data tampered at L0x0"));
+        assert!(text.contains("ATTACKED"));
+    }
+
+    #[test]
+    fn sc_image_needs_no_retries() {
+        let mut m = mem(DesignKind::StrictConsistency);
+        for i in 0..10u64 {
+            m.write_back(LineAddr(i * 64), i * 400_000).unwrap();
+        }
+        let report = recover(&m.crash_image());
+        assert!(report.is_clean(), "{report:?}");
+        assert_eq!(report.total_retries, 0);
+        assert_eq!(report.rebuilt_root_match, RootMatch::New);
+    }
+
+    #[test]
+    fn osiris_recovers_within_stop_loss_budget() {
+        let mut m = mem(DesignKind::OsirisPlus);
+        for i in 0..30u64 {
+            m.write_back(LineAddr(0), i * 400_000).unwrap();
+        }
+        let report = recover(&m.crash_image());
+        assert!(report.is_clean(), "{report:?}");
+        assert!(report.total_retries <= m.config().update_limit as u64);
+        assert_eq!(report.rebuilt_root_match, RootMatch::New);
+    }
+
+    #[test]
+    fn without_cc_can_be_unrecoverable() {
+        // Tiny meta cache so dirty counters are *not* evicted (which
+        // would persist them); keep everything cached while counters
+        // run far past N, then crash.
+        let mut m = mem(DesignKind::WithoutCc);
+        let n = m.config().update_limit as u64;
+        for i in 0..3 * n {
+            m.write_back(LineAddr(0), i * 400_000).unwrap();
+        }
+        let report = recover(&m.crash_image());
+        // Counter is 3N ahead of the durable zero state: unrecoverable.
+        assert_eq!(
+            report.located,
+            vec![LocatedAttack::DataTampered { line: LineAddr(0) }],
+            "the baseline cannot distinguish staleness from attack"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! The trusted computing base: secret keys and persistent registers.
+//!
+//! Everything on-chip is trusted; what cc-NVM adds to the classic
+//! secure-processor TCB is a small set of *persistent* registers that
+//! survive power failure (§4.2–4.3):
+//!
+//! * `ROOT_new` — the Merkle-tree root reflecting all on-chip updates,
+//! * `ROOT_old` — the root matching the tree image committed to NVM by
+//!   the last completed drain, and
+//! * `N_wb` — the number of write-backs since the last committed drain,
+//!   used at recovery to detect the replay window deferred spreading
+//!   opens (Figure 4).
+//!
+//! Designs that persist the root on every write-back (SC, Osiris Plus)
+//! keep `ROOT_new` and `ROOT_old` equal.
+
+use ccnvm_crypto::Mac128;
+
+/// Secret keys fused into the processor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Keys {
+    /// AES-128 key for counter-mode encryption pads.
+    pub aes: [u8; 16],
+    /// HMAC key for data HMACs and Merkle-tree nodes.
+    pub hmac: [u8; 16],
+}
+
+impl Keys {
+    /// Derives a deterministic key pair from a seed (simulation only —
+    /// real hardware fuses random keys).
+    pub fn from_seed(seed: u64) -> Self {
+        let mut aes = [0u8; 16];
+        let mut hmac = [0u8; 16];
+        aes[..8].copy_from_slice(&seed.to_le_bytes());
+        aes[8..].copy_from_slice(&seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).to_le_bytes());
+        hmac[..8].copy_from_slice(&seed.wrapping_add(1).to_le_bytes());
+        hmac[8..].copy_from_slice(
+            &seed
+                .wrapping_add(1)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .to_le_bytes(),
+        );
+        Self { aes, hmac }
+    }
+}
+
+/// TCB state. The keys and the registers below survive a crash; all
+/// other on-chip state (caches, the dirty address queue) is lost.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tcb {
+    /// Secret keys.
+    pub keys: Keys,
+    /// Root over the newest (possibly on-chip-only) tree state.
+    pub root_new: Mac128,
+    /// Root matching the tree image in NVM as of the last committed
+    /// drain.
+    pub root_old: Mac128,
+    /// Write-backs since the last committed drain.
+    pub nwb: u64,
+}
+
+impl Tcb {
+    /// Creates a TCB with both roots set to `initial_root` (the root of
+    /// the all-zero memory) and `N_wb = 0`.
+    pub fn new(keys: Keys, initial_root: Mac128) -> Self {
+        Self {
+            keys,
+            root_new: initial_root,
+            root_old: initial_root,
+            nwb: 0,
+        }
+    }
+
+    /// Commits a drain: `ROOT_old ← ROOT_new`, `N_wb ← 0` (§4.2 step 6).
+    pub fn commit_drain(&mut self) {
+        self.root_old = self.root_new;
+        self.nwb = 0;
+    }
+
+    /// Whether `root` matches either persistent root register.
+    pub fn matches_either_root(&self, root: &Mac128) -> bool {
+        &self.root_new == root || &self.root_old == root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_deterministic_and_distinct() {
+        let a = Keys::from_seed(7);
+        let b = Keys::from_seed(7);
+        let c = Keys::from_seed(8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a.aes, a.hmac);
+    }
+
+    #[test]
+    fn commit_drain_promotes_root_and_clears_nwb() {
+        let mut tcb = Tcb::new(Keys::from_seed(1), [0u8; 16]);
+        tcb.root_new = [9u8; 16];
+        tcb.nwb = 42;
+        tcb.commit_drain();
+        assert_eq!(tcb.root_old, [9u8; 16]);
+        assert_eq!(tcb.nwb, 0);
+    }
+
+    #[test]
+    fn root_matching() {
+        let mut tcb = Tcb::new(Keys::from_seed(1), [1u8; 16]);
+        tcb.root_new = [2u8; 16];
+        assert!(tcb.matches_either_root(&[1u8; 16]));
+        assert!(tcb.matches_either_root(&[2u8; 16]));
+        assert!(!tcb.matches_either_root(&[3u8; 16]));
+    }
+}

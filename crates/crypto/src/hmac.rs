@@ -1,0 +1,158 @@
+//! HMAC-SHA1 (RFC 2104) implemented over the local [`Sha1`].
+//!
+//! The Bonsai Merkle Tree in cc-NVM uses keyed HMACs in two places:
+//!
+//! * **data HMACs** — one 128-bit code per 64-byte data line, computed
+//!   over `(encrypted data ‖ address ‖ counter)`, stored alongside the
+//!   data in NVM and *never* cached in the meta cache, and
+//! * **counter HMACs** — the internal nodes of the tree, each a 128-bit
+//!   code over one child node.
+//!
+//! Both are truncated HMAC-SHA1; [`hmac_sha1_128`] is the convenience
+//! entry point the rest of the workspace uses.
+
+use crate::sha1::Sha1;
+use crate::Mac128;
+
+const BLOCK_LEN: usize = 64;
+
+/// Incremental HMAC-SHA1 computation.
+///
+/// # Example
+///
+/// ```
+/// use ccnvm_crypto::HmacSha1;
+///
+/// let mut mac = HmacSha1::new(b"secret");
+/// mac.update(b"hello ");
+/// mac.update(b"world");
+/// let tag = mac.finalize();
+/// assert_eq!(tag, HmacSha1::mac(b"secret", b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacSha1 {
+    inner: Sha1,
+    opad_key: [u8; BLOCK_LEN],
+}
+
+impl HmacSha1 {
+    /// Creates an HMAC context keyed with `key`.
+    ///
+    /// Keys longer than the 64-byte SHA-1 block are hashed first, per
+    /// RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha1::digest(key);
+            block_key[..20].copy_from_slice(&digest);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = block_key[i] ^ 0x36;
+            opad_key[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha1::new();
+        inner.update(&ipad_key);
+        Self { inner, opad_key }
+    }
+
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the full 20-byte tag.
+    pub fn finalize(self) -> [u8; 20] {
+        let inner_digest = self.inner.finalize();
+        let mut outer = Sha1::new();
+        outer.update(&self.opad_key);
+        outer.update(&inner_digest);
+        outer.finalize()
+    }
+
+    /// One-shot tag over `data` with `key`.
+    pub fn mac(key: &[u8], data: &[u8]) -> [u8; 20] {
+        let mut h = Self::new(key);
+        h.update(data);
+        h.finalize()
+    }
+}
+
+/// One-shot HMAC-SHA1 returning the full 20-byte tag.
+pub fn hmac_sha1(key: &[u8], data: &[u8]) -> [u8; 20] {
+    HmacSha1::mac(key, data)
+}
+
+/// One-shot HMAC-SHA1 truncated to the 128-bit codeword size the paper
+/// uses for both data HMACs and Merkle-tree nodes.
+pub fn hmac_sha1_128(key: &[u8], data: &[u8]) -> Mac128 {
+    let full = hmac_sha1(key, data);
+    let mut out = [0u8; 16];
+    out.copy_from_slice(&full[..16]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    // RFC 2202 test vectors.
+    #[test]
+    fn rfc2202_case1() {
+        let tag = hmac_sha1(&[0x0b; 20], b"Hi There");
+        assert_eq!(hex(&tag), "b617318655057264e28bc0b6fb378c8ef146be00");
+    }
+
+    #[test]
+    fn rfc2202_case2() {
+        let tag = hmac_sha1(b"Jefe", b"what do ya want for nothing?");
+        assert_eq!(hex(&tag), "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79");
+    }
+
+    #[test]
+    fn rfc2202_case3() {
+        let tag = hmac_sha1(&[0xaa; 20], &[0xdd; 50]);
+        assert_eq!(hex(&tag), "125d7342b9ac11cd91a39af48aa17b4f63f175d3");
+    }
+
+    #[test]
+    fn rfc2202_case6_long_key() {
+        let tag = hmac_sha1(
+            &[0xaa; 80],
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
+        assert_eq!(hex(&tag), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
+    }
+
+    #[test]
+    fn truncation_is_prefix() {
+        let full = hmac_sha1(b"k", b"m");
+        let short = hmac_sha1_128(b"k", b"m");
+        assert_eq!(&full[..16], &short[..]);
+    }
+
+    #[test]
+    fn key_separation() {
+        assert_ne!(hmac_sha1_128(b"k1", b"m"), hmac_sha1_128(b"k2", b"m"));
+    }
+
+    #[test]
+    fn message_separation() {
+        assert_ne!(hmac_sha1_128(b"k", b"m1"), hmac_sha1_128(b"k", b"m2"));
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut mac = HmacSha1::new(b"key");
+        mac.update(b"part one, ");
+        mac.update(b"part two");
+        assert_eq!(mac.finalize(), hmac_sha1(b"key", b"part one, part two"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Latency constants for the on-chip crypto engines, as configured in
+//! the paper's evaluation (§5).
+//!
+//! The simulated processor runs at 3 GHz, so nanosecond figures convert
+//! to cycles at 3 cycles per nanosecond.
+
+/// Simulated core clock in cycles per nanosecond (3 GHz).
+pub const CYCLES_PER_NS: u64 = 3;
+
+/// Overall AES encryption (OTP generation) latency: 72 ns.
+pub const AES_LATENCY_NS: u64 = 72;
+
+/// AES latency in core cycles (216 at 3 GHz).
+pub const AES_LATENCY_CYCLES: u64 = AES_LATENCY_NS * CYCLES_PER_NS;
+
+/// HMAC (SHA-1 based) computation latency: 80 cycles.
+///
+/// HMACs on a Merkle-tree path must be computed one after another —
+/// each parent hashes a child's new content — so a chain of `k` levels
+/// costs `k × 80` cycles on the write-back path.
+pub const HMAC_LATENCY_CYCLES: u64 = 80;
+
+/// Look-up latency of the drainer's dirty address queue: 32 cycles.
+pub const DIRTY_QUEUE_LOOKUP_CYCLES: u64 = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aes_latency_matches_paper() {
+        assert_eq!(AES_LATENCY_CYCLES, 216);
+    }
+}

@@ -1,0 +1,112 @@
+//! Strongly-typed physical addresses.
+//!
+//! The whole workspace works in 64-byte cache lines (the paper's block
+//! size for every cache and for NVM). [`LineAddr`] is a line *index* —
+//! byte address divided by 64 — and [`Addr`] is a byte address. Keeping
+//! them as distinct newtypes prevents the classic off-by-×64 bugs when
+//! security-metadata regions are being laid out.
+
+use std::fmt;
+
+/// Cache line (and NVM access) granularity in bytes.
+pub const LINE_SIZE: u64 = 64;
+
+/// Page size; one counter line covers the data lines of one page.
+pub const PAGE_SIZE: u64 = 4096;
+
+/// Data lines per page (`PAGE_SIZE / LINE_SIZE` = 64).
+pub const LINES_PER_PAGE: u64 = PAGE_SIZE / LINE_SIZE;
+
+/// A physical byte address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+/// A physical line index (byte address / 64).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl Addr {
+    /// The line containing this byte address.
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / LINE_SIZE)
+    }
+
+    /// Offset of this byte within its line.
+    pub fn line_offset(self) -> usize {
+        (self.0 % LINE_SIZE) as usize
+    }
+}
+
+impl LineAddr {
+    /// First byte address of this line.
+    pub fn base(self) -> Addr {
+        Addr(self.0 * LINE_SIZE)
+    }
+
+    /// Index of the 4 KB page containing this line.
+    pub fn page(self) -> u64 {
+        self.0 / LINES_PER_PAGE
+    }
+
+    /// Position of this line within its page (0..64).
+    pub fn page_offset(self) -> usize {
+        (self.0 % LINES_PER_PAGE) as usize
+    }
+}
+
+impl From<Addr> for LineAddr {
+    fn from(a: Addr) -> Self {
+        a.line()
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_to_line() {
+        assert_eq!(Addr(0).line(), LineAddr(0));
+        assert_eq!(Addr(63).line(), LineAddr(0));
+        assert_eq!(Addr(64).line(), LineAddr(1));
+        assert_eq!(Addr(130).line_offset(), 2);
+    }
+
+    #[test]
+    fn line_to_page() {
+        assert_eq!(LineAddr(0).page(), 0);
+        assert_eq!(LineAddr(63).page(), 0);
+        assert_eq!(LineAddr(64).page(), 1);
+        assert_eq!(LineAddr(65).page_offset(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let l = LineAddr(12345);
+        assert_eq!(l.base().line(), l);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(LineAddr(16).to_string(), "L0x10");
+    }
+}

@@ -1,0 +1,434 @@
+//! Generic set-associative cache model.
+//!
+//! One model serves every cache level in the paper's configuration:
+//! L1 (32 KB, 2-way), L2 (256 KB, 8-way) and the 128 KB 8-way Meta
+//! Cache holding encryption counters and Merkle-tree nodes. All use
+//! 64-byte lines, LRU replacement and write-back with write-allocate.
+//!
+//! The cache is *tag-only* — contents live in the functional layer —
+//! but each resident line carries a caller-defined payload `T`. The
+//! Meta Cache uses the payload to count updates per dirty line, which
+//! drives the paper's third epoch trigger ("a cacheline has been
+//! updated more than N times since it became dirty").
+
+use crate::addr::{LineAddr, LINE_SIZE};
+
+/// Geometry of a set-associative cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Associativity.
+    pub ways: usize,
+}
+
+impl CacheConfig {
+    /// Creates a config; sets are derived as `capacity / (64 × ways)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not yield at least one whole set.
+    pub fn new(capacity_bytes: u64, ways: usize) -> Self {
+        assert!(ways >= 1, "cache needs at least one way");
+        assert!(
+            capacity_bytes >= LINE_SIZE * ways as u64,
+            "capacity {capacity_bytes} too small for {ways} ways"
+        );
+        Self {
+            capacity_bytes,
+            ways,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        (self.capacity_bytes / (LINE_SIZE * self.ways as u64)) as usize
+    }
+
+    /// Total number of lines the cache can hold.
+    pub fn lines(&self) -> usize {
+        self.sets() * self.ways
+    }
+}
+
+#[derive(Debug, Clone)]
+struct WayState<T> {
+    addr: LineAddr,
+    dirty: bool,
+    lru_stamp: u64,
+    payload: T,
+}
+
+/// A line pushed out of the cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EvictedLine<T> {
+    /// Address of the victim line.
+    pub addr: LineAddr,
+    /// Whether the victim was dirty (needs write-back).
+    pub dirty: bool,
+    /// The victim's payload.
+    pub payload: T,
+}
+
+/// Outcome of a cache access.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessResult<T> {
+    /// Whether the line was already resident.
+    pub hit: bool,
+    /// Victim evicted to make room (misses only, and only once the set
+    /// is full).
+    pub evicted: Option<EvictedLine<T>>,
+}
+
+impl<T> AccessResult<T> {
+    /// Whether this access hit.
+    pub fn is_hit(&self) -> bool {
+        self.hit
+    }
+
+    /// Whether this access missed.
+    pub fn is_miss(&self) -> bool {
+        !self.hit
+    }
+}
+
+/// Set-associative LRU cache with per-line payloads.
+///
+/// # Example
+///
+/// ```
+/// use ccnvm_mem::{addr::LineAddr, cache::{CacheConfig, SetAssocCache}};
+///
+/// // Tiny 2-set, 2-way cache: 4 lines total.
+/// let mut c = SetAssocCache::<u32>::new(CacheConfig::new(256, 2));
+/// c.access(LineAddr(0), true);
+/// *c.payload_mut(LineAddr(0)).unwrap() += 1;
+/// assert_eq!(c.payload(LineAddr(0)), Some(&1));
+/// assert!(c.is_dirty(LineAddr(0)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct SetAssocCache<T = ()> {
+    config: CacheConfig,
+    sets: Vec<Vec<WayState<T>>>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl<T: Default> SetAssocCache<T> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = (0..config.sets()).map(|_| Vec::new()).collect();
+        Self {
+            config,
+            sets,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Accesses `line`, allocating on miss; `write` marks it dirty.
+    ///
+    /// Returns whether it hit and any victim evicted to make room.
+    pub fn access(&mut self, line: LineAddr, write: bool) -> AccessResult<T> {
+        self.tick += 1;
+        let tick = self.tick;
+        let set_idx = self.set_index(line);
+        let ways = self.config.ways;
+        let set = &mut self.sets[set_idx];
+
+        if let Some(way) = set.iter_mut().find(|w| w.addr == line) {
+            way.lru_stamp = tick;
+            way.dirty |= write;
+            self.hits += 1;
+            return AccessResult {
+                hit: true,
+                evicted: None,
+            };
+        }
+
+        self.misses += 1;
+        let evicted = if set.len() == ways {
+            let victim_idx = set
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru_stamp)
+                .map(|(i, _)| i)
+                .expect("full set is non-empty");
+            let victim = set.swap_remove(victim_idx);
+            Some(EvictedLine {
+                addr: victim.addr,
+                dirty: victim.dirty,
+                payload: victim.payload,
+            })
+        } else {
+            None
+        };
+        set.push(WayState {
+            addr: line,
+            dirty: write,
+            lru_stamp: tick,
+            payload: T::default(),
+        });
+        AccessResult {
+            hit: false,
+            evicted,
+        }
+    }
+}
+
+impl<T> SetAssocCache<T> {
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.0 as usize) % self.config.sets()
+    }
+
+    /// Whether `line` is resident (does not touch LRU state).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|w| w.addr == line)
+    }
+
+    /// Whether `line` is resident and dirty.
+    pub fn is_dirty(&self, line: LineAddr) -> bool {
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|w| w.addr == line && w.dirty)
+    }
+
+    /// Payload of `line`, if resident.
+    pub fn payload(&self, line: LineAddr) -> Option<&T> {
+        self.sets[self.set_index(line)]
+            .iter()
+            .find(|w| w.addr == line)
+            .map(|w| &w.payload)
+    }
+
+    /// Mutable payload of `line`, if resident.
+    pub fn payload_mut(&mut self, line: LineAddr) -> Option<&mut T> {
+        let idx = self.set_index(line);
+        self.sets[idx]
+            .iter_mut()
+            .find(|w| w.addr == line)
+            .map(|w| &mut w.payload)
+    }
+
+    /// Clears `line`'s dirty bit (after a write-back), returning whether
+    /// the line was resident.
+    pub fn mark_clean(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        if let Some(w) = self.sets[idx].iter_mut().find(|w| w.addr == line) {
+            w.dirty = false;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Marks a resident `line` dirty without touching LRU order.
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let idx = self.set_index(line);
+        if let Some(w) = self.sets[idx].iter_mut().find(|w| w.addr == line) {
+            w.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The victim an `access(line, …)` miss would evict right now:
+    /// `Some((addr, dirty))` when the set is full and `line` is absent,
+    /// `None` otherwise. Does not modify any state — callers use this
+    /// to act (e.g. drain dirty state) *before* the eviction happens.
+    pub fn peek_victim(&self, line: LineAddr) -> Option<(LineAddr, bool)> {
+        let set = &self.sets[self.set_index(line)];
+        if set.len() < self.config.ways || set.iter().any(|w| w.addr == line) {
+            return None;
+        }
+        set.iter()
+            .min_by_key(|w| w.lru_stamp)
+            .map(|w| (w.addr, w.dirty))
+    }
+
+    /// Removes `line` from the cache, returning it if it was resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<EvictedLine<T>> {
+        let idx = self.set_index(line);
+        let set = &mut self.sets[idx];
+        let pos = set.iter().position(|w| w.addr == line)?;
+        let w = set.swap_remove(pos);
+        Some(EvictedLine {
+            addr: w.addr,
+            dirty: w.dirty,
+            payload: w.payload,
+        })
+    }
+
+    /// All resident dirty line addresses, in unspecified order.
+    pub fn dirty_lines(&self) -> Vec<LineAddr> {
+        self.sets
+            .iter()
+            .flatten()
+            .filter(|w| w.dirty)
+            .map(|w| w.addr)
+            .collect()
+    }
+
+    /// All resident line addresses, in unspecified order.
+    pub fn resident_lines(&self) -> Vec<LineAddr> {
+        self.sets.iter().flatten().map(|w| w.addr).collect()
+    }
+
+    /// Number of resident lines.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache holds no lines.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn hit_miss(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache<()> {
+        // 1 set × 2 ways.
+        SetAssocCache::new(CacheConfig::new(128, 2))
+    }
+
+    #[test]
+    fn geometry() {
+        let c = CacheConfig::new(32 * 1024, 2);
+        assert_eq!(c.sets(), 256);
+        assert_eq!(c.lines(), 512);
+        let c = CacheConfig::new(256 * 1024, 8);
+        assert_eq!(c.sets(), 512);
+        let c = CacheConfig::new(128 * 1024, 8);
+        assert_eq!(c.sets(), 256);
+    }
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = tiny();
+        assert!(c.access(LineAddr(0), false).is_miss());
+        assert!(c.access(LineAddr(0), false).is_hit());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny();
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(1), false);
+        c.access(LineAddr(0), false); // 1 is now LRU
+        let r = c.access(LineAddr(2), false);
+        assert_eq!(r.evicted.map(|e| e.addr), Some(LineAddr(1)));
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(2)));
+    }
+
+    #[test]
+    fn dirty_victim_reported() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        c.access(LineAddr(1), false);
+        c.access(LineAddr(1), false);
+        let r = c.access(LineAddr(2), false);
+        let victim = r.evicted.expect("must evict");
+        assert_eq!(victim.addr, LineAddr(0));
+        assert!(victim.dirty);
+    }
+
+    #[test]
+    fn write_marks_dirty_and_clean_clears() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        assert!(c.is_dirty(LineAddr(0)));
+        assert!(c.mark_clean(LineAddr(0)));
+        assert!(!c.is_dirty(LineAddr(0)));
+        assert!(c.contains(LineAddr(0)));
+    }
+
+    #[test]
+    fn set_mapping_isolates_sets() {
+        // 2 sets × 1 way: lines 0 and 1 map to different sets.
+        let mut c: SetAssocCache<()> = SetAssocCache::new(CacheConfig::new(128, 1));
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(1), false);
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(1)));
+        // Line 2 maps to set 0, evicting line 0.
+        let r = c.access(LineAddr(2), false);
+        assert_eq!(r.evicted.map(|e| e.addr), Some(LineAddr(0)));
+        assert!(c.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn payload_survives_until_eviction() {
+        let mut c: SetAssocCache<u32> = SetAssocCache::new(CacheConfig::new(128, 2));
+        c.access(LineAddr(0), true);
+        *c.payload_mut(LineAddr(0)).unwrap() = 41;
+        c.access(LineAddr(1), false);
+        c.access(LineAddr(1), false);
+        let victim = c.access(LineAddr(2), false).evicted.unwrap();
+        assert_eq!(victim.addr, LineAddr(0));
+        assert_eq!(victim.payload, 41);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        let e = c.invalidate(LineAddr(0)).unwrap();
+        assert!(e.dirty);
+        assert!(!c.contains(LineAddr(0)));
+        assert!(c.invalidate(LineAddr(0)).is_none());
+    }
+
+    #[test]
+    fn dirty_lines_lists_only_dirty() {
+        let mut c = tiny();
+        c.access(LineAddr(0), true);
+        c.access(LineAddr(1), false);
+        assert_eq!(c.dirty_lines(), vec![LineAddr(0)]);
+    }
+
+    #[test]
+    fn peek_victim_predicts_eviction() {
+        let mut c = tiny();
+        assert_eq!(c.peek_victim(LineAddr(0)), None, "empty set");
+        c.access(LineAddr(0), true);
+        c.access(LineAddr(1), false);
+        assert_eq!(c.peek_victim(LineAddr(0)), None, "hit evicts nothing");
+        assert_eq!(c.peek_victim(LineAddr(2)), Some((LineAddr(0), true)));
+        let r = c.access(LineAddr(2), false);
+        assert_eq!(r.evicted.map(|e| e.addr), Some(LineAddr(0)));
+    }
+
+    #[test]
+    fn hit_rate_counters() {
+        let mut c = tiny();
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(0), false);
+        c.access(LineAddr(0), false);
+        assert_eq!(c.hit_miss(), (2, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn rejects_impossible_geometry() {
+        CacheConfig::new(64, 2);
+    }
+}

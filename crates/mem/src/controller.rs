@@ -1,0 +1,375 @@
+//! Memory controller timing model.
+//!
+//! The paper's controller has a 32-entry read queue, a 64-entry write
+//! queue, and — central to cc-NVM — a 64-entry write pending queue
+//! (WPQ) protected by Asynchronous DRAM Refresh (ADR): anything the WPQ
+//! has accepted is guaranteed to reach NVM even across a power failure.
+//!
+//! Reads are blocking (the core observes their completion time); writes
+//! and WPQ entries are posted — the caller only stalls when the target
+//! queue has no free slot. The drain protocol of §4.2 uses
+//! [`MemController::flush_wpq`] to time the `end`-signal flush.
+//!
+//! Durability bookkeeping (which lines survive a crash) is a protocol
+//! property and lives in the `ccnvm` crate; this model accounts cycles
+//! and traffic only.
+
+use crate::addr::LineAddr;
+use crate::timing::{BoundedQueue, Cycle, NvmTiming, NvmTimingConfig};
+
+/// Queue sizes and device parameters for the controller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemControllerConfig {
+    /// NVM device timing.
+    pub nvm: NvmTimingConfig,
+    /// Read queue entries (paper: 32).
+    pub read_queue_entries: usize,
+    /// Write queue entries (paper: 64).
+    pub write_queue_entries: usize,
+    /// Write pending queue entries (paper: 64, i.e. 4 KB).
+    pub wpq_entries: usize,
+}
+
+impl MemControllerConfig {
+    /// The paper's configuration (§5).
+    pub fn paper() -> Self {
+        Self {
+            nvm: NvmTimingConfig::pcm(),
+            read_queue_entries: 32,
+            write_queue_entries: 64,
+            wpq_entries: 64,
+        }
+    }
+}
+
+impl Default for MemControllerConfig {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Traffic and stall counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemStats {
+    /// Lines read from NVM.
+    pub reads: u64,
+    /// Lines written to NVM through the regular write queue.
+    pub writes: u64,
+    /// Writes coalesced into an already-pending write-queue entry
+    /// (no additional NVM array write).
+    pub merged_writes: u64,
+    /// Lines written to NVM through the WPQ (drain traffic).
+    pub wpq_writes: u64,
+    /// Accepts that had to wait for a read-queue slot.
+    pub read_queue_stalls: u64,
+    /// Accepts that had to wait for a write-queue slot.
+    pub write_queue_stalls: u64,
+    /// Accepts that had to wait for a WPQ slot.
+    pub wpq_stalls: u64,
+}
+
+impl MemStats {
+    /// Total lines written to NVM by any path — the paper's
+    /// "# of Writes" metric (Fig. 5b).
+    pub fn total_writes(&self) -> u64 {
+        self.writes + self.wpq_writes
+    }
+}
+
+/// Per-line write-endurance statistics.
+///
+/// PCM cells endure a bounded number of writes (~10⁷–10⁹); the paper
+/// motivates cc-NVM's write-efficiency by NVM lifetime ("this results
+/// in high memory write traffic, which negatively impacts NVM
+/// lifetime"). [`MemController`] tracks array writes per line so
+/// designs can be compared on *wear*, not just total traffic: a design
+/// that hammers the same tree path ages those cells fastest, and it is
+/// the hottest line that determines the (un-leveled) device lifetime.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct WearStats {
+    /// Array writes to the single most-written line.
+    pub max_line_writes: u64,
+    /// The hottest line itself.
+    pub hottest_line: Option<LineAddr>,
+    /// Distinct lines ever written.
+    pub lines_written: u64,
+    /// Mean writes over the lines ever written.
+    pub mean_line_writes: f64,
+}
+
+/// The memory controller: queues in front of a banked NVM device.
+///
+/// # Example
+///
+/// ```
+/// use ccnvm_mem::{addr::LineAddr, MemController, MemControllerConfig};
+///
+/// let mut mc = MemController::new(MemControllerConfig::paper());
+/// let done = mc.read(LineAddr(0), 0);
+/// assert_eq!(done, 180); // 60 ns at 3 GHz
+/// let accepted = mc.write(LineAddr(1), done);
+/// assert_eq!(accepted, done); // posted write, queue has room
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemController {
+    config: MemControllerConfig,
+    nvm: NvmTiming,
+    read_queue: BoundedQueue,
+    write_queue: BoundedQueue,
+    wpq: BoundedQueue,
+    /// Pending (not yet serviced) write-queue entries by line, for
+    /// write combining: a store to a line that is still queued merges
+    /// into the existing entry instead of issuing another array write.
+    pending_writes: std::collections::HashMap<u64, Cycle>,
+    /// Array writes per line, for endurance accounting.
+    wear: std::collections::HashMap<u64, u64>,
+    stats: MemStats,
+}
+
+impl MemController {
+    /// Creates an idle controller.
+    pub fn new(config: MemControllerConfig) -> Self {
+        Self {
+            config,
+            nvm: NvmTiming::new(config.nvm),
+            read_queue: BoundedQueue::new(config.read_queue_entries),
+            write_queue: BoundedQueue::new(config.write_queue_entries),
+            wpq: BoundedQueue::new(config.wpq_entries),
+            pending_writes: std::collections::HashMap::new(),
+            wear: std::collections::HashMap::new(),
+            stats: MemStats::default(),
+        }
+    }
+
+    /// Issues a blocking read of `line`; returns its completion cycle.
+    pub fn read(&mut self, line: LineAddr, now: Cycle) -> Cycle {
+        let before = self.read_queue.stalled_accepts();
+        let slot = self.read_queue.accept(now);
+        self.stats.read_queue_stalls += self.read_queue.stalled_accepts() - before;
+        let done = self.nvm.access(line, false, slot);
+        self.read_queue.push(done);
+        self.stats.reads += 1;
+        done
+    }
+
+    /// Posts a write of `line` through the regular write queue; returns
+    /// the cycle at which the request was *accepted* (the earliest time
+    /// the producer may continue).
+    ///
+    /// Writes to a line that is still pending in the queue are
+    /// coalesced (write combining): no additional array write is
+    /// issued or counted.
+    pub fn write(&mut self, line: LineAddr, now: Cycle) -> Cycle {
+        self.pending_writes.retain(|_, done| *done > now);
+        if let Some(&done) = self.pending_writes.get(&line.0) {
+            if done > now {
+                self.stats.merged_writes += 1;
+                return now;
+            }
+        }
+        let before = self.write_queue.stalled_accepts();
+        let slot = self.write_queue.accept(now);
+        self.stats.write_queue_stalls += self.write_queue.stalled_accepts() - before;
+        let done = self.nvm.access(line, true, slot);
+        self.write_queue.push(done);
+        self.pending_writes.insert(line.0, done);
+        *self.wear.entry(line.0).or_insert(0) += 1;
+        self.stats.writes += 1;
+        slot
+    }
+
+    /// Posts a write of `line` through the ADR-protected WPQ; returns
+    /// the acceptance cycle.
+    pub fn wpq_write(&mut self, line: LineAddr, now: Cycle) -> Cycle {
+        let before = self.wpq.stalled_accepts();
+        let slot = self.wpq.accept(now);
+        self.stats.wpq_stalls += self.wpq.stalled_accepts() - before;
+        let done = self.nvm.access(line, true, slot);
+        self.wpq.push(done);
+        *self.wear.entry(line.0).or_insert(0) += 1;
+        self.stats.wpq_writes += 1;
+        slot
+    }
+
+    /// Cycle at which everything currently in the WPQ has reached NVM
+    /// (the drain `end`-signal flush of §4.2).
+    pub fn flush_wpq(&mut self, now: Cycle) -> Cycle {
+        self.wpq.last_completion().unwrap_or(now).max(now)
+    }
+
+    /// Cycle at which everything currently in the write queue has
+    /// reached NVM.
+    pub fn flush_writes(&mut self, now: Cycle) -> Cycle {
+        self.write_queue.last_completion().unwrap_or(now).max(now)
+    }
+
+    /// Traffic and stall counters so far.
+    pub fn stats(&self) -> MemStats {
+        self.stats
+    }
+
+    /// Per-line endurance statistics so far.
+    pub fn wear_stats(&self) -> WearStats {
+        let mut max = 0u64;
+        let mut hottest = None;
+        let mut total = 0u64;
+        for (&line, &count) in &self.wear {
+            total += count;
+            if count > max {
+                max = count;
+                hottest = Some(LineAddr(line));
+            }
+        }
+        let lines = self.wear.len() as u64;
+        WearStats {
+            max_line_writes: max,
+            hottest_line: hottest,
+            lines_written: lines,
+            mean_line_writes: if lines == 0 {
+                0.0
+            } else {
+                total as f64 / lines as f64
+            },
+        }
+    }
+
+    /// Array writes endured by `line` so far.
+    pub fn line_wear(&self, line: LineAddr) -> u64 {
+        self.wear.get(&line.0).copied().unwrap_or(0)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> MemControllerConfig {
+        self.config
+    }
+
+    /// WPQ slots currently free as of `now` (drainer-visible headroom).
+    pub fn wpq_free_slots(&mut self, now: Cycle) -> usize {
+        // `accept` would retire entries; probe without side effects by
+        // cloning the heap state is wasteful — instead retire via accept
+        // semantics: capacity minus live entries older than `now`.
+        let _ = now;
+        self.config.wpq_entries - self.wpq.len().min(self.config.wpq_entries)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mc() -> MemController {
+        MemController::new(MemControllerConfig::paper())
+    }
+
+    #[test]
+    fn read_returns_completion() {
+        let mut m = mc();
+        assert_eq!(m.read(LineAddr(0), 0), 180);
+        assert_eq!(m.stats().reads, 1);
+    }
+
+    #[test]
+    fn posted_write_returns_accept_time() {
+        let mut m = mc();
+        assert_eq!(m.write(LineAddr(0), 5), 5);
+        assert_eq!(m.stats().writes, 1);
+    }
+
+    #[test]
+    fn write_queue_backpressure() {
+        let mut m = MemController::new(MemControllerConfig {
+            nvm: NvmTimingConfig {
+                read_cycles: 10,
+                write_cycles: 100,
+                banks: 1,
+            },
+            read_queue_entries: 4,
+            write_queue_entries: 2,
+            wpq_entries: 2,
+        });
+        assert_eq!(m.write(LineAddr(0), 0), 0); // completes at 100
+        assert_eq!(m.write(LineAddr(1), 0), 0); // completes at 200
+        // Queue full: third write stalls until the first retires.
+        assert_eq!(m.write(LineAddr(2), 0), 100);
+        assert_eq!(m.stats().write_queue_stalls, 1);
+    }
+
+    #[test]
+    fn wpq_flush_times_last_entry() {
+        let mut m = MemController::new(MemControllerConfig {
+            nvm: NvmTimingConfig {
+                read_cycles: 10,
+                write_cycles: 100,
+                banks: 1,
+            },
+            read_queue_entries: 4,
+            write_queue_entries: 4,
+            wpq_entries: 4,
+        });
+        m.wpq_write(LineAddr(0), 0); // done at 100
+        m.wpq_write(LineAddr(1), 0); // done at 200
+        assert_eq!(m.flush_wpq(0), 200);
+        assert_eq!(m.stats().wpq_writes, 2);
+        assert_eq!(m.stats().total_writes(), 2);
+    }
+
+    #[test]
+    fn wear_tracks_array_writes_only() {
+        let mut m = mc();
+        m.write(LineAddr(5), 0);
+        m.write(LineAddr(5), 0); // merged: no wear
+        m.wpq_write(LineAddr(5), 10_000);
+        m.wpq_write(LineAddr(9), 10_000);
+        let w = m.wear_stats();
+        assert_eq!(m.line_wear(LineAddr(5)), 2);
+        assert_eq!(m.line_wear(LineAddr(9)), 1);
+        assert_eq!(m.line_wear(LineAddr(7)), 0);
+        assert_eq!(w.max_line_writes, 2);
+        assert_eq!(w.hottest_line, Some(LineAddr(5)));
+        assert_eq!(w.lines_written, 2);
+        assert!((w.mean_line_writes - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wear_stats_empty() {
+        let m = mc();
+        let w = m.wear_stats();
+        assert_eq!(w.max_line_writes, 0);
+        assert_eq!(w.hottest_line, None);
+        assert_eq!(w.mean_line_writes, 0.0);
+    }
+
+    #[test]
+    fn flush_of_empty_wpq_is_noop() {
+        let mut m = mc();
+        assert_eq!(m.flush_wpq(42), 42);
+    }
+
+    #[test]
+    fn reads_bypass_buffered_writes() {
+        // Reads are prioritized: a pending write does not delay a read
+        // to the same bank (the write drains in the gaps).
+        let mut m = MemController::new(MemControllerConfig {
+            nvm: NvmTimingConfig {
+                read_cycles: 10,
+                write_cycles: 100,
+                banks: 1,
+            },
+            read_queue_entries: 4,
+            write_queue_entries: 4,
+            wpq_entries: 4,
+        });
+        m.write(LineAddr(0), 0); // write service occupies until 100
+        assert_eq!(m.read(LineAddr(0), 0), 10);
+        // A second write to the same still-pending line coalesces.
+        assert_eq!(m.write(LineAddr(0), 0), 0);
+        assert_eq!(m.stats().merged_writes, 1);
+        assert_eq!(m.flush_writes(0), 100, "merged write issues no array write");
+        // A different line on the same (only) bank serializes.
+        assert_eq!(m.write(LineAddr(1), 0), 0);
+        assert_eq!(m.flush_writes(0), 200);
+        // Once the original write has drained, the same line writes again.
+        assert_eq!(m.write(LineAddr(0), 250), 250);
+        assert_eq!(m.stats().writes, 3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests: the cache model against a straightforward
+//! reference implementation, and queue invariants.
+
+use ccnvm_mem::timing::BoundedQueue;
+use ccnvm_mem::{CacheConfig, LineAddr, SetAssocCache};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Reference model: per-set vectors with explicit LRU ordering.
+struct RefCache {
+    sets: usize,
+    ways: usize,
+    /// set -> Vec<(line, dirty)>, most-recently-used last.
+    content: HashMap<usize, Vec<(u64, bool)>>,
+}
+
+impl RefCache {
+    fn new(sets: usize, ways: usize) -> Self {
+        Self {
+            sets,
+            ways,
+            content: HashMap::new(),
+        }
+    }
+
+    fn access(&mut self, line: u64, write: bool) -> (bool, Option<(u64, bool)>) {
+        let set = self.content.entry((line as usize) % self.sets).or_default();
+        if let Some(pos) = set.iter().position(|&(l, _)| l == line) {
+            let (l, d) = set.remove(pos);
+            set.push((l, d || write));
+            return (true, None);
+        }
+        let evicted = if set.len() == self.ways {
+            Some(set.remove(0))
+        } else {
+            None
+        };
+        set.push((line, write));
+        (false, evicted)
+    }
+}
+
+proptest! {
+    /// The production cache agrees with the reference model on every
+    /// hit/miss outcome, every victim choice and every dirty bit, for
+    /// arbitrary access sequences over several geometries.
+    #[test]
+    fn cache_matches_reference(
+        ways in 1usize..5,
+        sets_pow in 0u32..4,
+        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..400),
+    ) {
+        let sets = 1usize << sets_pow;
+        let config = CacheConfig::new((sets * ways * 64) as u64, ways);
+        prop_assert_eq!(config.sets(), sets);
+        let mut cache = SetAssocCache::<()>::new(config);
+        let mut reference = RefCache::new(sets, ways);
+        for (line, write) in accesses {
+            let got = cache.access(LineAddr(line), write);
+            let (want_hit, want_evicted) = reference.access(line, write);
+            prop_assert_eq!(got.is_hit(), want_hit, "hit/miss diverged at {}", line);
+            let got_evicted = got.evicted.map(|e| (e.addr.0, e.dirty));
+            prop_assert_eq!(got_evicted, want_evicted, "victim diverged at {}", line);
+        }
+        // Final dirty sets agree.
+        let mut got_dirty: Vec<u64> = cache.dirty_lines().iter().map(|l| l.0).collect();
+        got_dirty.sort_unstable();
+        let mut want_dirty: Vec<u64> = reference
+            .content
+            .values()
+            .flatten()
+            .filter(|&&(_, d)| d)
+            .map(|&(l, _)| l)
+            .collect();
+        want_dirty.sort_unstable();
+        prop_assert_eq!(got_dirty, want_dirty);
+    }
+
+    /// peek_victim always predicts exactly what access() will evict.
+    #[test]
+    fn peek_victim_is_exact(
+        accesses in proptest::collection::vec((0u64..32, any::<bool>()), 1..200),
+    ) {
+        let mut cache = SetAssocCache::<()>::new(CacheConfig::new(4 * 64, 2));
+        for (line, write) in accesses {
+            let predicted = cache.peek_victim(LineAddr(line));
+            let got = cache.access(LineAddr(line), write);
+            let actual = got.evicted.map(|e| (e.addr, e.dirty));
+            prop_assert_eq!(predicted, actual);
+        }
+    }
+
+    /// Queue occupancy never exceeds capacity and accepts are
+    /// monotone in time.
+    #[test]
+    fn bounded_queue_invariants(
+        capacity in 1usize..8,
+        ops in proptest::collection::vec((0u64..1000, 1u64..500), 1..200),
+    ) {
+        let mut q = BoundedQueue::new(capacity);
+        let mut now = 0u64;
+        for (advance, latency) in ops {
+            now += advance;
+            let slot = q.accept(now);
+            prop_assert!(slot >= now);
+            prop_assert!(q.len() < capacity, "accept must free a slot");
+            q.push(slot + latency);
+            prop_assert!(q.len() <= capacity);
+        }
+    }
+}

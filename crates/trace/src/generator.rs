@@ -1,0 +1,282 @@
+//! The deterministic trace generator.
+//!
+//! [`TraceGenerator`] is an infinite iterator of [`TraceOp`]s drawn
+//! from a [`WorkloadProfile`]. The same `(profile, seed)` pair always
+//! yields the same trace, so every experiment in the workspace is
+//! reproducible bit-for-bit.
+
+use crate::profiles::WorkloadProfile;
+use crate::{OpKind, TraceOp};
+use ccnvm_mem::Addr;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Word granularity of generated accesses.
+const WORD: u64 = 8;
+
+/// The region the sequential streams wrap within.
+fn stream_region(profile: &WorkloadProfile) -> u64 {
+    let sb = profile.locality.stream_bytes;
+    if sb == 0 {
+        profile.working_set_bytes
+    } else {
+        sb.min(profile.working_set_bytes)
+    }
+}
+
+/// Infinite, deterministic stream of trace operations.
+///
+/// # Example
+///
+/// ```
+/// use ccnvm_trace::{profiles, TraceGenerator};
+///
+/// let p = profiles::mixed();
+/// let a: Vec<_> = TraceGenerator::new(p.clone(), 7).take(100).collect();
+/// let b: Vec<_> = TraceGenerator::new(p, 7).take(100).collect();
+/// assert_eq!(a, b); // same seed, same trace
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceGenerator {
+    profile: WorkloadProfile,
+    rng: StdRng,
+    stream_ptrs: Vec<u64>,
+    next_stream: usize,
+    cold_window_base: u64,
+    cold_accesses: u32,
+}
+
+/// Cold accesses cluster inside a window this large …
+const COLD_WINDOW_BYTES: u64 = 2 * 1024 * 1024;
+/// … which relocates after this many cold accesses. Real irregular
+/// codes (lattice sweeps, sparse matrices) touch large footprints in
+/// moving spans, not uniformly at random; without this the synthetic
+/// cold tier would thrash the counter cache far beyond anything SPEC
+/// does.
+const COLD_WINDOW_PERIOD: u32 = 1024;
+
+impl TraceGenerator {
+    /// Creates a generator for `profile` seeded with `seed`.
+    pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let region = stream_region(&profile);
+        let streams = profile.locality.streams.max(1);
+        // Concurrent streams start on distinct pages but close together
+        // (≤ 2 MB apart), the way stencil/grid codes walk adjacent
+        // arrays — this is what lets their Merkle-tree paths share
+        // upper levels.
+        let spacing = (region / streams as u64).min(2 * 1024 * 1024);
+        let stream_ptrs = (0..streams)
+            .map(|i| {
+                let base = spacing * i as u64;
+                base + rng.gen_range(0..WORD * 64) / WORD * WORD
+            })
+            .collect();
+        Self {
+            profile,
+            rng,
+            stream_ptrs,
+            next_stream: 0,
+            cold_window_base: 0,
+            cold_accesses: 0,
+        }
+    }
+
+    /// The profile driving this generator.
+    pub fn profile(&self) -> &WorkloadProfile {
+        &self.profile
+    }
+
+    /// Generates an address; `(addr, force_read)` where `force_read`
+    /// marks an access on a read-only stream.
+    fn gen_addr(&mut self) -> (u64, bool) {
+        let ws = self.profile.working_set_bytes;
+        let loc = &self.profile.locality;
+        if self.rng.gen_bool(loc.stream_fraction) {
+            // Continue one of the sequential streams, word by word,
+            // wrapping within the stream region.
+            let region = stream_region(&self.profile);
+            let idx = self.next_stream;
+            self.next_stream = (self.next_stream + 1) % self.stream_ptrs.len();
+            let addr = self.stream_ptrs[idx];
+            self.stream_ptrs[idx] = (addr + WORD) % region;
+            let read_only = loc.write_streams != 0 && idx >= loc.write_streams;
+            return (addr, read_only);
+        }
+        // Three-tier reuse: hot (≈L1-resident) and warm (≈L2-scale)
+        // sets at the base of the working set, cold uniform otherwise.
+        let tier = self.rng.gen_range(0.0..1.0);
+        if tier < loc.hot_prob {
+            let region = loc.hot_bytes.clamp(WORD, ws);
+            return (self.rng.gen_range(0..region / WORD) * WORD, false);
+        }
+        if tier < loc.hot_prob + loc.warm_prob {
+            let region = loc.warm_bytes.clamp(WORD, ws);
+            return (self.rng.gen_range(0..region / WORD) * WORD, false);
+        }
+        // Cold tier: a sliding window over the full working set.
+        let window = COLD_WINDOW_BYTES.min(ws);
+        if self.cold_accesses.is_multiple_of(COLD_WINDOW_PERIOD) {
+            let pages = ws / 4096;
+            self.cold_window_base = self.rng.gen_range(0..pages) * 4096 % ws;
+        }
+        self.cold_accesses = self.cold_accesses.wrapping_add(1);
+        let off = self.rng.gen_range(0..window / WORD) * WORD;
+        ((self.cold_window_base + off) % ws, false)
+    }
+}
+
+impl Iterator for TraceGenerator {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        let mean_gap = self.profile.mean_gap();
+        // Uniform on [0, 2·mean]: keeps the configured memory intensity
+        // in expectation with bounded burstiness.
+        let gap_instrs = self.rng.gen_range(0.0..=2.0 * mean_gap.max(0.0)).round() as u32;
+        let mut kind = if self.rng.gen_bool(self.profile.write_fraction) {
+            OpKind::Write
+        } else {
+            OpKind::Read
+        };
+        let (addr, force_read) = self.gen_addr();
+        if force_read {
+            kind = OpKind::Read;
+        }
+        Some(TraceOp {
+            gap_instrs,
+            kind,
+            addr: Addr(addr),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles;
+
+    fn take(name: &str, seed: u64, n: usize) -> Vec<TraceOp> {
+        TraceGenerator::new(profiles::by_name(name).unwrap(), seed)
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(take("gcc", 1, 500), take("gcc", 1, 500));
+        assert_ne!(take("gcc", 1, 500), take("gcc", 2, 500));
+    }
+
+    #[test]
+    fn addresses_stay_in_working_set() {
+        let p = profiles::by_name("hmmer").unwrap();
+        let ws = p.working_set_bytes;
+        for op in TraceGenerator::new(p, 3).take(10_000) {
+            assert!(op.addr.0 < ws, "{} outside working set", op.addr);
+        }
+    }
+
+    #[test]
+    fn write_fraction_is_respected_without_read_streams() {
+        // gcc has no read-only streams, so the per-op probability is
+        // observed directly.
+        let p = profiles::by_name("gcc").unwrap();
+        assert_eq!(p.locality.write_streams, 0);
+        let n = 50_000;
+        let writes = TraceGenerator::new(p.clone(), 4)
+            .take(n)
+            .filter(|o| o.kind == OpKind::Write)
+            .count();
+        let observed = writes as f64 / n as f64;
+        assert!(
+            (observed - p.write_fraction).abs() < 0.02,
+            "observed write fraction {observed}"
+        );
+    }
+
+    #[test]
+    fn read_only_streams_suppress_their_stores() {
+        // lbm: 4 streams, 2 may write. Expected write share =
+        // wf × (1 − stream_fraction × read_stream_share).
+        let p = profiles::by_name("lbm").unwrap();
+        let loc = &p.locality;
+        assert_eq!(loc.write_streams, 2);
+        let read_share =
+            (loc.streams - loc.write_streams) as f64 / loc.streams as f64;
+        let expect = p.write_fraction * (1.0 - loc.stream_fraction * read_share);
+        let n = 50_000;
+        let writes = TraceGenerator::new(p.clone(), 4)
+            .take(n)
+            .filter(|o| o.kind == OpKind::Write)
+            .count();
+        let observed = writes as f64 / n as f64;
+        assert!(
+            (observed - expect).abs() < 0.02,
+            "observed {observed} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn memory_intensity_is_respected() {
+        let p = profiles::by_name("libquantum").unwrap();
+        let n = 50_000u64;
+        let instrs: u64 = TraceGenerator::new(p.clone(), 5)
+            .take(n as usize)
+            .map(|o| o.instrs())
+            .sum();
+        let observed_mpki = n as f64 * 1000.0 / instrs as f64;
+        let expect = p.mem_ops_per_kilo_instrs as f64;
+        assert!(
+            (observed_mpki - expect).abs() / expect < 0.05,
+            "observed {observed_mpki} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn streaming_profile_walks_sequentially() {
+        use crate::profiles::{LocalityModel, WorkloadProfile};
+        // A pure single-stream profile: ~90% of adjacent pairs continue
+        // the stream (0.95²).
+        let p = WorkloadProfile::new(
+            "stream-test",
+            300,
+            0.3,
+            1 << 20,
+            LocalityModel::streaming(1),
+        );
+        let ops: Vec<TraceOp> = TraceGenerator::new(p, 6).take(2_000).collect();
+        let sequential = ops
+            .windows(2)
+            .filter(|w| w[1].addr.0 == w[0].addr.0 + 8)
+            .count();
+        assert!(
+            sequential as f64 / ops.len() as f64 > 0.8,
+            "only {sequential} sequential pairs"
+        );
+    }
+
+    #[test]
+    fn hot_tier_concentrates_accesses() {
+        let p = profiles::by_name("hmmer").unwrap();
+        let hot = p.locality.hot_bytes;
+        let n = 20_000;
+        let in_hot = TraceGenerator::new(p, 12)
+            .take(n)
+            .filter(|o| o.addr.0 < hot)
+            .count();
+        // stream accesses may also fall there, so just require a strong
+        // concentration relative to the hot set's share of the WS.
+        assert!(
+            in_hot as f64 / n as f64 > 0.4,
+            "only {in_hot}/{n} accesses in the hot set"
+        );
+    }
+
+    #[test]
+    fn words_are_aligned() {
+        for op in TraceGenerator::new(profiles::mixed(), 8).take(5_000) {
+            assert_eq!(op.addr.0 % 8, 0);
+        }
+    }
+}

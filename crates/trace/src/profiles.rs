@@ -1,0 +1,417 @@
+//! Benchmark profiles standing in for the paper's SPEC CPU2006 suite.
+//!
+//! Each profile condenses a benchmark into the properties that matter
+//! for secure-NVM behaviour:
+//!
+//! * **memory intensity** — L1 references per kilo-instruction,
+//! * **write share** — fraction of references that are stores (drives
+//!   the LLC write-back rate, the quantity every cc-NVM mechanism is
+//!   built around),
+//! * **working-set size** — whether counters/tree nodes fit the 128 KB
+//!   Meta Cache (one counter line covers 4 KB of data, so the Meta
+//!   Cache covers ~8 MB of data when used for counters alone), and
+//! * **locality** — a streaming component plus a three-tier
+//!   hot/warm/cold reuse mixture, which controls the L1/L2 filter
+//!   rates, how many Merkle-tree paths concurrent write-backs share,
+//!   and therefore how long cc-NVM's epochs grow.
+//!
+//! The numbers are qualitative calibrations from the public SPEC2006
+//! memory-characterization literature, not measurements of SPEC
+//! binaries (which are proprietary — see DESIGN.md §2 for the
+//! substitution argument). The suite spans the axes the paper's
+//! selection spans: streaming write-heavy (`lbm`, `leslie3d`),
+//! streaming read-heavy (`libquantum`), cache-resident (`hmmer`,
+//! `namd`) and irregular large-footprint (`milc`, `soplex`, `gcc`).
+
+/// Streaming + three-tier reuse locality mixture.
+///
+/// A generated access is, with probability [`stream_fraction`], the
+/// next word of one of [`streams`] sequential pointers; otherwise it is
+/// a random word drawn from the *hot* set (≈ L1-resident), the *warm*
+/// set (≈ L2-scale) or the whole working set, per the tier
+/// probabilities.
+///
+/// [`stream_fraction`]: LocalityModel::stream_fraction
+/// [`streams`]: LocalityModel::streams
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalityModel {
+    /// Probability an access continues one of the sequential streams.
+    pub stream_fraction: f64,
+    /// Number of concurrent sequential streams.
+    pub streams: usize,
+    /// Size of the hot set (bytes; choose ≲ the L1 capacity).
+    pub hot_bytes: u64,
+    /// Probability a non-stream access falls in the hot set.
+    pub hot_prob: f64,
+    /// Size of the warm set (bytes; choose around the L2 capacity).
+    pub warm_bytes: u64,
+    /// Probability a non-stream access falls in the warm set.
+    pub warm_prob: f64,
+    /// Region the sequential streams wrap within (0 = the whole
+    /// working set). Cache-resident loop buffers (e.g. `hmmer`'s
+    /// dynamic-programming rows) use a bounded region so the streams
+    /// hit in cache after the first sweep.
+    pub stream_bytes: u64,
+    /// How many of the streams may carry stores (0 = all of them).
+    /// Stencil/grid codes read several arrays but write only one or
+    /// two; accesses on a read-only stream are forced to loads, which
+    /// is what keeps the LLC write-back rate realistic for the
+    /// streaming write-heavy profiles.
+    pub write_streams: usize,
+}
+
+impl LocalityModel {
+    /// Near-pure sequential streaming over `streams` pointers, with a
+    /// small hot set for the residual random accesses.
+    pub fn streaming(streams: usize) -> Self {
+        Self {
+            stream_fraction: 0.95,
+            streams,
+            hot_bytes: 16 * 1024,
+            hot_prob: 0.85,
+            warm_bytes: 256 * 1024,
+            warm_prob: 0.10,
+            stream_bytes: 0,
+            write_streams: 0,
+        }
+    }
+
+    /// Irregular accesses: a modest streaming component and the given
+    /// chance that a random access escapes to the cold working set.
+    pub fn irregular(cold_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&cold_prob), "cold_prob out of range");
+        Self {
+            stream_fraction: 0.25,
+            streams: 2,
+            hot_bytes: 24 * 1024,
+            hot_prob: (1.0 - cold_prob) * 0.8,
+            warm_bytes: 256 * 1024,
+            warm_prob: (1.0 - cold_prob) * 0.2,
+            stream_bytes: 0,
+            write_streams: 0,
+        }
+    }
+
+    /// Probability a non-stream access escapes both reuse tiers.
+    pub fn cold_prob(&self) -> f64 {
+        (1.0 - self.hot_prob - self.warm_prob).max(0.0)
+    }
+}
+
+/// A synthetic benchmark: everything the generator needs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadProfile {
+    /// Benchmark name (SPEC2006 names for the paper's eight).
+    pub name: String,
+    /// Memory references per 1000 instructions.
+    pub mem_ops_per_kilo_instrs: u32,
+    /// Fraction of references that are stores.
+    pub write_fraction: f64,
+    /// Working-set size in bytes.
+    pub working_set_bytes: u64,
+    /// Locality mixture.
+    pub locality: LocalityModel,
+}
+
+impl WorkloadProfile {
+    /// Builds a custom profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mem_ops_per_kilo_instrs` is 0 or over 1000, if
+    /// `write_fraction` is outside `[0, 1]`, if the tier probabilities
+    /// exceed 1, or if the working set is smaller than one page.
+    pub fn new(
+        name: impl Into<String>,
+        mem_ops_per_kilo_instrs: u32,
+        write_fraction: f64,
+        working_set_bytes: u64,
+        locality: LocalityModel,
+    ) -> Self {
+        assert!(
+            (1..=1000).contains(&mem_ops_per_kilo_instrs),
+            "mem ops per kilo-instruction must be in 1..=1000"
+        );
+        assert!(
+            (0.0..=1.0).contains(&write_fraction),
+            "write fraction must be in [0, 1]"
+        );
+        assert!(working_set_bytes >= 4096, "working set below one page");
+        assert!(
+            locality.hot_prob + locality.warm_prob <= 1.0 + 1e-9,
+            "tier probabilities exceed 1"
+        );
+        Self {
+            name: name.into(),
+            mem_ops_per_kilo_instrs,
+            write_fraction,
+            working_set_bytes,
+            locality,
+        }
+    }
+
+    /// Mean non-memory instruction gap between accesses.
+    pub fn mean_gap(&self) -> f64 {
+        1000.0 / self.mem_ops_per_kilo_instrs as f64 - 1.0
+    }
+}
+
+const KIB: u64 = 1024;
+const MIB: u64 = 1024 * 1024;
+
+/// The eight SPEC CPU2006 benchmarks of the paper's Figure 5, in paper
+/// order.
+pub fn spec2006() -> Vec<WorkloadProfile> {
+    vec![
+        // Stencil sweeps over a large grid: several write-rich streams
+        // plus a cache-resident loop nest.
+        WorkloadProfile::new(
+            "leslie3d",
+            330,
+            0.30,
+            64 * MIB,
+            LocalityModel {
+                stream_fraction: 0.45,
+                streams: 4,
+                hot_bytes: 24 * KIB,
+                hot_prob: 0.86,
+                warm_bytes: 96 * KIB,
+                warm_prob: 0.12,
+                stream_bytes: 0,
+                write_streams: 1,
+            },
+        ),
+        // Quantum register simulation: near-pure streaming over one
+        // big array, read-dominated, very high miss rate.
+        WorkloadProfile::new(
+            "libquantum",
+            250,
+            0.20,
+            32 * MIB,
+            LocalityModel {
+                stream_fraction: 0.80,
+                streams: 2,
+                hot_bytes: 8 * KIB,
+                hot_prob: 0.90,
+                warm_bytes: 64 * KIB,
+                warm_prob: 0.08,
+                stream_bytes: 0,
+                write_streams: 1,
+            },
+        ),
+        // Compiler: pointer-chasing with a warm core; low-moderate
+        // LLC miss rate.
+        WorkloadProfile::new(
+            "gcc",
+            320,
+            0.30,
+            24 * MIB,
+            LocalityModel {
+                stream_fraction: 0.30,
+                streams: 2,
+                hot_bytes: 24 * KIB,
+                hot_prob: 0.89,
+                warm_bytes: 96 * KIB,
+                warm_prob: 0.09,
+                stream_bytes: 192 * KIB,
+                write_streams: 0,
+            },
+        ),
+        // Lattice-Boltzmann: the classic write-intensive streaming
+        // benchmark; the largest write-back rate of the suite.
+        WorkloadProfile::new(
+            "lbm",
+            280,
+            0.40,
+            128 * MIB,
+            LocalityModel {
+                stream_fraction: 0.60,
+                streams: 4,
+                hot_bytes: 16 * KIB,
+                hot_prob: 0.87,
+                warm_bytes: 64 * KIB,
+                warm_prob: 0.10,
+                stream_bytes: 0,
+                write_streams: 2,
+            },
+        ),
+        // Sparse LP solver: irregular, read-heavy, large matrix.
+        WorkloadProfile::new(
+            "soplex",
+            330,
+            0.20,
+            64 * MIB,
+            LocalityModel {
+                stream_fraction: 0.35,
+                streams: 2,
+                hot_bytes: 24 * KIB,
+                hot_prob: 0.84,
+                warm_bytes: 96 * KIB,
+                warm_prob: 0.12,
+                stream_bytes: 0,
+                write_streams: 1,
+            },
+        ),
+        // Profile HMM search: cache-resident, store-rich inner loop;
+        // almost no LLC misses.
+        WorkloadProfile::new(
+            "hmmer",
+            400,
+            0.45,
+            2 * MIB,
+            LocalityModel {
+                stream_fraction: 0.40,
+                streams: 2,
+                hot_bytes: 28 * KIB,
+                hot_prob: 0.92,
+                warm_bytes: 96 * KIB,
+                warm_prob: 0.06,
+                stream_bytes: 96 * KIB,
+                write_streams: 0,
+            },
+        ),
+        // Lattice QCD: large working set, scattered accesses with a
+        // meaningful cold tail.
+        WorkloadProfile::new(
+            "milc",
+            300,
+            0.33,
+            96 * MIB,
+            LocalityModel {
+                stream_fraction: 0.30,
+                streams: 4,
+                hot_bytes: 16 * KIB,
+                hot_prob: 0.83,
+                warm_bytes: 64 * KIB,
+                warm_prob: 0.12,
+                stream_bytes: 0,
+                write_streams: 2,
+            },
+        ),
+        // Molecular dynamics: compute-bound, modest working set,
+        // cache-friendly.
+        WorkloadProfile::new(
+            "namd",
+            340,
+            0.40,
+            8 * MIB,
+            LocalityModel {
+                stream_fraction: 0.35,
+                streams: 4,
+                hot_bytes: 28 * KIB,
+                hot_prob: 0.93,
+                warm_bytes: 96 * KIB,
+                warm_prob: 0.05,
+                stream_bytes: 160 * KIB,
+                write_streams: 0,
+            },
+        ),
+    ]
+}
+
+/// A balanced mix used for the sensitivity sweeps (Fig. 6), where the
+/// paper reports suite-level numbers.
+pub fn mixed() -> WorkloadProfile {
+    WorkloadProfile::new(
+        "mixed",
+        320,
+        0.38,
+        48 * MIB,
+        LocalityModel {
+            stream_fraction: 0.45,
+            streams: 4,
+            hot_bytes: 24 * KIB,
+            hot_prob: 0.86,
+            warm_bytes: 96 * KIB,
+            warm_prob: 0.10,
+                stream_bytes: 0,
+                write_streams: 2,
+        },
+    )
+}
+
+/// Looks up one of the SPEC profiles (or `"mixed"`) by name.
+pub fn by_name(name: &str) -> Option<WorkloadProfile> {
+    if name == "mixed" {
+        return Some(mixed());
+    }
+    spec2006().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_paper_benchmarks_in_order() {
+        let names: Vec<String> = spec2006().into_iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            ["leslie3d", "libquantum", "gcc", "lbm", "soplex", "hmmer", "milc", "namd"]
+        );
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(by_name("lbm").is_some());
+        assert!(by_name("mixed").is_some());
+        assert!(by_name("nonexistent").is_none());
+    }
+
+    #[test]
+    fn lbm_is_most_write_intensive_large_footprint_benchmark() {
+        // Write-back pressure on NVM comes from stores to data that
+        // does not fit on chip; among those, lbm leads (hmmer writes
+        // more per instruction but is cache-resident).
+        let suite = spec2006();
+        let lbm = suite.iter().find(|p| p.name == "lbm").unwrap();
+        for p in suite.iter().filter(|p| p.working_set_bytes > 16 << 20) {
+            assert!(
+                p.write_fraction <= lbm.write_fraction,
+                "{} out-writes lbm",
+                p.name
+            );
+        }
+    }
+
+    #[test]
+    fn tier_probabilities_are_valid() {
+        for p in spec2006() {
+            assert!(p.locality.hot_prob + p.locality.warm_prob <= 1.0, "{}", p.name);
+            assert!(p.locality.cold_prob() >= 0.0, "{}", p.name);
+            assert!(p.locality.hot_bytes < p.locality.warm_bytes, "{}", p.name);
+            assert!(p.locality.warm_bytes < p.working_set_bytes, "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn mean_gap() {
+        let p = WorkloadProfile::new("t", 250, 0.5, 4096, LocalityModel::streaming(1));
+        assert_eq!(p.mean_gap(), 3.0);
+    }
+
+    #[test]
+    fn streaming_constructor() {
+        let l = LocalityModel::streaming(4);
+        assert_eq!(l.streams, 4);
+        assert!(l.stream_fraction > 0.9);
+    }
+
+    #[test]
+    fn irregular_constructor_cold_prob() {
+        let l = LocalityModel::irregular(0.3);
+        assert!((l.cold_prob() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "write fraction")]
+    fn rejects_bad_write_fraction() {
+        WorkloadProfile::new("t", 100, 1.5, 4096, LocalityModel::streaming(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "working set")]
+    fn rejects_tiny_working_set() {
+        WorkloadProfile::new("t", 100, 0.5, 64, LocalityModel::streaming(1));
+    }
+}

@@ -1,0 +1,143 @@
+//! Plain-text trace interchange format.
+//!
+//! One record per line: `<gap> <R|W> <hex addr>`. Lines starting with
+//! `#` and blank lines are ignored. This lets traces be captured once
+//! (e.g. from an instrumented application) and replayed through the
+//! simulator, and keeps experiment inputs inspectable with ordinary
+//! tools.
+
+use crate::{OpKind, TraceOp};
+use ccnvm_mem::Addr;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// Error parsing a text-format trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTraceError {
+    /// 1-based line number of the offending record.
+    pub line: usize,
+    /// What was wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseTraceError {}
+
+/// Writes `ops` in text format to `w`.
+///
+/// # Errors
+///
+/// Propagates any I/O error from `w`.
+pub fn write_trace<W: Write>(mut w: W, ops: &[TraceOp]) -> io::Result<()> {
+    for op in ops {
+        writeln!(w, "{} {} {:#x}", op.gap_instrs, op.kind, op.addr.0)?;
+    }
+    Ok(())
+}
+
+/// Parses a text-format trace from `r`.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on the first malformed record; I/O
+/// errors surface as a parse error for the current line.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Vec<TraceOp>, ParseTraceError> {
+    let mut ops = Vec::new();
+    for (idx, line) in r.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line.map_err(|e| ParseTraceError {
+            line: lineno,
+            message: format!("i/o error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (gap, kind, addr) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(g), Some(k), Some(a), None) => (g, k, a),
+            _ => {
+                return Err(ParseTraceError {
+                    line: lineno,
+                    message: "expected `<gap> <R|W> <addr>`".into(),
+                })
+            }
+        };
+        let gap_instrs: u32 = gap.parse().map_err(|_| ParseTraceError {
+            line: lineno,
+            message: format!("bad gap {gap:?}"),
+        })?;
+        let kind = match kind {
+            "R" | "r" => OpKind::Read,
+            "W" | "w" => OpKind::Write,
+            other => {
+                return Err(ParseTraceError {
+                    line: lineno,
+                    message: format!("bad op kind {other:?}"),
+                })
+            }
+        };
+        let addr_str = addr.strip_prefix("0x").unwrap_or(addr);
+        let addr = u64::from_str_radix(addr_str, 16).map_err(|_| ParseTraceError {
+            line: lineno,
+            message: format!("bad address {addr:?}"),
+        })?;
+        ops.push(TraceOp {
+            gap_instrs,
+            kind,
+            addr: Addr(addr),
+        });
+    }
+    Ok(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{profiles, TraceGenerator};
+
+    #[test]
+    fn roundtrip() {
+        let ops: Vec<TraceOp> = TraceGenerator::new(profiles::mixed(), 11).take(200).collect();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &ops).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(parsed, ops);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# header\n\n3 R 0x40\n 1 W 80 \n";
+        let ops = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(ops.len(), 2);
+        assert_eq!(ops[0].addr, Addr(0x40));
+        assert_eq!(ops[1].kind, OpKind::Write);
+        assert_eq!(ops[1].addr, Addr(0x80));
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "1 R 0x40\nbogus line\n";
+        let err = read_trace(text.as_bytes()).unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_bad_kind() {
+        let err = read_trace("1 X 0x40\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("op kind"));
+    }
+
+    #[test]
+    fn rejects_bad_addr() {
+        let err = read_trace("1 R zz\n".as_bytes()).unwrap_err();
+        assert!(err.message.contains("address"));
+    }
+}

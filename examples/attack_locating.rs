@@ -1,0 +1,102 @@
+//! Attack detection and locating (§2.1 threat model + §4.4).
+//!
+//! Demonstrates all three integrity-attack classes against cc-NVM:
+//!
+//! * at **runtime**, tampering with live NVM is caught on the next
+//!   fetch (data HMAC or tree-path mismatch), and
+//! * **across a crash**, spoofing/splicing/replay on the durable image
+//!   are detected during recovery — and located to the exact line,
+//!   which is the paper's headline capability.
+//!
+//! ```text
+//! cargo run --release --example attack_locating
+//! ```
+
+use ccnvm::attack;
+use ccnvm::prelude::*;
+use ccnvm_mem::LineAddr;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---------- runtime detection ----------
+    let mut mem = SecureMemory::new(SimConfig::paper(DesignKind::CcNvm))?;
+    for i in 0..8u64 {
+        mem.write_back(LineAddr(i * 64), i * 60_000)?;
+    }
+    mem.drain(1_000_000, DrainTrigger::External);
+
+    // Spoof a data line in NVM behind the processor's back.
+    let victim = LineAddr(3 * 64);
+    let mut ct = mem.crash_image().nvm.read(victim);
+    ct[10] ^= 0xff;
+    mem.tamper_durable(victim, ct);
+    let err = mem
+        .read_data(victim, 2_000_000)
+        .expect_err("tampered line must not decrypt");
+    println!("runtime spoof  -> {err}");
+    assert_eq!(err, IntegrityError::DataHmacMismatch { line: victim });
+
+    // ---------- post-crash locating ----------
+    let mut mem = SecureMemory::new(SimConfig::paper(DesignKind::CcNvm))?;
+    for i in 0..8u64 {
+        mem.write_back(LineAddr(i * 64), i * 60_000)?;
+    }
+    mem.drain(1_000_000, DrainTrigger::External);
+    let epoch1 = mem.crash_image();
+    for i in 0..8u64 {
+        mem.write_back(LineAddr(i * 64), 2_000_000 + i * 60_000)?;
+    }
+    mem.drain(3_000_000, DrainTrigger::External);
+
+    // Spoofing: flip bits in one line of the crash image.
+    let mut img = mem.crash_image();
+    attack::spoof_data(&mut img, LineAddr(128));
+    let report = recover(&img);
+    println!("crash spoof    -> located: {:?}", report.located);
+    assert_eq!(
+        report.located,
+        vec![LocatedAttack::DataTampered { line: LineAddr(128) }]
+    );
+
+    // Splicing: swap two lines (with their HMACs) — both ends located.
+    let mut img = mem.crash_image();
+    attack::splice_data(&mut img, LineAddr(0), LineAddr(448));
+    let report = recover(&img);
+    println!("crash splice   -> located: {:?}", report.located);
+    assert_eq!(report.located.len(), 2);
+
+    // Counter replay: restore last epoch's counter line; the stored
+    // tree no longer matches it -> located by the consistency scan.
+    let mut img = mem.crash_image();
+    let ctr = mem.layout().counter_line_of(LineAddr(0));
+    attack::replay_counter(&mut img, &epoch1, ctr);
+    let report = recover(&img);
+    println!("counter replay -> located: {:?}", report.located);
+    assert!(report
+        .located
+        .iter()
+        .any(|a| matches!(a, LocatedAttack::MetadataTampered { child_level: 0, .. })));
+
+    // Figure-4 replay: crash mid-epoch, replay data+HMAC to the old
+    // version. Locally consistent — only N_wb ≠ N_retry exposes it.
+    let mut mem = SecureMemory::new(SimConfig::paper(DesignKind::CcNvm))?;
+    mem.write_back(LineAddr(0), 0)?;
+    mem.drain(1_000_000, DrainTrigger::External);
+    let old = mem.crash_image();
+    mem.write_back(LineAddr(0), 2_000_000)?; // mid-epoch write
+    let mut img = mem.crash_image();
+    attack::replay_data(&mut img, &old, LineAddr(0));
+    let report = recover(&img);
+    println!(
+        "fig-4 replay   -> locally consistent ({} located), N_wb = {} vs N_retry = {} => detected: {}",
+        report.located.len(),
+        report.nwb,
+        report.total_retries,
+        report.potential_replay
+    );
+    assert!(report.located.is_empty());
+    assert!(report.potential_replay);
+    assert!(!report.is_clean());
+
+    println!("\nall attack classes detected; all locatable ones located");
+    Ok(())
+}

@@ -1,0 +1,70 @@
+//! Crash recovery walkthrough (§4.2 + §4.4).
+//!
+//! Runs a workload on cc-NVM, pulls the plug at three interesting
+//! points — right after a committed drain, mid-epoch, and in the
+//! middle of a drain (before the `end` signal) — and shows that
+//! recovery reconstructs the exact pre-crash state every time.
+//!
+//! ```text
+//! cargo run --release --example crash_recovery
+//! ```
+
+use ccnvm::prelude::*;
+use ccnvm_mem::LineAddr;
+
+fn check(label: &str, mem: &SecureMemory) -> Result<(), Box<dyn std::error::Error>> {
+    let image = mem.crash_image();
+    let report = recover(&image);
+    let truth = mem.ground_truth();
+    println!("--- crash {label} ---");
+    println!(
+        "  N_wb = {}, retries = {} (max {}/line), counters patched = {}",
+        report.nwb, report.total_retries, report.max_line_retries, report.recovered_counter_lines
+    );
+    println!(
+        "  stored tree vs TCB roots: {:?}; rebuilt tree vs TCB roots: {:?}",
+        report.stored_root_match, report.rebuilt_root_match
+    );
+    assert!(report.is_clean(), "attack-free crash must recover clean");
+    assert_eq!(
+        report.rebuilt_root, truth.current_root,
+        "recovered tree must equal the logical pre-crash tree"
+    );
+    for (line, content) in &truth.counter_lines {
+        assert_eq!(
+            &report.recovered_nvm.read(LineAddr(*line)),
+            content,
+            "counter line {line:#x} must be restored exactly"
+        );
+    }
+    println!("  ✔ every counter restored bit-exactly; root matches ground truth\n");
+    Ok(())
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut mem = SecureMemory::new(SimConfig::paper(DesignKind::CcNvm))?;
+
+    // Fill a few pages and commit an epoch.
+    for i in 0..32u64 {
+        mem.write_back(LineAddr((i % 6) * 64), i * 50_000)?;
+    }
+    mem.drain(5_000_000, DrainTrigger::External);
+    check("right after a committed drain (clean epoch boundary)", &mem)?;
+
+    // Mid-epoch: several write-backs whose metadata lives only on chip.
+    for i in 0..10u64 {
+        mem.write_back(LineAddr((i % 3) * 64), 6_000_000 + i * 50_000)?;
+    }
+    check("mid-epoch (stalled counters recovered via data HMACs)", &mem)?;
+
+    // Mid-drain: the drainer has staged the epoch into the WPQ but the
+    // `end` signal never arrives — ADR drops the residual lines and the
+    // NVM tree stays consistently *old*.
+    mem.stage_drain(8_000_000);
+    assert!(mem.has_staged_drain());
+    mem.discard_staged(); // power failed before the end signal
+    check("mid-drain, before the end signal (staged lines dropped)", &mem)?;
+
+    println!("all three crash points recovered cleanly");
+    Ok(())
+}

@@ -1,0 +1,147 @@
+//! A tiny persistent key-value store running on secure NVM.
+//!
+//! The paper's motivation is in-place persistent data structures on
+//! encrypted, authenticated memory. This example builds one: a
+//! fixed-capacity open-addressing hash table laid out in the simulated
+//! NVM's data region, every access flowing through the cc-NVM secure
+//! memory path (encryption, HMACs, epoch draining). It then crashes
+//! the machine and re-opens the store from the recovered image.
+//!
+//! The store keeps its *own* expected contents in host memory purely
+//! to verify the recovered image — the secure memory sees only
+//! line-level reads and write-backs, exactly like a CPU cache would
+//! emit.
+//!
+//! ```text
+//! cargo run --release --example kv_store
+//! ```
+
+use ccnvm::counter::CounterLine;
+use ccnvm::prelude::*;
+use ccnvm::secmem::pattern;
+use ccnvm_mem::LineAddr;
+use std::collections::HashMap;
+
+/// A line-granular KV store: each slot is one 64-byte line holding one
+/// logical record; `slot = hash(key) % capacity` with linear probing
+/// is evaluated host-side, and every touched slot becomes a secure
+/// write-back.
+struct SecureKv {
+    mem: SecureMemory,
+    capacity: u64,
+    /// Which slot each key landed in.
+    directory: HashMap<u64, u64>,
+    /// How many times each slot has been written (drives the expected
+    /// plaintext version).
+    slot_versions: HashMap<u64, u64>,
+    now: u64,
+}
+
+impl SecureKv {
+    fn open(capacity: u64) -> Result<Self, Box<dyn std::error::Error>> {
+        Ok(Self {
+            mem: SecureMemory::new(SimConfig::paper(DesignKind::CcNvm))?,
+            capacity,
+            directory: HashMap::new(),
+            slot_versions: HashMap::new(),
+            now: 0,
+        })
+    }
+
+    fn slot_of(&self, key: u64) -> u64 {
+        let mut slot = key.wrapping_mul(0x9e37_79b9_7f4a_7c15) % self.capacity;
+        while self
+            .directory
+            .values()
+            .any(|&s| s == slot && self.directory.get(&key) != Some(&slot))
+        {
+            slot = (slot + 1) % self.capacity;
+        }
+        slot
+    }
+
+    fn put(&mut self, key: u64) -> Result<(), IntegrityError> {
+        let slot = self.directory.get(&key).copied().unwrap_or_else(|| {
+            let s = self.slot_of(key);
+            self.directory.insert(key, s);
+            s
+        });
+        self.now += 50_000;
+        self.mem.write_back(LineAddr(slot), self.now)?;
+        *self.slot_versions.entry(slot).or_insert(0) += 1;
+        Ok(())
+    }
+
+    fn get(&mut self, key: u64) -> Result<bool, IntegrityError> {
+        let Some(&slot) = self.directory.get(&key) else {
+            return Ok(false);
+        };
+        self.now += 50_000;
+        self.mem.read_data(LineAddr(slot), self.now)?;
+        Ok(true)
+    }
+
+    fn sync(&mut self) {
+        self.now += 100_000;
+        self.mem.drain(self.now, DrainTrigger::External);
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut kv = SecureKv::open(4096)?;
+
+    // Phase 1: populate and sync (committed epoch).
+    for key in 0..200u64 {
+        kv.put(key)?;
+    }
+    kv.sync();
+
+    // Phase 2: more updates that stay in the open epoch.
+    for key in 0..40u64 {
+        kv.put(key)?; // overwrite: bumps versions past the drained state
+    }
+    for key in 150..180u64 {
+        kv.get(key)?;
+    }
+    let stats = kv.mem.stats();
+    println!(
+        "store ran: {} write-backs, {} epochs, {} NVM writes",
+        stats.write_backs,
+        stats.drains,
+        stats.total_writes()
+    );
+
+    // Phase 3: crash and recover.
+    let image = kv.mem.crash_image();
+    let report = recover(&image);
+    assert!(report.is_clean(), "no attacks: recovery must be clean");
+    println!(
+        "crashed mid-epoch: {} counters recovered with {} retries (N_wb {})",
+        report.recovered_counter_lines, report.total_retries, report.nwb
+    );
+
+    // Phase 4: verify every record is intact in the recovered image —
+    // decrypt each slot with its recovered counter and compare with
+    // the expected content.
+    let engine = ccnvm::engine::CryptoEngine::new(&image.tcb.keys);
+    let layout = ccnvm::layout::SecureLayout::new(image.capacity_bytes);
+    let mut verified = 0;
+    for (&key, &slot) in &kv.directory {
+        let line = LineAddr(slot);
+        let ct = report.recovered_nvm.read(line);
+        let ctr = CounterLine::decode(
+            &report.recovered_nvm.read(layout.counter_line_of(line)),
+        );
+        let (major, minor) = ctr.seed(line.page_offset());
+        let plain = engine.decrypt_line(&ct, line, major, minor);
+        let version = kv.slot_versions[&slot];
+        assert_eq!(
+            plain,
+            pattern(line, version),
+            "key {key} (slot {slot}) corrupted across the crash"
+        );
+        verified += 1;
+    }
+    println!("re-opened store: {verified}/{} records verified bit-exact", kv.directory.len());
+    Ok(())
+}

@@ -1,0 +1,20 @@
+//! Umbrella crate for the cc-NVM reproduction workspace.
+//!
+//! This crate exists to host the workspace-level integration tests
+//! (`tests/`) and runnable examples (`examples/`). The actual library
+//! surface lives in the member crates:
+//!
+//! * [`ccnvm`] — the cc-NVM secure-memory architecture (the paper's
+//!   contribution) and the simulator that evaluates it.
+//! * [`ccnvm_crypto`] — AES-128 / SHA-1 / HMAC primitives used by the
+//!   trusted computing base.
+//! * [`ccnvm_mem`] — cache and NVM device/controller timing models.
+//! * [`ccnvm_trace`] — synthetic SPEC-like workload generation.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system
+//! inventory and experiment index.
+
+pub use ccnvm;
+pub use ccnvm_crypto;
+pub use ccnvm_mem;
+pub use ccnvm_trace;

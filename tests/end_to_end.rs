@@ -1,0 +1,170 @@
+//! End-to-end integration: full simulator runs across designs and
+//! workloads, checking the cross-crate invariants the figures rely on.
+
+use ccnvm::prelude::*;
+
+const INSTRUCTIONS: u64 = 200_000;
+
+fn run(design: DesignKind, bench: &str, seed: u64) -> RunStats {
+    let profile = profiles::by_name(bench).expect("known benchmark");
+    ccnvm::sim::run_profile(SimConfig::paper(design), &profile, INSTRUCTIONS, seed)
+        .expect("attack-free run is clean")
+}
+
+#[test]
+fn every_design_runs_every_benchmark() {
+    for design in DesignKind::ALL {
+        for profile in profiles::spec2006() {
+            let s = ccnvm::sim::run_profile(
+                SimConfig::paper(design),
+                &profile,
+                20_000,
+                1,
+            )
+            .expect("clean run");
+            assert!(s.instructions >= 20_000, "{design}/{}", profile.name);
+            assert!(s.cycles > 0, "{design}/{}", profile.name);
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let a = run(DesignKind::CcNvm, "lbm", 42);
+    let b = run(DesignKind::CcNvm, "lbm", 42);
+    assert_eq!(a, b);
+    let c = run(DesignKind::CcNvm, "lbm", 43);
+    assert_ne!(a.cycles, c.cycles, "different seeds should diverge");
+}
+
+#[test]
+fn write_traffic_categories_sum_to_controller_totals() {
+    for design in DesignKind::ALL {
+        let profile = profiles::by_name("lbm").unwrap();
+        let mut sim = Simulator::new(SimConfig::paper(design)).unwrap();
+        sim.run(TraceGenerator::new(profile, 42), 40_000).unwrap();
+        let s = sim.stats();
+        let mc = sim.memory().mem_stats();
+        assert_eq!(
+            s.total_writes(),
+            mc.total_writes(),
+            "{design}: categorized writes must equal the controller's count"
+        );
+        assert_eq!(s.nvm_reads, mc.reads, "{design}");
+    }
+}
+
+#[test]
+fn figure5_orderings_hold() {
+    // The orderings Figure 5 reports, on the most write-intensive
+    // benchmark (where they are most pronounced). Needs a long enough
+    // window to leave the cache-warmup transient, where write-backs
+    // are still rare and the designs are indistinguishable.
+    let run = |design| {
+        let profile = profiles::by_name("lbm").unwrap();
+        ccnvm::sim::run_profile(SimConfig::paper(design), &profile, 500_000, 42)
+            .expect("attack-free run is clean")
+    };
+    let base = run(DesignKind::WithoutCc);
+    let sc = run(DesignKind::StrictConsistency);
+    let osiris = run(DesignKind::OsirisPlus);
+    let no_ds = run(DesignKind::CcNvmNoDs);
+    let cc = run(DesignKind::CcNvm);
+
+    // (a) IPC: baseline >= cc-NVM > {SC, Osiris, no-DS}.
+    assert!(base.ipc() >= cc.ipc() * 0.999, "baseline must lead");
+    assert!(cc.ipc() > sc.ipc(), "cc-NVM must beat SC");
+    assert!(cc.ipc() > osiris.ipc(), "cc-NVM must beat Osiris Plus");
+    assert!(cc.ipc() > no_ds.ipc(), "deferred spreading must pay off");
+
+    // (b) writes: SC catastrophic; Osiris leanest of the consistent
+    // designs; cc-NVM between Osiris and SC; no-DS >= cc-NVM.
+    assert!(sc.total_writes() > 3 * base.total_writes(), "SC amplification");
+    assert!(osiris.total_writes() < cc.total_writes());
+    assert!(cc.total_writes() <= no_ds.total_writes());
+    assert!(cc.total_writes() < sc.total_writes());
+    // cc-NVM's extra traffic stays within ~2x of the baseline (paper: 1.39x).
+    assert!(
+        (cc.total_writes() as f64) < 2.2 * base.total_writes() as f64,
+        "cc-NVM write overhead out of band: {} vs {}",
+        cc.total_writes(),
+        base.total_writes()
+    );
+}
+
+#[test]
+fn epochs_form_under_write_pressure() {
+    let s = run(DesignKind::CcNvm, "lbm", 42);
+    assert!(s.drains > 0, "write pressure must cycle epochs");
+    assert!(
+        s.write_backs / s.drains.max(1) >= 10,
+        "epochs should amortize many write-backs (got {} wb over {} drains)",
+        s.write_backs,
+        s.drains
+    );
+    // Every drain writes at most the dirty-queue capacity.
+    assert!(s.meta_writes <= s.drains * 64);
+}
+
+#[test]
+fn crash_after_any_run_recovers_exactly() {
+    for design in [
+        DesignKind::StrictConsistency,
+        DesignKind::OsirisPlus,
+        DesignKind::CcNvmNoDs,
+        DesignKind::CcNvm,
+    ] {
+        let profile = profiles::by_name("gcc").unwrap();
+        let mut sim = Simulator::new(SimConfig::paper(design)).unwrap();
+        sim.run(TraceGenerator::new(profile, 7), 50_000).unwrap();
+        let report = recover(&sim.memory().crash_image());
+        assert!(report.is_clean(), "{design}: {report:?}");
+        let truth = sim.memory().ground_truth();
+        assert_eq!(
+            report.rebuilt_root, truth.current_root,
+            "{design}: recovery must rebuild the exact logical tree"
+        );
+        assert!(
+            report.max_line_retries <= 16,
+            "{design}: retry budget exceeded ({})",
+            report.max_line_retries
+        );
+    }
+}
+
+#[test]
+fn flush_then_crash_needs_no_recovery_work() {
+    let profile = profiles::by_name("milc").unwrap();
+    let mut sim = Simulator::new(SimConfig::paper(DesignKind::CcNvm)).unwrap();
+    sim.run(TraceGenerator::new(profile, 3), 30_000).unwrap();
+    sim.flush_caches().expect("orderly shutdown");
+    let report = recover(&sim.memory().crash_image());
+    assert!(report.is_clean());
+    assert_eq!(report.total_retries, 0, "orderly shutdown leaves nothing stalled");
+    assert_eq!(report.recovered_counter_lines, 0);
+}
+
+#[test]
+fn sensitivity_trends_are_monotoneish() {
+    // Larger N must not increase write traffic (Fig. 6a trend).
+    let profile = profiles::mixed();
+    let mut writes = Vec::new();
+    for n in [4u32, 16, 64] {
+        let mut config = SimConfig::paper(DesignKind::CcNvm);
+        config.update_limit = n;
+        let s = ccnvm::sim::run_profile(config, &profile, INSTRUCTIONS, 42).unwrap();
+        writes.push(s.total_writes());
+    }
+    assert!(writes[0] >= writes[1], "N=4 {} vs N=16 {}", writes[0], writes[1]);
+    assert!(writes[1] >= writes[2], "N=16 {} vs N=64 {}", writes[1], writes[2]);
+
+    // Larger M must not increase write traffic (Fig. 6b trend).
+    let mut writes = Vec::new();
+    for m in [32usize, 64] {
+        let mut config = SimConfig::paper(DesignKind::CcNvm);
+        config.dirty_queue_entries = m;
+        let s = ccnvm::sim::run_profile(config, &profile, INSTRUCTIONS, 42).unwrap();
+        writes.push(s.total_writes());
+    }
+    assert!(writes[0] >= writes[1], "M=32 {} vs M=64 {}", writes[0], writes[1]);
+}
