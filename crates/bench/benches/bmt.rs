@@ -7,63 +7,58 @@ use ccnvm::engine::CryptoEngine;
 use ccnvm::layout::SecureLayout;
 use ccnvm::secmem::SecureMemory;
 use ccnvm::tcb::Keys;
+use ccnvm_bench::microbench::{bench, group};
 use ccnvm_mem::{LineAddr, LineStore};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
 
-fn bench_bmt(c: &mut Criterion) {
+fn main() {
     let layout = SecureLayout::new(16 << 30); // the paper's 16 GB tree
     let bmt = Bmt::new(layout, CryptoEngine::new(&Keys::from_seed(1)));
-    let mut g = c.benchmark_group("bmt_16gb");
 
-    g.bench_function("update_path", |b| {
+    group("bmt_16gb");
+    {
         let mut store = LineStore::new();
         let mut idx = 0u64;
-        b.iter(|| {
+        bench("bmt_16gb/update_path", || {
             idx = (idx + 1) % 1024;
             bmt.update_path(&mut store, black_box(idx))
-        })
-    });
-    g.bench_function("verify_clean_path", |b| {
-        let mut store = LineStore::new();
-        let (root, _) = bmt.update_path(&mut store, 0);
-        b.iter(|| bmt.verify_path(&store, black_box(0), &root).expect("clean"))
-    });
-    g.bench_function("root", |b| {
-        let mut store = LineStore::new();
-        bmt.update_path(&mut store, 7);
-        b.iter(|| bmt.root(black_box(&store)))
-    });
-    g.finish();
-}
-
-fn bench_secure_paths(c: &mut Criterion) {
-    let mut g = c.benchmark_group("secmem");
-    g.throughput(Throughput::Elements(1));
-    for design in [DesignKind::WithoutCc, DesignKind::StrictConsistency, DesignKind::CcNvm] {
-        g.bench_function(format!("write_back/{design}"), |b| {
-            let mut mem =
-                SecureMemory::new(SimConfig::paper(design)).expect("valid config");
-            let mut now = 0u64;
-            let mut line = 0u64;
-            b.iter(|| {
-                line = (line + 64) % 4096; // cycle a few pages
-                now += 10_000;
-                mem.write_back(black_box(LineAddr(line)), now).expect("wb")
-            })
         });
     }
-    g.bench_function("read_hit_metadata", |b| {
-        let mut mem =
-            SecureMemory::new(SimConfig::paper(DesignKind::CcNvm)).expect("valid config");
+    {
+        let mut store = LineStore::new();
+        let (root, _) = bmt.update_path(&mut store, 0);
+        bench("bmt_16gb/verify_clean_path", || {
+            bmt.verify_path(&store, black_box(0), &root).expect("clean")
+        });
+    }
+    {
+        let mut store = LineStore::new();
+        bmt.update_path(&mut store, 7);
+        bench("bmt_16gb/root", || bmt.root(black_box(&store)));
+    }
+
+    group("secmem");
+    for design in [
+        DesignKind::WithoutCc,
+        DesignKind::StrictConsistency,
+        DesignKind::CcNvm,
+    ] {
+        let mut mem = SecureMemory::new(SimConfig::paper(design)).expect("valid config");
+        let mut now = 0u64;
+        let mut line = 0u64;
+        bench(&format!("secmem/write_back/{design}"), || {
+            line = (line + 64) % 4096; // cycle a few pages
+            now += 10_000;
+            mem.write_back(black_box(LineAddr(line)), now).expect("wb")
+        });
+    }
+    {
+        let mut mem = SecureMemory::new(SimConfig::paper(DesignKind::CcNvm)).expect("valid config");
         mem.write_back(LineAddr(0), 0).expect("wb");
         let mut now = 1_000_000u64;
-        b.iter(|| {
+        bench("secmem/read_hit_metadata", || {
             now += 10_000;
             mem.read_data(black_box(LineAddr(0)), now).expect("read")
-        })
-    });
-    g.finish();
+        });
+    }
 }
-
-criterion_group!(benches, bench_bmt, bench_secure_paths);
-criterion_main!(benches);

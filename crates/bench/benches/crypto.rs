@@ -1,48 +1,39 @@
 //! Microbenchmarks for the TCB crypto primitives — the functional cost
 //! behind the simulator's 72 ns AES / 80-cycle HMAC latency constants.
 
+use ccnvm_bench::microbench::{bench, group};
 use ccnvm_crypto::otp::OtpGenerator;
 use ccnvm_crypto::{hmac_sha1_128, Aes128, Sha1};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
 
-fn bench_sha1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("sha1");
+fn main() {
+    group("sha1");
     for size in [64usize, 256, 1024] {
         let data = vec![0xabu8; size];
-        g.throughput(Throughput::Bytes(size as u64));
-        g.bench_function(format!("digest/{size}B"), |b| {
-            b.iter(|| Sha1::digest(black_box(&data)))
+        bench(&format!("sha1/digest/{size}B"), || {
+            Sha1::digest(black_box(&data))
         });
     }
-    g.finish();
-}
 
-fn bench_hmac(c: &mut Criterion) {
+    group("hmac");
     // The common shape: data HMAC over (64B line + addr + counter).
     let mut msg = [0u8; 81];
     msg[80] = 7;
-    c.bench_function("hmac_sha1_128/line", |b| {
-        b.iter(|| hmac_sha1_128(black_box(b"0123456789abcdef"), black_box(&msg)))
+    bench("hmac_sha1_128/line", || {
+        hmac_sha1_128(black_box(b"0123456789abcdef"), black_box(&msg))
     });
-}
 
-fn bench_aes(c: &mut Criterion) {
+    group("aes");
     let aes = Aes128::new(&[7u8; 16]);
-    c.bench_function("aes128/block", |b| {
-        b.iter(|| black_box(&aes).encrypt_block(black_box([1u8; 16])))
+    bench("aes128/block", || {
+        black_box(&aes).encrypt_block(black_box([1u8; 16]))
     });
-    c.bench_function("aes128/key_schedule", |b| {
-        b.iter(|| Aes128::new(black_box(&[7u8; 16])))
-    });
-}
+    bench("aes128/key_schedule", || Aes128::new(black_box(&[7u8; 16])));
 
-fn bench_otp(c: &mut Criterion) {
+    group("otp");
     let otp = OtpGenerator::new(Aes128::new(&[9u8; 16]));
     let line = [0x42u8; 64];
-    c.bench_function("otp/xor64", |b| {
-        b.iter(|| black_box(&otp).xor64(black_box(&line), 0x1000, 3, 14))
+    bench("otp/xor64", || {
+        black_box(&otp).xor64(black_box(&line), 0x1000, 3, 14)
     });
 }
-
-criterion_group!(benches, bench_sha1, bench_hmac, bench_aes, bench_otp);
-criterion_main!(benches);

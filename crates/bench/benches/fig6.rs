@@ -1,13 +1,14 @@
-//! Figure-6-shaped Criterion benchmark: cc-NVM simulation throughput
+//! Figure-6-shaped host-time benchmark: cc-NVM simulation throughput
 //! across the epoch-trigger parameter sweep (N and M).
 //!
 //! The paper metrics for Figure 6 come from the `fig6` binary
 //! (`cargo run -p ccnvm-bench --release --bin fig6`); this bench keeps
 //! the sweep shape under `cargo bench` so the trigger machinery is
-//! exercised at every operating point.
+//! exercised at every operating point. Each sample includes simulator
+//! construction.
 
 use ccnvm::prelude::*;
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ccnvm_bench::microbench::{bench, group};
 
 const INSTRUCTIONS: u64 = 20_000;
 
@@ -18,40 +19,21 @@ fn config(n: u32, m: usize) -> SimConfig {
     c
 }
 
-fn bench_sweeps(c: &mut Criterion) {
+fn main() {
     let profile = profiles::mixed();
-    let mut g = c.benchmark_group("fig6_sweep");
-    g.sample_size(10);
+    group("fig6_sweep");
     for n in [4u32, 16, 64] {
-        g.bench_function(format!("N{n}_M64"), |b| {
-            b.iter_batched(
-                || {
-                    (
-                        Simulator::new(config(n, 64)).expect("valid config"),
-                        TraceGenerator::new(profile.clone(), 42),
-                    )
-                },
-                |(mut sim, trace)| sim.run(trace, INSTRUCTIONS).expect("clean run"),
-                BatchSize::LargeInput,
-            )
+        bench(&format!("fig6/N{n}_M64"), || {
+            let mut sim = Simulator::new(config(n, 64)).expect("valid config");
+            let trace = TraceGenerator::new(profile.clone(), 42);
+            sim.run(trace, INSTRUCTIONS).expect("clean run")
         });
     }
     for m in [32usize, 64] {
-        g.bench_function(format!("N16_M{m}"), |b| {
-            b.iter_batched(
-                || {
-                    (
-                        Simulator::new(config(16, m)).expect("valid config"),
-                        TraceGenerator::new(profile.clone(), 42),
-                    )
-                },
-                |(mut sim, trace)| sim.run(trace, INSTRUCTIONS).expect("clean run"),
-                BatchSize::LargeInput,
-            )
+        bench(&format!("fig6/N16_M{m}"), || {
+            let mut sim = Simulator::new(config(16, m)).expect("valid config");
+            let trace = TraceGenerator::new(profile.clone(), 42);
+            sim.run(trace, INSTRUCTIONS).expect("clean run")
         });
     }
-    g.finish();
 }
-
-criterion_group!(benches, bench_sweeps);
-criterion_main!(benches);

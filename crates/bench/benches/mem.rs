@@ -2,55 +2,49 @@
 //! throughput and controller scheduling — the host-side cost of every
 //! simulated access.
 
+use ccnvm_bench::microbench::{bench, group};
 use ccnvm_mem::{CacheConfig, LineAddr, MemController, MemControllerConfig, SetAssocCache};
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
 
-fn bench_cache(c: &mut Criterion) {
-    let mut g = c.benchmark_group("cache");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("l1_hit", |b| {
+fn main() {
+    group("cache");
+    {
         let mut l1 = SetAssocCache::<()>::new(CacheConfig::new(32 * 1024, 2));
         l1.access(LineAddr(0), false);
-        b.iter(|| l1.access(black_box(LineAddr(0)), false))
-    });
-    g.bench_function("l2_streaming_miss", |b| {
+        bench("cache/l1_hit", || l1.access(black_box(LineAddr(0)), false));
+    }
+    {
         let mut l2 = SetAssocCache::<()>::new(CacheConfig::new(256 * 1024, 8));
         let mut next = 0u64;
-        b.iter(|| {
+        bench("cache/l2_streaming_miss", || {
             next += 1;
             l2.access(black_box(LineAddr(next)), false)
-        })
-    });
-    g.bench_function("meta_payload_update", |b| {
+        });
+    }
+    {
         let mut meta = SetAssocCache::<u32>::new(CacheConfig::new(128 * 1024, 8));
         meta.access(LineAddr(5), true);
-        b.iter(|| {
+        bench("cache/meta_payload_update", || {
             *meta.payload_mut(black_box(LineAddr(5))).expect("resident") += 1;
-        })
-    });
-    g.finish();
-}
+        });
+    }
 
-fn bench_controller(c: &mut Criterion) {
-    let mut g = c.benchmark_group("controller");
-    g.throughput(Throughput::Elements(1));
-    g.bench_function("read", |b| {
+    group("controller");
+    {
         let mut mc = MemController::new(MemControllerConfig::paper());
         let mut now = 0;
         let mut line = 0u64;
-        b.iter(|| {
+        bench("controller/read", || {
             line += 1;
             now += 100;
             mc.read(black_box(LineAddr(line)), now)
-        })
-    });
-    g.bench_function("write_combining_hit", |b| {
+        });
+    }
+    {
         let mut mc = MemController::new(MemControllerConfig::paper());
         mc.write(LineAddr(1), 0);
-        b.iter(|| mc.write(black_box(LineAddr(1)), 1))
-    });
-    g.finish();
+        bench("controller/write_combining_hit", || {
+            mc.write(black_box(LineAddr(1)), 1)
+        });
+    }
 }
-
-criterion_group!(benches, bench_cache, bench_controller);
-criterion_main!(benches);

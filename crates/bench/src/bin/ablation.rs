@@ -11,13 +11,25 @@
 //!   lifetime argument behind Figure 5(b).
 //!
 //! ```text
-//! cargo run -p ccnvm-bench --release --bin ablation [instructions]
+//! cargo run -p ccnvm-bench --release --bin ablation [instructions] [threads]
 //! ```
+//!
+//! All ablation points form one flat matrix of independent simulations
+//! run on `threads` workers (default: all cores, or
+//! `CCNVM_BENCH_THREADS`); results are identical at any thread count.
 
 use ccnvm::metacache::MetaCacheOrg;
 use ccnvm::prelude::*;
-use ccnvm_bench::{instructions_from_args, row};
+use ccnvm_bench::{instructions_from_args, parallel::parallel_map, row, threads_from_args};
 use ccnvm_mem::CacheConfig;
+
+const META_KBS: [u64; 4] = [32, 64, 128, 256];
+const ORGS: [(&str, MetaCacheOrg); 2] = [
+    ("shared", MetaCacheOrg::Shared),
+    ("split", MetaCacheOrg::Split),
+];
+const WB_DEPTHS: [usize; 5] = [4, 8, 16, 32, 64];
+const BANKS: [usize; 4] = [4, 8, 16, 32];
 
 fn run(config: SimConfig, instructions: u64) -> (RunStats, ccnvm_mem::WearStats) {
     let mut sim = Simulator::new(config).expect("valid config");
@@ -28,14 +40,55 @@ fn run(config: SimConfig, instructions: u64) -> (RunStats, ccnvm_mem::WearStats)
 
 fn main() {
     let instructions = instructions_from_args();
-    println!("Ablations — mixed workload, {} instructions per point\n", instructions);
+    let threads = threads_from_args();
+    println!(
+        "Ablations — mixed workload, {} instructions per point\n",
+        instructions
+    );
 
-    println!("(1) meta cache capacity (cc-NVM, shared organization)");
-    println!("{}", row("capacity", &["IPC".into(), "writes".into(), "meta hit%".into()]));
-    for kb in [32u64, 64, 128, 256] {
+    // Flatten every ablation point into one matrix and fan it out;
+    // the sections below consume the results in construction order.
+    let mut configs = Vec::new();
+    for kb in META_KBS {
         let mut c = SimConfig::paper(DesignKind::CcNvm);
         c.meta = CacheConfig::new(kb * 1024, 8);
-        let (s, _) = run(c, instructions);
+        configs.push(c);
+    }
+    for (_, org) in ORGS {
+        let mut c = SimConfig::paper(DesignKind::CcNvm);
+        c.meta_org = org;
+        configs.push(c);
+    }
+    for entries in WB_DEPTHS {
+        let mut c = SimConfig::paper(DesignKind::StrictConsistency);
+        c.wb_buffer_entries = entries;
+        configs.push(c);
+    }
+    for banks in BANKS {
+        let mut c = SimConfig::paper(DesignKind::CcNvm);
+        c.mem.nvm.banks = banks;
+        configs.push(c);
+    }
+    for design in DesignKind::ALL {
+        configs.push(SimConfig::paper(design));
+    }
+    eprintln!(
+        "running {} ablation points on {threads} thread(s)…",
+        configs.len()
+    );
+    let results = parallel_map(&configs, threads, |_, c| run(c.clone(), instructions));
+    let mut results = results.into_iter();
+
+    println!("(1) meta cache capacity (cc-NVM, shared organization)");
+    println!(
+        "{}",
+        row(
+            "capacity",
+            &["IPC".into(), "writes".into(), "meta hit%".into()]
+        )
+    );
+    for kb in META_KBS {
+        let (s, _) = results.next().unwrap();
         println!(
             "{}",
             row(
@@ -50,11 +103,12 @@ fn main() {
     }
 
     println!("\n(2) shared vs split counter/tree cache (cc-NVM, 128 KB total)");
-    println!("{}", row("org", &["IPC".into(), "writes".into(), "meta hit%".into()]));
-    for (label, org) in [("shared", MetaCacheOrg::Shared), ("split", MetaCacheOrg::Split)] {
-        let mut c = SimConfig::paper(DesignKind::CcNvm);
-        c.meta_org = org;
-        let (s, _) = run(c, instructions);
+    println!(
+        "{}",
+        row("org", &["IPC".into(), "writes".into(), "meta hit%".into()])
+    );
+    for (label, _) in ORGS {
+        let (s, _) = results.next().unwrap();
         println!(
             "{}",
             row(
@@ -70,10 +124,8 @@ fn main() {
 
     println!("\n(3) write-back buffer depth (SC, the most engine-bound design)");
     println!("{}", row("entries", &["IPC".into(), "wb stall cy".into()]));
-    for entries in [4usize, 8, 16, 32, 64] {
-        let mut c = SimConfig::paper(DesignKind::StrictConsistency);
-        c.wb_buffer_entries = entries;
-        let (s, _) = run(c, instructions);
+    for entries in WB_DEPTHS {
+        let (s, _) = results.next().unwrap();
         println!(
             "{}",
             row(
@@ -85,15 +137,16 @@ fn main() {
 
     println!("\n(4) NVM bank parallelism (cc-NVM)");
     println!("{}", row("banks", &["IPC".into(), "read stall cy".into()]));
-    for banks in [4usize, 8, 16, 32] {
-        let mut c = SimConfig::paper(DesignKind::CcNvm);
-        c.mem.nvm.banks = banks;
-        let (s, _) = run(c, instructions);
+    for banks in BANKS {
+        let (s, _) = results.next().unwrap();
         println!(
             "{}",
             row(
                 &format!("{banks}"),
-                &[format!("{:.4}", s.ipc()), format!("{}", s.read_stall_cycles)]
+                &[
+                    format!("{:.4}", s.ipc()),
+                    format!("{}", s.read_stall_cycles)
+                ]
             )
         );
     }
@@ -103,17 +156,23 @@ fn main() {
         "{}",
         row(
             "design",
-            &["hottest line".into(), "max writes".into(), "mean writes".into()]
+            &[
+                "hottest line".into(),
+                "max writes".into(),
+                "mean writes".into()
+            ]
         )
     );
     for design in DesignKind::ALL {
-        let (_, w) = run(SimConfig::paper(design), instructions);
+        let (_, w) = results.next().unwrap();
         println!(
             "{}",
             row(
                 design.label(),
                 &[
-                    w.hottest_line.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+                    w.hottest_line
+                        .map(|l| l.to_string())
+                        .unwrap_or_else(|| "-".into()),
                     format!("{}", w.max_line_writes),
                     format!("{:.2}", w.mean_line_writes),
                 ]

@@ -4,14 +4,22 @@
 //! Osiris Plus IPC and write-traffic deltas).
 //!
 //! ```text
-//! cargo run -p ccnvm-bench --release --bin fig5 [instructions]
+//! cargo run -p ccnvm-bench --release --bin fig5 [instructions] [threads]
 //! ```
+//!
+//! The benchmark × design matrix points are independent simulations;
+//! they run on `threads` workers (default: all cores, or
+//! `CCNVM_BENCH_THREADS`). Results are identical at any thread count.
 
 use ccnvm::prelude::*;
-use ccnvm_bench::{geomean, instructions_from_args, mean, row, run_design};
+use ccnvm_bench::{
+    geomean, instructions_from_args, mean, parallel::parallel_map, row, run_design,
+    threads_from_args,
+};
 
 fn main() {
     let instructions = instructions_from_args();
+    let threads = threads_from_args();
     let suite = profiles::spec2006();
     let designs = DesignKind::ALL;
 
@@ -20,18 +28,25 @@ fn main() {
         instructions
     );
 
+    // Flatten the bench × design matrix and fan the independent
+    // simulations out across workers; results come back in input
+    // order, so the tables below are identical at any thread count.
+    let points: Vec<(WorkloadProfile, DesignKind)> = suite
+        .iter()
+        .flat_map(|p| designs.iter().map(|&d| (p.clone(), d)))
+        .collect();
+    eprintln!(
+        "running {} matrix points on {threads} thread(s)…",
+        points.len()
+    );
+    let flat = parallel_map(&points, threads, |_, (profile, design)| {
+        run_design(*design, profile, instructions)
+    });
     // bench -> design -> stats
-    let mut results: Vec<Vec<RunStats>> = Vec::new();
-    for profile in &suite {
-        eprint!("running {:<12}", profile.name);
-        let mut per_design = Vec::new();
-        for design in designs {
-            eprint!(" {design}…");
-            per_design.push(run_design(design, profile, instructions));
-        }
-        eprintln!(" done");
-        results.push(per_design);
-    }
+    let results: Vec<Vec<RunStats>> = flat
+        .chunks(designs.len())
+        .map(<[RunStats]>::to_vec)
+        .collect();
 
     let header: Vec<String> = designs.iter().map(|d| d.label().to_string()).collect();
 
@@ -56,7 +71,10 @@ fn main() {
         "{}",
         row(
             "average",
-            &avg_ipc.iter().map(|v| format!("{v:.3}")).collect::<Vec<_>>()
+            &avg_ipc
+                .iter()
+                .map(|v| format!("{v:.3}"))
+                .collect::<Vec<_>>()
         )
     );
 
@@ -124,10 +142,7 @@ fn main() {
             ),
             format!("{:.2}", base.wbpki()),
             format!("{:.1}", base.meta_hit_rate() * 100.0),
-            format!(
-                "{:.1}",
-                cc.write_backs as f64 / cc.drains.max(1) as f64
-            ),
+            format!("{:.1}", cc.write_backs as f64 / cc.drains.max(1) as f64),
         ];
         println!("{}", row(&profile.name, &cells));
     }

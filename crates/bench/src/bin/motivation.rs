@@ -7,14 +7,22 @@
 //! architecture without crash consistency guarantees".
 //!
 //! ```text
-//! cargo run -p ccnvm-bench --release --bin motivation [instructions]
+//! cargo run -p ccnvm-bench --release --bin motivation [instructions] [threads]
 //! ```
+//!
+//! The benchmark × {w/o CC, SC} matrix runs on `threads` workers
+//! (default: all cores, or `CCNVM_BENCH_THREADS`); results are
+//! identical at any thread count.
 
 use ccnvm::prelude::*;
-use ccnvm_bench::{geomean, instructions_from_args, mean, row, run_design};
+use ccnvm_bench::{
+    geomean, instructions_from_args, mean, parallel::parallel_map, row, run_design,
+    threads_from_args,
+};
 
 fn main() {
     let instructions = instructions_from_args();
+    let threads = threads_from_args();
     let suite = profiles::spec2006();
     println!(
         "§2.3 motivation — {} instructions per point\n",
@@ -33,11 +41,28 @@ fn main() {
         )
     );
 
+    // Each benchmark needs a (w/o CC, SC) pair: flatten to one matrix
+    // and fan it out, consuming results pairwise in input order.
+    let points: Vec<(WorkloadProfile, DesignKind)> = suite
+        .iter()
+        .flat_map(|p| {
+            [DesignKind::WithoutCc, DesignKind::StrictConsistency]
+                .into_iter()
+                .map(|d| (p.clone(), d))
+        })
+        .collect();
+    eprintln!(
+        "running {} matrix points on {threads} thread(s)…",
+        points.len()
+    );
+    let stats = parallel_map(&points, threads, |_, (profile, design)| {
+        run_design(*design, profile, instructions)
+    });
+
     let mut ipc_ratio = Vec::new();
     let mut write_ratio = Vec::new();
-    for profile in &suite {
-        let base = run_design(DesignKind::WithoutCc, profile, instructions);
-        let sc = run_design(DesignKind::StrictConsistency, profile, instructions);
+    for (profile, pair) in suite.iter().zip(stats.chunks(2)) {
+        let (base, sc) = (&pair[0], &pair[1]);
         let r_ipc = sc.ipc() / base.ipc();
         ipc_ratio.push(r_ipc);
         // Cache-resident benchmarks may emit no NVM writes in a short

@@ -115,8 +115,8 @@ fn main() {
         };
         let ctr_replay = {
             let mut img = img.clone();
-            let ctr = ccnvm::layout::SecureLayout::new(img.capacity_bytes)
-                .counter_line_of(LineAddr(0));
+            let ctr =
+                ccnvm::layout::SecureLayout::new(img.capacity_bytes).counter_line_of(LineAddr(0));
             attack::replay_counter(&mut img, &old, ctr);
             let r = recover(&img);
             if design == DesignKind::OsirisPlus {
@@ -137,9 +137,10 @@ fn main() {
             let mut img = img.clone();
             attack::replay_data(&mut img, &old, LineAddr(0));
             let r = recover(&img);
-            if r.located.iter().any(|a| {
-                matches!(a, LocatedAttack::DataTampered { line } if *line == LineAddr(0))
-            }) {
+            if r.located
+                .iter()
+                .any(|a| matches!(a, LocatedAttack::DataTampered { line } if *line == LineAddr(0)))
+            {
                 "LOCATED"
             } else if r.potential_replay || !r.is_clean() {
                 "detected"
@@ -154,8 +155,7 @@ fn main() {
             let (old, mut img) = mid_epoch_images(design);
             attack::replay_data(&mut img, &old, LineAddr(0));
             let r = recover(&img);
-            if r
-                .located
+            if r.located
                 .iter()
                 .any(|a| matches!(a, LocatedAttack::DataTampered { .. }))
             {
@@ -180,9 +180,15 @@ fn main() {
             )
         );
     }
-    println!("\nLOCATED = exact tampered line identified; detected = attack known, location unknown.");
-    println!("The paper's claim: only cc-NVM both survives crashes *and* locates attacks afterwards");
-    println!("(SC locates too but at 5-7x write traffic; Osiris Plus can only detect, not locate).");
+    println!(
+        "\nLOCATED = exact tampered line identified; detected = attack known, location unknown."
+    );
+    println!(
+        "The paper's claim: only cc-NVM both survives crashes *and* locates attacks afterwards"
+    );
+    println!(
+        "(SC locates too but at 5-7x write traffic; Osiris Plus can only detect, not locate)."
+    );
 }
 
 fn detect_only(r: &RecoveryReport) -> &'static str {
@@ -194,8 +200,7 @@ fn detect_only(r: &RecoveryReport) -> &'static str {
 }
 
 fn verdict(r: &RecoveryReport, line: LineAddr) -> &'static str {
-    if r
-        .located
+    if r.located
         .iter()
         .any(|a| matches!(a, LocatedAttack::DataTampered { line: l } if *l == line))
     {
@@ -224,7 +229,8 @@ fn mid_epoch_images(design: DesignKind) -> (CrashImage, CrashImage) {
 fn two_epoch_images(design: DesignKind) -> (CrashImage, CrashImage) {
     let mut mem = SecureMemory::new(SimConfig::paper(design)).expect("valid config");
     for i in 0..40u64 {
-        mem.write_back(LineAddr((i % 4) * 64), i * 50_000).expect("wb");
+        mem.write_back(LineAddr((i % 4) * 64), i * 50_000)
+            .expect("wb");
     }
     mem.drain(10_000_000, DrainTrigger::External);
     let old = mem.crash_image();

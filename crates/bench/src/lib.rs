@@ -15,6 +15,9 @@
 
 use ccnvm::prelude::*;
 
+pub mod microbench;
+pub mod parallel;
+
 /// Instructions per simulation point used by the harness binaries.
 pub const DEFAULT_INSTRUCTIONS: u64 = 1_000_000;
 
@@ -51,6 +54,13 @@ pub fn instructions_from_args() -> u64 {
         .nth(1)
         .and_then(|s| s.replace('_', "").parse().ok())
         .unwrap_or(DEFAULT_INSTRUCTIONS)
+}
+
+/// Parses the optional worker-thread-count CLI argument (second
+/// positional), falling back to `CCNVM_BENCH_THREADS` and then to the
+/// machine's available parallelism.
+pub fn threads_from_args() -> usize {
+    parallel::thread_count(std::env::args().nth(2).and_then(|s| s.parse().ok()))
 }
 
 /// Geometric mean of `values` (the conventional aggregate for

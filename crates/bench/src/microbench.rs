@@ -1,0 +1,43 @@
+//! A minimal, dependency-free microbenchmark harness.
+//!
+//! The `benches/` targets use this instead of an external framework:
+//! each measurement self-calibrates its iteration count until a run
+//! takes at least [`TARGET_MS`] of wall clock, then reports the mean
+//! time per iteration. Results are indicative (no outlier rejection),
+//! which is all the workspace needs to spot order-of-magnitude
+//! regressions offline.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Minimum measured wall-clock per reported sample.
+const TARGET_MS: u128 = 50;
+
+/// Times `f`, printing the mean ns/iter under `name`.
+///
+/// The closure's return value is passed through [`black_box`] so the
+/// optimizer cannot delete the work.
+pub fn bench<R>(name: &str, mut f: impl FnMut() -> R) {
+    let mut iters: u64 = 1;
+    loop {
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let elapsed = start.elapsed();
+        if elapsed.as_millis() >= TARGET_MS || iters >= 1 << 30 {
+            let ns = elapsed.as_nanos() as f64 / iters as f64;
+            println!("{name:<44} {ns:>14.1} ns/iter   ({iters} iters)");
+            return;
+        }
+        // Grow towards the target in large steps to keep calibration
+        // cheap even for sub-nanosecond bodies.
+        let grow = (TARGET_MS as f64 * 1_000_000.0 / elapsed.as_nanos().max(1) as f64).ceil();
+        iters = iters.saturating_mul((grow as u64).clamp(2, 1024));
+    }
+}
+
+/// Prints a section header for a group of related measurements.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}

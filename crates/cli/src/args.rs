@@ -5,6 +5,7 @@
 //! ```text
 //! ccnvm-sim run     [--design D] [--bench B | --trace FILE] [--instructions N]
 //!                   [--seed S] [--limit-n N] [--queue-m M] [--split-meta] [--csv]
+//!                   [--threads T]
 //! ccnvm-sim sweep   --param {n|m} --values a,b,c [run options]
 //! ccnvm-sim recover [run options]                 # run, crash, recover, report
 //! ccnvm-sim list    # available designs and benchmarks
@@ -49,6 +50,10 @@ pub struct RunArgs {
     pub split_meta: bool,
     /// Emit CSV instead of human-readable output.
     pub csv: bool,
+    /// Worker threads for multi-point commands (`sweep`). `None`
+    /// falls back to `CCNVM_BENCH_THREADS`, then to the machine's
+    /// available parallelism.
+    pub threads: Option<usize>,
 }
 
 impl Default for RunArgs {
@@ -63,6 +68,7 @@ impl Default for RunArgs {
             queue_m: 64,
             split_meta: false,
             csv: false,
+            threads: None,
         }
     }
 }
@@ -119,6 +125,7 @@ OPTIONS:
   --queue-m M         dirty address queue entries                      [64]
   --split-meta        split counter/tree meta cache (default shared)
   --csv               machine-readable CSV output
+  --threads T         worker threads for sweep points          [all cores]
 ";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -155,6 +162,13 @@ fn parse_common<'a, I: Iterator<Item = &'a str>>(
         }
         "--split-meta" => args.split_meta = true,
         "--csv" => args.csv = true,
+        "--threads" => {
+            let n = parse_number(flag, take_value(flag, iter)?)? as usize;
+            if n == 0 {
+                return Err(ParseArgsError("--threads must be positive".into()));
+            }
+            args.threads = Some(n);
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -222,8 +236,7 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
                     }
                 }
             }
-            let param = param
-                .ok_or_else(|| ParseArgsError("sweep needs --param {n|m}".into()))?;
+            let param = param.ok_or_else(|| ParseArgsError("sweep needs --param {n|m}".into()))?;
             if values.is_empty() {
                 return Err(ParseArgsError("sweep needs --values a,b,c".into()));
             }
@@ -275,6 +288,8 @@ mod tests {
             "48",
             "--split-meta",
             "--csv",
+            "--threads",
+            "3",
         ])
         .unwrap() else {
             panic!("expected run");
@@ -287,6 +302,12 @@ mod tests {
         assert_eq!(args.queue_m, 48);
         assert!(args.split_meta);
         assert!(args.csv);
+        assert_eq!(args.threads, Some(3));
+    }
+
+    #[test]
+    fn zero_threads_is_an_error() {
+        assert!(parse(&["sweep", "--param", "n", "--values", "1", "--threads", "0"]).is_err());
     }
 
     #[test]

@@ -82,13 +82,13 @@ fn config_of(run: &RunArgs) -> Result<SimConfig, String> {
     if run.split_meta {
         config.meta_org = MetaCacheOrg::Split;
     }
-    config.validate()?;
+    config.validate().map_err(|e| e.to_string())?;
     Ok(config)
 }
 
 fn simulate(run: &RunArgs) -> Result<Simulator, String> {
     let config = config_of(run)?;
-    let mut sim = Simulator::new(config)?;
+    let mut sim = Simulator::new(config).map_err(|e| e.to_string())?;
     if let Some(path) = &run.trace {
         let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
         let ops = ccnvm_trace::text::read_trace(BufReader::new(file))
@@ -106,7 +106,8 @@ fn simulate(run: &RunArgs) -> Result<Simulator, String> {
         let profile = profiles::by_name(&run.bench)
             .ok_or_else(|| format!("unknown benchmark {:?} (try `list`)", run.bench))?;
         let trace = TraceGenerator::new(profile, run.seed);
-        sim.run(trace, run.instructions).map_err(|e| e.to_string())?;
+        sim.run(trace, run.instructions)
+            .map_err(|e| e.to_string())?;
     }
     Ok(sim)
 }
@@ -126,7 +127,9 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
         let wear = sim.memory().wear_stats();
         println!(
             "wear: hottest line {} with {} writes; {} lines written (mean {:.2})",
-            wear.hottest_line.map(|l| l.to_string()).unwrap_or_else(|| "-".into()),
+            wear.hottest_line
+                .map(|l| l.to_string())
+                .unwrap_or_else(|| "-".into()),
             wear.max_line_writes,
             wear.lines_written,
             wear.mean_line_writes
@@ -144,19 +147,32 @@ fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
             "value", "IPC", "NVM writes", "epochs", "wb/epoch"
         );
     }
-    for &value in &sweep.values {
-        let mut run = sweep.run.clone();
-        let name = match sweep.param {
-            SweepParam::N => {
-                run.limit_n = value as u32;
-                "n"
-            }
-            SweepParam::M => {
-                run.queue_m = value as usize;
-                "m"
-            }
-        };
-        let stats = simulate(&run)?.stats();
+    // Sweep points are independent simulations: fan them out and print
+    // the results in sweep order, identical at any thread count.
+    let points: Vec<(&'static str, u64, RunArgs)> = sweep
+        .values
+        .iter()
+        .map(|&value| {
+            let mut run = sweep.run.clone();
+            let name = match sweep.param {
+                SweepParam::N => {
+                    run.limit_n = value as u32;
+                    "n"
+                }
+                SweepParam::M => {
+                    run.queue_m = value as usize;
+                    "m"
+                }
+            };
+            (name, value, run)
+        })
+        .collect();
+    let threads = ccnvm_bench::parallel::thread_count(sweep.run.threads);
+    let results = ccnvm_bench::parallel::parallel_map(&points, threads, |_, (_, _, run)| {
+        simulate(run).map(|sim| sim.stats())
+    });
+    for ((name, value, run), stats) in points.iter().zip(results) {
+        let stats = stats?;
         if run.csv {
             println!(
                 "{},{},{},{},{}",
@@ -213,5 +229,43 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
     } else {
         println!("verdict: UNRECOVERABLE — expected for w/o CC, the motivating deficiency");
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod sweep_tests {
+    use super::*;
+
+    /// The parallel sweep must produce the same per-point stats as
+    /// serial simulation, whatever the worker count.
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let base = RunArgs {
+            instructions: 20_000,
+            ..RunArgs::default()
+        };
+        let sweep = SweepArgs {
+            run: base.clone(),
+            param: SweepParam::N,
+            values: vec![4, 16, 64],
+        };
+        let points: Vec<RunArgs> = sweep
+            .values
+            .iter()
+            .map(|&v| {
+                let mut r = base.clone();
+                r.limit_n = v as u32;
+                r
+            })
+            .collect();
+        let serial: Vec<RunStats> = points
+            .iter()
+            .map(|r| simulate(r).unwrap().stats())
+            .collect();
+        let parallel =
+            ccnvm_bench::parallel::parallel_map(&points, 3, |_, r| simulate(r).unwrap().stats());
+        for (s, p) in serial.iter().zip(&parallel) {
+            assert_eq!(s.csv_row(), p.csv_row());
+        }
     }
 }

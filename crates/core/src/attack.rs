@@ -132,9 +132,9 @@ mod tests {
         let mut img = m.crash_image();
         spoof_data(&mut img, LineAddr(3 * 64));
         let report = recover(&img);
-        assert!(report
-            .located
-            .contains(&LocatedAttack::DataTampered { line: LineAddr(192) }));
+        assert!(report.located.contains(&LocatedAttack::DataTampered {
+            line: LineAddr(192)
+        }));
         assert!(!report.is_clean());
     }
 

@@ -111,7 +111,8 @@ impl Bmt {
         } else {
             self.layout.node_line(level, idx)
         };
-        src.load_meta(line).unwrap_or_else(|| self.default_node(level))
+        src.load_meta(line)
+            .unwrap_or_else(|| self.default_node(level))
     }
 
     /// HMAC of the child `(level, idx)` with `content`, as its parent
@@ -348,8 +349,7 @@ mod tests {
     #[test]
     fn update_order_does_not_matter() {
         let b = bmt();
-        let contents: Vec<(u64, Line)> =
-            vec![(1, [9u8; 64]), (2, [8u8; 64]), (200, [7u8; 64])];
+        let contents: Vec<(u64, Line)> = vec![(1, [9u8; 64]), (2, [8u8; 64]), (200, [7u8; 64])];
         let mut s1 = LineStore::new();
         for (i, c) in &contents {
             s1.write(b.layout().counter_line_at(*i), *c);
@@ -383,7 +383,13 @@ mod tests {
         // Tamper with the counter line behind the tree's back.
         store.write(b.layout().counter_line_at(42), [6u8; 64]);
         let err = b.verify_path(&store, 42, &root).unwrap_err();
-        assert_eq!(err, TreeMismatch { child_level: 0, child_index: 42 });
+        assert_eq!(
+            err,
+            TreeMismatch {
+                child_level: 0,
+                child_index: 42
+            }
+        );
     }
 
     #[test]
@@ -437,7 +443,10 @@ mod tests {
         // Replay the counter line to its old value.
         store.write(b.layout().counter_line_at(8), old_counter);
         let found = b.consistency_scan(&store);
-        assert!(found.contains(&TreeMismatch { child_level: 0, child_index: 8 }));
+        assert!(found.contains(&TreeMismatch {
+            child_level: 0,
+            child_index: 8
+        }));
     }
 
     #[test]

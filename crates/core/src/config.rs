@@ -202,23 +202,25 @@ impl SimConfig {
     ///
     /// # Errors
     ///
-    /// Returns a message when a constraint from the paper is violated
-    /// (e.g. the dirty address queue exceeding the WPQ, §5.3).
-    pub fn validate(&self) -> Result<(), String> {
+    /// Returns the violated constraint when a requirement from the
+    /// paper is broken (e.g. the dirty address queue exceeding the
+    /// WPQ, §5.3).
+    pub fn validate(&self) -> Result<(), crate::error::ConfigError> {
+        use crate::error::ConfigError;
         if self.dirty_queue_entries == 0 {
-            return Err("dirty address queue needs at least one entry".into());
+            return Err(ConfigError::DirtyQueueEmpty);
         }
         if self.dirty_queue_entries > self.mem.wpq_entries {
-            return Err(format!(
-                "dirty address queue ({}) must not exceed the WPQ ({})",
-                self.dirty_queue_entries, self.mem.wpq_entries
-            ));
+            return Err(ConfigError::DirtyQueueExceedsWpq {
+                entries: self.dirty_queue_entries,
+                wpq: self.mem.wpq_entries,
+            });
         }
         if self.update_limit == 0 {
-            return Err("update limit N must be positive".into());
+            return Err(ConfigError::UpdateLimitZero);
         }
         if self.issue_width == 0 {
-            return Err("issue width must be positive".into());
+            return Err(ConfigError::IssueWidthZero);
         }
         Ok(())
     }
@@ -258,7 +260,10 @@ mod tests {
     #[test]
     fn parse_design() {
         assert_eq!("ccnvm".parse::<DesignKind>().unwrap(), DesignKind::CcNvm);
-        assert_eq!("SC".parse::<DesignKind>().unwrap(), DesignKind::StrictConsistency);
+        assert_eq!(
+            "SC".parse::<DesignKind>().unwrap(),
+            DesignKind::StrictConsistency
+        );
         assert!("bogus".parse::<DesignKind>().is_err());
     }
 

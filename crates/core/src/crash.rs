@@ -8,7 +8,7 @@
 
 use crate::config::DesignKind;
 use crate::tcb::Tcb;
-use ccnvm_mem::{LineStore, LineAddr};
+use ccnvm_mem::{LineAddr, LineStore};
 use std::collections::HashMap;
 
 /// The durable state recovery starts from.

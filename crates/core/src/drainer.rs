@@ -158,7 +158,10 @@ mod tests {
         let mut q = DirtyAddressQueue::new(2);
         assert!(q.try_insert_all(&lines(&[1, 2])));
         assert_eq!(q.free(), 0);
-        assert!(q.try_insert_all(&lines(&[1, 2])), "all-duplicates still fit");
+        assert!(
+            q.try_insert_all(&lines(&[1, 2])),
+            "all-duplicates still fit"
+        );
     }
 
     #[test]

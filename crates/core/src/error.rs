@@ -59,6 +59,121 @@ impl fmt::Display for IntegrityError {
 
 impl Error for IntegrityError {}
 
+/// A structurally invalid [`SimConfig`](crate::config::SimConfig).
+///
+/// Raised by [`SimConfig::validate`](crate::config::SimConfig::validate)
+/// and by the constructors that call it
+/// ([`SecureMemory::new`](crate::secmem::SecureMemory::new),
+/// [`Simulator::new`](crate::sim::Simulator::new)).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConfigError {
+    /// The dirty address queue has zero entries.
+    DirtyQueueEmpty,
+    /// The dirty address queue is larger than the WPQ it drains into.
+    DirtyQueueExceedsWpq {
+        /// Configured dirty address queue entries.
+        entries: usize,
+        /// Configured WPQ entries.
+        wpq: usize,
+    },
+    /// A drainer design's dirty address queue cannot hold even one
+    /// full tree path, so no write-back could ever reserve its
+    /// metadata addresses.
+    DirtyQueueTooSmallForPath {
+        /// Configured dirty address queue entries.
+        entries: usize,
+        /// Lines in one counter-to-root path.
+        path_lines: usize,
+    },
+    /// The update limit N is zero.
+    UpdateLimitZero,
+    /// The core issue width is zero.
+    IssueWidthZero,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::DirtyQueueEmpty => {
+                write!(f, "dirty address queue needs at least one entry")
+            }
+            ConfigError::DirtyQueueExceedsWpq { entries, wpq } => write!(
+                f,
+                "dirty address queue ({entries}) must not exceed the WPQ ({wpq})"
+            ),
+            ConfigError::DirtyQueueTooSmallForPath {
+                entries,
+                path_lines,
+            } => write!(
+                f,
+                "dirty address queue ({entries}) cannot hold one tree path ({path_lines} lines)"
+            ),
+            ConfigError::UpdateLimitZero => write!(f, "update limit N must be positive"),
+            ConfigError::IssueWidthZero => write!(f, "issue width must be positive"),
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// Why [`SecureMemory::resume`](crate::secmem::SecureMemory::resume)
+/// refused to rebuild a running instance from a crash image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResumeError {
+    /// The supplied configuration is invalid on its own.
+    Config(ConfigError),
+    /// The configuration's capacity does not match the image's.
+    CapacityMismatch {
+        /// Capacity in the supplied configuration.
+        config: u64,
+        /// Capacity recorded in the crash image.
+        image: u64,
+    },
+    /// The recovery report carries located attacks or a detected
+    /// replay — resuming would silently bless tampered state.
+    TamperedImage {
+        /// Number of located attacks in the report.
+        located: usize,
+        /// Whether the report flagged a potential replay.
+        potential_replay: bool,
+    },
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Config(e) => e.fmt(f),
+            ResumeError::CapacityMismatch { config, image } => write!(
+                f,
+                "config capacity {config} does not match the image's {image}"
+            ),
+            ResumeError::TamperedImage {
+                located,
+                potential_replay,
+            } => write!(
+                f,
+                "refusing to resume over a tampered image ({located} located attacks, \
+                 potential replay: {potential_replay})"
+            ),
+        }
+    }
+}
+
+impl Error for ResumeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ResumeError::Config(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ConfigError> for ResumeError {
+    fn from(e: ConfigError) -> Self {
+        ResumeError::Config(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -72,5 +187,34 @@ mod tests {
             child_index: 7,
         };
         assert!(e.to_string().contains("level 2"));
+    }
+
+    #[test]
+    fn config_error_messages_name_the_constraint() {
+        assert!(ConfigError::DirtyQueueEmpty
+            .to_string()
+            .contains("at least one"));
+        let e = ConfigError::DirtyQueueExceedsWpq { entries: 9, wpq: 4 };
+        assert!(e.to_string().contains("(9)") && e.to_string().contains("(4)"));
+        let e = ConfigError::DirtyQueueTooSmallForPath {
+            entries: 2,
+            path_lines: 5,
+        };
+        assert!(e.to_string().contains("tree path"));
+        assert!(ConfigError::UpdateLimitZero
+            .to_string()
+            .contains("positive"));
+    }
+
+    #[test]
+    fn resume_error_wraps_and_chains() {
+        let e = ResumeError::from(ConfigError::IssueWidthZero);
+        assert_eq!(e.to_string(), ConfigError::IssueWidthZero.to_string());
+        assert!(e.source().is_some());
+        let e = ResumeError::TamperedImage {
+            located: 2,
+            potential_replay: false,
+        };
+        assert!(e.to_string().contains("tampered"));
     }
 }

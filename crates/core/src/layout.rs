@@ -207,7 +207,10 @@ impl SecureLayout {
             "level {level} out of range"
         );
         let count = self.level_count[level - 1];
-        assert!(idx < count, "node index {idx} out of range at level {level}");
+        assert!(
+            idx < count,
+            "node index {idx} out of range at level {level}"
+        );
         LineAddr(self.level_base[level - 1] + idx)
     }
 
@@ -302,8 +305,14 @@ mod tests {
     fn counter_mapping() {
         let l = SecureLayout::new(1 << 20);
         // Lines 0..63 share page 0's counter line; line 64 starts page 1.
-        assert_eq!(l.counter_line_of(LineAddr(0)), l.counter_line_of(LineAddr(63)));
-        assert_ne!(l.counter_line_of(LineAddr(63)), l.counter_line_of(LineAddr(64)));
+        assert_eq!(
+            l.counter_line_of(LineAddr(0)),
+            l.counter_line_of(LineAddr(63))
+        );
+        assert_ne!(
+            l.counter_line_of(LineAddr(63)),
+            l.counter_line_of(LineAddr(64))
+        );
         let ctr = l.counter_line_of(LineAddr(64));
         assert_eq!(l.counter_index(ctr), 1);
         assert_eq!(l.counter_line_at(1), ctr);

@@ -16,8 +16,12 @@
 //!   4-ary Bonsai Merkle Tree and the on-chip keys/registers.
 //! * [`secmem`] — the memory-controller-side machinery: Meta Cache,
 //!   encryption engine, the Drainer's dirty address queue
-//!   ([`drainer`]), the epoch-based atomic drain protocol, and the
-//!   five evaluated designs ([`config::DesignKind`]).
+//!   ([`drainer`]) and the five evaluated designs
+//!   ([`config::DesignKind`]); its pipeline is layered across
+//!   [`writepath`] (the phased write-back), [`epoch`] (the atomic
+//!   drain protocol), [`persist`] (durable state and crash images,
+//!   behind [`ccnvm_mem::DurableBackend`]) and [`verify`] (metadata
+//!   fetching/authentication).
 //! * [`sim`] — the trace-driven core + L1/L2 model that turns
 //!   workloads from `ccnvm-trace` into IPC and write-traffic numbers
 //!   ([`stats::RunStats`]).
@@ -54,21 +58,25 @@ pub mod counter;
 pub mod crash;
 pub mod drainer;
 pub mod engine;
+pub mod epoch;
 pub mod error;
 pub mod layout;
 pub mod metacache;
+pub mod persist;
 pub mod recovery;
 pub mod secmem;
 pub mod sim;
 pub mod stats;
 pub mod tcb;
+pub mod verify;
 pub mod view;
+pub mod writepath;
 
 /// One-stop imports for examples and the benchmark harness.
 pub mod prelude {
     pub use crate::config::{DesignKind, SimConfig};
     pub use crate::crash::CrashImage;
-    pub use crate::error::IntegrityError;
+    pub use crate::error::{ConfigError, IntegrityError, ResumeError};
     pub use crate::recovery::{recover, LocatedAttack, RecoveryReport, RootMatch};
     pub use crate::secmem::{DrainTrigger, SecureMemory};
     pub use crate::sim::{run_profile, Simulator};

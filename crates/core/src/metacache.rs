@@ -57,10 +57,7 @@ impl MetaCache {
             MetaCacheOrg::Shared => (SetAssocCache::new(config), None),
             MetaCacheOrg::Split => {
                 let half = CacheConfig::new(config.capacity_bytes / 2, config.ways);
-                (
-                    SetAssocCache::new(half),
-                    Some(SetAssocCache::new(half)),
-                )
+                (SetAssocCache::new(half), Some(SetAssocCache::new(half)))
             }
         };
         let counter_base = layout.counter_line_at(0).0;
@@ -132,13 +129,11 @@ impl MetaCache {
         self.bank_for_mut(line).invalidate(line).map(|e| e.dirty)
     }
 
-    /// All resident dirty lines across both banks.
-    pub fn dirty_lines(&self) -> Vec<LineAddr> {
-        let mut v = self.primary.dirty_lines();
-        if let Some(tree) = &self.tree {
-            v.extend(tree.dirty_lines());
-        }
-        v
+    /// All resident dirty lines across both banks, allocation-free.
+    pub fn dirty_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.primary
+            .dirty_lines()
+            .chain(self.tree.iter().flat_map(|t| t.dirty_lines()))
     }
 
     /// `(hits, misses)` aggregated across banks.
@@ -231,9 +226,9 @@ mod tests {
         let mut c = MetaCache::new(CacheConfig::new(4096, 4), MetaCacheOrg::Split, &l);
         c.access(ctr_line(&l, 3), true);
         c.payload_mut(ctr_line(&l, 3)).unwrap().updates = 7;
-        assert_eq!(c.dirty_lines(), vec![ctr_line(&l, 3)]);
+        assert_eq!(c.dirty_lines().collect::<Vec<_>>(), vec![ctr_line(&l, 3)]);
         assert!(c.mark_clean(ctr_line(&l, 3)));
-        assert!(c.dirty_lines().is_empty());
+        assert_eq!(c.dirty_lines().count(), 0);
         assert_eq!(c.invalidate(ctr_line(&l, 3)), Some(false));
         assert!(c.is_empty());
     }

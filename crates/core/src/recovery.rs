@@ -245,8 +245,7 @@ pub fn recover(image: &CrashImage) -> RecoveryReport {
     }
 
     // Step 3: potential replay detection (deferred spreading only).
-    let potential_replay =
-        image.design == DesignKind::CcNvm && total_retries != image.tcb.nwb;
+    let potential_replay = image.design == DesignKind::CcNvm && total_retries != image.tcb.nwb;
 
     // Step 4: rebuild the tree over the recovered counters.
     let counters: Vec<(u64, [u8; 64])> = working

@@ -15,6 +15,21 @@
 //! the real cryptographic state transitions, so a crash at any point
 //! yields a byte-accurate durable image for recovery.
 //!
+//! The implementation is layered across sibling modules, each owning
+//! one stage of the pipeline:
+//!
+//! * [`crate::writepath`] — the phase-structured write-back pipeline
+//!   and counter-overflow page re-encryption;
+//! * [`crate::epoch`] — the drainer: dirty address queue bookkeeping
+//!   and the stage/commit/discard drain protocol;
+//! * [`crate::persist`] — the durable NVM image (behind
+//!   [`ccnvm_mem::DurableBackend`]), crash images, recovery resume;
+//! * [`crate::verify`] — Meta Cache installs and the HMAC/BMT
+//!   verification shared by the read and recovery paths.
+//!
+//! This module keeps the shared state, construction, functional value
+//! resolution and the read path.
+//!
 //! ## The three NVM value layers
 //!
 //! * `durable` — physically persistent content; the only thing a crash
@@ -34,22 +49,17 @@
 use crate::bmt::Bmt;
 use crate::config::{DesignKind, SimConfig};
 use crate::counter::CounterLine;
-use crate::crash::{CrashImage, GroundTruth};
 use crate::drainer::DirtyAddressQueue;
-use crate::engine::CryptoEngine;
-use crate::error::IntegrityError;
+use crate::error::{ConfigError, IntegrityError};
 use crate::layout::SecureLayout;
 use crate::metacache::MetaCache;
+use crate::persist::NvmState;
 use crate::stats::{Histogram, RunStats};
-use crate::tcb::{Keys, Tcb};
-use crate::view::{MetaSource, MetaView};
-use ccnvm_crypto::latency::{
-    AES_LATENCY_CYCLES, DIRTY_QUEUE_LOOKUP_CYCLES, HMAC_LATENCY_CYCLES,
-};
+use crate::tcb::Tcb;
+use ccnvm_crypto::latency::AES_LATENCY_CYCLES;
 use ccnvm_crypto::Mac128;
 use ccnvm_mem::timing::BoundedQueue;
 use ccnvm_mem::{Cycle, Line, LineAddr, LineStore, MemController};
-use std::collections::HashMap;
 
 /// Why a drain was triggered (§4.2 lists the first three).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -87,9 +97,7 @@ pub fn pattern(line: LineAddr, version: u64) -> Line {
         return [0u8; 64];
     }
     let mut out = [0u8; 64];
-    let mut x = line
-        .0
-        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+    let mut x = line.0.wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ version.wrapping_mul(0xd1b5_4a32_d192_ed03)
         ^ 0x243f_6a88_85a3_08d3;
     for chunk in out.chunks_exact_mut(8) {
@@ -99,29 +107,6 @@ pub fn pattern(line: LineAddr, version: u64) -> Line {
         chunk.copy_from_slice(&x.to_le_bytes());
     }
     out
-}
-
-/// Chip-over-NVM metadata view used by full-path tree updates.
-struct ChipView<'a> {
-    chip: &'a mut LineStore,
-    overlay: &'a LineStore,
-    durable: &'a LineStore,
-}
-
-impl MetaSource for ChipView<'_> {
-    fn load_meta(&self, line: LineAddr) -> Option<Line> {
-        self.chip
-            .get(line)
-            .or_else(|| self.overlay.get(line))
-            .or_else(|| self.durable.get(line))
-            .copied()
-    }
-}
-
-impl MetaView for ChipView<'_> {
-    fn store_meta(&mut self, line: LineAddr, content: Line) {
-        self.chip.write(line, content);
-    }
 }
 
 /// The secure memory subsystem for one of the five designs.
@@ -142,68 +127,36 @@ impl MetaView for ChipView<'_> {
 /// ```
 #[derive(Debug)]
 pub struct SecureMemory {
-    config: SimConfig,
-    layout: SecureLayout,
-    bmt: Bmt,
-    tcb: Tcb,
-    durable: LineStore,
-    overlay: LineStore,
-    chip_meta: LineStore,
-    staged: Vec<(LineAddr, Line)>,
-    meta_cache: MetaCache,
-    dirty_queue: DirtyAddressQueue,
-    mc: MemController,
-    wb_buffer: BoundedQueue,
-    engine_busy_until: Cycle,
-    nvm_version: HashMap<u64, u64>,
+    pub(crate) config: SimConfig,
+    pub(crate) layout: SecureLayout,
+    pub(crate) bmt: Bmt,
+    pub(crate) tcb: Tcb,
+    pub(crate) nvm: NvmState,
+    pub(crate) chip_meta: LineStore,
+    pub(crate) staged: Vec<(LineAddr, Line)>,
+    pub(crate) meta_cache: MetaCache,
+    pub(crate) dirty_queue: DirtyAddressQueue,
+    pub(crate) mc: MemController,
+    pub(crate) wb_buffer: BoundedQueue,
+    pub(crate) engine_busy_until: Cycle,
     /// Write-backs since the last committed drain (for the epoch-length
     /// histogram; mirrors `tcb.nwb` but is kept for every design).
-    wbs_this_epoch: u64,
-    epoch_lengths: Histogram,
+    pub(crate) wbs_this_epoch: u64,
+    pub(crate) epoch_lengths: Histogram,
     pub(crate) stats: RunStats,
 }
 
 impl SecureMemory {
-    /// Builds the subsystem for `config`.
+    /// Builds the subsystem for `config` over an in-memory durable
+    /// store (see [`Self::with_backend`] to substitute one).
     ///
     /// # Errors
     ///
-    /// Returns a description of the violated constraint when the
-    /// configuration is inconsistent (see [`SimConfig::validate`]), or
-    /// when the dirty address queue cannot hold one full tree path.
-    pub fn new(config: SimConfig) -> Result<Self, String> {
-        config.validate()?;
-        let layout = SecureLayout::new(config.capacity_bytes);
-        if config.design.has_drainer() && config.dirty_queue_entries < layout.path_lines() {
-            return Err(format!(
-                "dirty address queue ({}) cannot hold one tree path ({} lines)",
-                config.dirty_queue_entries,
-                layout.path_lines()
-            ));
-        }
-        let keys = Keys::from_seed(config.key_seed);
-        let engine = CryptoEngine::new(&keys);
-        let bmt = Bmt::new(layout.clone(), engine);
-        let tcb = Tcb::new(keys, bmt.default_root());
-        Ok(Self {
-            meta_cache: MetaCache::new(config.meta, config.meta_org, &layout),
-            dirty_queue: DirtyAddressQueue::new(config.dirty_queue_entries),
-            mc: MemController::new(config.mem),
-            wb_buffer: BoundedQueue::new(config.wb_buffer_entries),
-            engine_busy_until: 0,
-            layout,
-            bmt,
-            tcb,
-            durable: LineStore::new(),
-            overlay: LineStore::new(),
-            chip_meta: LineStore::new(),
-            staged: Vec::new(),
-            nvm_version: HashMap::new(),
-            wbs_this_epoch: 0,
-            epoch_lengths: Histogram::new(&[4, 8, 16, 32, 64, 128]),
-            stats: RunStats::default(),
-            config,
-        })
+    /// Returns the violated constraint when the configuration is
+    /// inconsistent (see [`SimConfig::validate`]), or when the dirty
+    /// address queue cannot hold one full tree path.
+    pub fn new(config: SimConfig) -> Result<Self, ConfigError> {
+        Self::with_backend(config, Box::new(LineStore::new()))
     }
 
     /// The active design.
@@ -256,14 +209,11 @@ impl SecureMemory {
 
     // ----- functional value resolution --------------------------------
 
-    fn functional_nvm(&self, line: LineAddr) -> Option<Line> {
-        self.overlay
-            .get(line)
-            .or_else(|| self.durable.get(line))
-            .copied()
+    pub(crate) fn functional_nvm(&self, line: LineAddr) -> Option<Line> {
+        self.nvm.functional(line)
     }
 
-    fn meta_default(&self, line: LineAddr) -> Line {
+    pub(crate) fn meta_default(&self, line: LineAddr) -> Line {
         if self.layout.is_tree_line(line) {
             let (level, _) = self.layout.node_of_line(line);
             self.bmt.default_node(level)
@@ -273,7 +223,7 @@ impl SecureMemory {
     }
 
     /// Current (runtime-truth) content of a metadata line.
-    fn meta_content(&self, line: LineAddr) -> Line {
+    pub(crate) fn meta_content(&self, line: LineAddr) -> Line {
         self.chip_meta
             .get(line)
             .copied()
@@ -282,7 +232,7 @@ impl SecureMemory {
     }
 
     /// `(level, index)` of a counter or tree line.
-    fn level_of(&self, line: LineAddr) -> (usize, u64) {
+    pub(crate) fn level_of(&self, line: LineAddr) -> (usize, u64) {
         if self.layout.is_counter_line(line) {
             (0, self.layout.counter_index(line))
         } else {
@@ -290,7 +240,7 @@ impl SecureMemory {
         }
     }
 
-    fn parent_of(&self, line: LineAddr) -> Option<LineAddr> {
+    pub(crate) fn parent_of(&self, line: LineAddr) -> Option<LineAddr> {
         let (level, idx) = self.level_of(line);
         if level >= self.layout.internal_levels() {
             None
@@ -311,221 +261,6 @@ impl SecureMemory {
         let line = self.layout.node_line(top, 0);
         let content = self.meta_content(line);
         self.bmt.engine().node_mac(top, 0, &content)
-    }
-
-    // ----- meta cache management --------------------------------------
-
-    /// Persists a metadata line into durable NVM (and removes any
-    /// stale overlay copy so runtime reads stay coherent).
-    fn persist_meta(&mut self, line: LineAddr, content: Line) {
-        self.durable.write(line, content);
-        self.overlay.erase(line);
-    }
-
-    /// Posts a write through the regular write queue, counting it in
-    /// `category_counter` only when the controller actually issued an
-    /// array write (writes coalesced into a pending entry are free).
-    fn post_write(&mut self, line: LineAddr, t: Cycle) -> (Cycle, bool) {
-        let before = self.mc.stats().writes;
-        let at = self.mc.write(line, t);
-        (at, self.mc.stats().writes > before)
-    }
-
-    /// Installs `line` into the Meta Cache, handling a dirty victim per
-    /// the active design. The content is resolved from the NVM layer
-    /// *after* room is made, so repairs triggered by the eviction are
-    /// never lost. Returns the advanced clock.
-    fn install_meta(&mut self, line: LineAddr, mut t: Cycle) -> Cycle {
-        while let Some((victim, dirty)) = self.meta_cache.peek_victim(line) {
-            if dirty && self.design().has_drainer() {
-                // Trigger 2: a dirty line is about to be evicted — drain
-                // first so the eviction is clean.
-                t = self.drain(t, DrainTrigger::DirtyEviction);
-                assert!(
-                    !self.meta_cache.is_dirty(victim),
-                    "drain must clean every dirty metadata line ({victim} was \
-                     dirty outside the dirty address queue)"
-                );
-                continue; // re-check: the victim is clean now
-            }
-            self.meta_cache.invalidate(victim);
-            let victim_content = self
-                .chip_meta
-                .erase(victim)
-                .unwrap_or_else(|| self.meta_default(victim));
-            if dirty {
-                t = self.evict_dirty_meta(victim, victim_content, t);
-            }
-        }
-        let content = self
-            .functional_nvm(line)
-            .unwrap_or_else(|| self.meta_default(line));
-        let result = self.meta_cache.access(line, false);
-        debug_assert!(result.evicted.is_none(), "room was made above");
-        debug_assert!(result.is_miss(), "install_meta on a resident line");
-        self.chip_meta.write(line, content);
-        t
-    }
-
-    /// Handles a dirty metadata eviction for the non-drainer designs:
-    /// write the victim out (durably for w/o CC and SC; to the
-    /// functional overlay for Osiris Plus, whose online check recovers
-    /// the value) and repair the authentication chain above it.
-    fn evict_dirty_meta(&mut self, victim: LineAddr, content: Line, mut t: Cycle) -> Cycle {
-        match self.design() {
-            DesignKind::WithoutCc | DesignKind::StrictConsistency => {
-                self.persist_meta(victim, content);
-                let (at, issued) = self.post_write(victim, t);
-                t = at;
-                if issued {
-                    self.stats.meta_writes += 1;
-                }
-            }
-            DesignKind::OsirisPlus => {
-                // Not persisted: recoverable online within N updates.
-                self.overlay.write(victim, content);
-            }
-            DesignKind::CcNvmNoDs | DesignKind::CcNvm => {
-                unreachable!("drainer designs drain before evicting dirty lines")
-            }
-        }
-        self.repair_chain(victim, &content, t)
-    }
-
-    /// Repairs the authentication chain after a dirty line left the
-    /// cache with new content: walks upward, refreshing each ancestor's
-    /// slot *where that ancestor lives* — in the Meta Cache (patch,
-    /// mark dirty, stop: the frontier is trusted from there) or in the
-    /// NVM layer (read-modify-write, continue, since that ancestor's
-    /// own parent link is now stale). Reaching past the top node
-    /// refreshes the TCB root registers.
-    ///
-    /// Crucially this never installs anything into the Meta Cache, so
-    /// it cannot trigger further evictions — eviction repair is
-    /// reentrancy-free.
-    fn repair_chain(&mut self, from: LineAddr, content: &Line, mut t: Cycle) -> Cycle {
-        let (mut level, mut idx) = self.level_of(from);
-        let mut child_content = *content;
-        let top = self.layout.internal_levels();
-        loop {
-            self.stats.hmacs += 1;
-            t += HMAC_LATENCY_CYCLES;
-            if level == top {
-                let root = self.bmt.engine().node_mac(top, 0, &child_content);
-                self.tcb.root_new = root;
-                self.tcb.root_old = root;
-                return t;
-            }
-            let mac = self.bmt.child_mac(level, idx, &child_content);
-            let parent = self.layout.node_line(level + 1, idx / 4);
-            let off = (idx % 4) as usize * 16;
-            if self.meta_cache.contains(parent) {
-                let mut pcontent = self.meta_content(parent);
-                pcontent[off..off + 16].copy_from_slice(&mac);
-                self.chip_meta.write(parent, pcontent);
-                self.meta_cache.mark_dirty(parent);
-                return t;
-            }
-            // Parent lives in the NVM layer: read-modify-write into the
-            // functional overlay and keep walking — its own parent link
-            // is now stale. In the classical hardware the parent would
-            // instead be fetched into the cache and dirtied (so the net
-            // NVM traffic per dirty eviction is one line — the victim);
-            // the overlay models exactly that deferred state without
-            // the cache-install reentrancy, and charges the fetch.
-            let mut pcontent = self
-                .functional_nvm(parent)
-                .unwrap_or_else(|| self.meta_default(parent));
-            pcontent[off..off + 16].copy_from_slice(&mac);
-            // The fetch is memory-side work that overlaps with the
-            // engine's HMAC chain; charge the traffic, not the engine.
-            let _ = self.mc.read(parent, t);
-            self.overlay.write(parent, pcontent);
-            child_content = pcontent;
-            level += 1;
-            idx /= 4;
-        }
-    }
-
-    /// Brings `line` into the Meta Cache, fetching and verifying the
-    /// missing ancestor chain against the cached trust frontier (or the
-    /// TCB roots at the top). Returns the cycle the line is available.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`IntegrityError`] if a fetched line fails
-    /// authentication — a located runtime integrity attack.
-    fn ensure_meta_cached(
-        &mut self,
-        line: LineAddr,
-        now: Cycle,
-        verify: bool,
-    ) -> Result<Cycle, IntegrityError> {
-        let mut t = now + self.config.meta_cycles;
-        if self.meta_cache.contains(line) {
-            self.meta_cache.access(line, false);
-            self.stats.meta_hits += 1;
-            return Ok(t);
-        }
-        // Collect the missing chain bottom-up until a cached ancestor.
-        let mut chain = vec![line];
-        let mut cur = line;
-        while let Some(parent) = self.parent_of(cur) {
-            if self.meta_cache.contains(parent) {
-                break;
-            }
-            chain.push(parent);
-            cur = parent;
-        }
-        self.stats.meta_misses += chain.len() as u64;
-        // Install top-down so each verification sees a trusted parent.
-        // Eviction repair is cache-neutral (`repair_chain`), so it may
-        // update the NVM copy of a not-yet-installed chain member but
-        // never installs one; reading the content fresh per iteration
-        // picks any such repair up.
-        for &l in chain.iter().rev() {
-            let content = self
-                .functional_nvm(l)
-                .unwrap_or_else(|| self.meta_default(l));
-            t = self.mc.read(l, t);
-            if verify {
-                t = self.verify_fetched(l, &content, t)?;
-            }
-            t = self.install_meta(l, t);
-        }
-        Ok(t)
-    }
-
-    /// Verifies a freshly fetched metadata line against its (cached)
-    /// parent slot, or against the persistent roots for the top node.
-    fn verify_fetched(
-        &mut self,
-        line: LineAddr,
-        content: &Line,
-        mut t: Cycle,
-    ) -> Result<Cycle, IntegrityError> {
-        let (level, idx) = self.level_of(line);
-        self.stats.hmacs += 1;
-        t += HMAC_LATENCY_CYCLES;
-        match self.parent_of(line) {
-            Some(parent) => {
-                let mac = self.bmt.child_mac(level, idx, content);
-                let pcontent = self.meta_content(parent);
-                if Bmt::slot(&pcontent, idx) != mac {
-                    return Err(IntegrityError::TreeMismatch {
-                        child_level: level,
-                        child_index: idx,
-                    });
-                }
-            }
-            None => {
-                let root = self.bmt.engine().node_mac(level, 0, content);
-                if !self.tcb.matches_either_root(&root) {
-                    return Err(IntegrityError::RootMismatch);
-                }
-            }
-        }
-        Ok(t)
     }
 
     // ----- read path ---------------------------------------------------
@@ -559,7 +294,7 @@ impl SecureMemory {
         // Functional decrypt + authenticate.
         let ctr = CounterLine::decode(&self.meta_content(ctr_line));
         let (major, minor) = ctr.seed(line.page_offset());
-        let ct = self.durable.get(line).copied();
+        let ct = self.nvm.durable.load(line);
         match ct {
             None => {
                 // Never written back: all-zero plaintext under a zero
@@ -570,14 +305,21 @@ impl SecureMemory {
             }
             Some(ct) => {
                 self.stats.hmacs += 1;
-                let expect = self.bmt.engine().data_hmac(&ct, line, major, minor);
-                let dh_content = self.durable.read(dh_line);
-                if dh_content[dh_off..dh_off + 16] != expect {
+                let dh_content = self.nvm.durable.read(dh_line);
+                let stored = &dh_content[dh_off..dh_off + 16];
+                if !crate::verify::data_hmac_matches(
+                    self.bmt.engine(),
+                    &ct,
+                    line,
+                    major,
+                    minor,
+                    stored,
+                ) {
                     return Err(IntegrityError::DataHmacMismatch { line });
                 }
                 if self.config.check_plaintext {
                     let plain = self.bmt.engine().decrypt_line(&ct, line, major, minor);
-                    let version = self.nvm_version.get(&line.0).copied().unwrap_or(0);
+                    let version = self.nvm.versions.get(&line.0).copied().unwrap_or(0);
                     if plain != pattern(line, version) {
                         return Err(IntegrityError::PlaintextMismatch { line });
                     }
@@ -587,538 +329,13 @@ impl SecureMemory {
         Ok(t_data.max(otp_ready).max(t_dh))
     }
 
-    // ----- write-back path ----------------------------------------------
-
-    /// Processes an LLC dirty eviction of data line `line`.
-    ///
-    /// Returns the cycle at which the CPU side may proceed (a slot in
-    /// the engine's write-back buffer); the engine itself stays busy
-    /// for the design-dependent processing latency, which is what
-    /// throttles write-back-heavy phases.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`IntegrityError`] if a metadata fetch on the way fails
-    /// authentication.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `line` is outside the data region.
-    pub fn write_back(&mut self, line: LineAddr, now: Cycle) -> Result<Cycle, IntegrityError> {
-        assert!(self.layout.is_data_line(line), "{line} is not a data line");
-        self.stats.write_backs += 1;
-        self.wbs_this_epoch += 1;
-        let release = self.wb_buffer.accept(now);
-        let mut t = release.max(self.engine_busy_until);
-        let service_start = t;
-
-        let ctr_line = self.layout.counter_line_of(line);
-        let ctr_idx = self.layout.counter_index(ctr_line);
-
-        // Phase 1 — bring every metadata line this write-back touches
-        // into the Meta Cache. Installs may trigger dirty-eviction
-        // drains, which clear the dirty address queue; that is safe
-        // only while nothing of *this* write-back is dirty yet, so all
-        // fetches happen before the reservation and the counter bump.
-        t = self.ensure_meta_cached(ctr_line, t, true)?;
-        if self.design().updates_root_every_wb() {
-            for (lvl, idx) in self.layout.path_of_counter(ctr_idx) {
-                let node_line = self.layout.node_line(lvl, idx);
-                if !self.meta_cache.contains(node_line) {
-                    t = self.ensure_meta_cached(node_line, t, true)?;
-                }
-            }
-            if !self.meta_cache.contains(ctr_line) {
-                // A tiny meta cache can displace the counter while the
-                // path streams in; bring it back.
-                t = self.ensure_meta_cached(ctr_line, t, true)?;
-            }
-        }
-
-        // Phase 2 — epoch designs reserve dirty-queue entries
-        // (trigger 1). The counter is still clean here, so a
-        // queue-full drain commits a complete epoch.
-        if self.design().has_drainer() {
-            let mut entries = Vec::with_capacity(self.layout.path_lines());
-            entries.push(ctr_line);
-            for (lvl, idx) in self.layout.path_of_counter(ctr_idx) {
-                entries.push(self.layout.node_line(lvl, idx));
-            }
-            if !self.dirty_queue.try_insert_all(&entries) {
-                t = self.drain(t, DrainTrigger::QueueFull);
-                let inserted = self.dirty_queue.try_insert_all(&entries);
-                debug_assert!(inserted, "one path must fit an empty queue");
-            }
-            // The write-back data may only be forwarded once *every*
-            // metadata address has been looked up and recorded (§5.1's
-            // explanation of cc-NVM's residual IPC cost). The CAM is
-            // pipelined: 32-cycle lookup latency, one entry retired
-            // every 8 cycles after that.
-            t += DIRTY_QUEUE_LOOKUP_CYCLES + 8 * entries.len() as u64;
-        }
-        // Phase 3 — bump the counter. From here to the end of the
-        // write-back nothing may install into the Meta Cache (no
-        // drains may fire except the ones this function issues
-        // explicitly), so dirty state and queue entries stay paired.
-        let old_ctr = CounterLine::decode(&self.meta_content(ctr_line));
-        let mut ctr = old_ctr;
-        let overflowed = ctr.bump(line.page_offset());
-        self.chip_meta.write(ctr_line, ctr.encode());
-        self.meta_cache.mark_dirty(ctr_line);
-        let updates = {
-            let p = self
-                .meta_cache
-                .payload_mut(ctr_line)
-                .expect("counter just cached");
-            p.updates += 1;
-            p.updates
-        };
-
-        if overflowed {
-            self.stats.counter_overflows += 1;
-            t = self.reencrypt_page(line, &old_ctr, &ctr, t);
-        }
-
-        // Encrypt + data HMAC (parallel with tree work below).
-        let version = self.nvm_version.get(&line.0).copied().unwrap_or(0) + 1;
-        let plain = pattern(line, version);
-        let (major, minor) = ctr.seed(line.page_offset());
-        let engine = self.bmt.engine().clone();
-        let ct = engine.encrypt_line(&plain, line, major, minor);
-        let dh = engine.data_hmac(&ct, line, major, minor);
-        self.stats.aes_ops += 1;
-        self.stats.hmacs += 1;
-        let crypto_done = t + AES_LATENCY_CYCLES + HMAC_LATENCY_CYCLES;
-
-        // Phase 4 — design-specific tree maintenance (the path is
-        // already cached from phase 1).
-        let mut tree_done = t;
-        if self.design().updates_root_every_wb() {
-            let (root, hmacs) = {
-                let mut view = ChipView {
-                    chip: &mut self.chip_meta,
-                    overlay: &self.overlay,
-                    durable: &self.durable,
-                };
-                self.bmt.update_path(&mut view, ctr_idx)
-            };
-            self.stats.hmacs += hmacs as u64;
-            tree_done += hmacs as u64 * HMAC_LATENCY_CYCLES;
-            self.tcb.root_new = root;
-            if !self.design().has_drainer() {
-                // SC and Osiris Plus persist the root atomically with
-                // the write-back.
-                self.tcb.root_old = root;
-            }
-            for (lvl, idx) in self.layout.path_of_counter(ctr_idx) {
-                let node_line = self.layout.node_line(lvl, idx);
-                if self.meta_cache.contains(node_line) {
-                    self.meta_cache.mark_dirty(node_line);
-                } else if let Some(content) = self.chip_meta.erase(node_line) {
-                    // The path update touched a node that is not (or no
-                    // longer) cache-resident — e.g. a path longer than a
-                    // tiny meta cache. Its fresh value conceptually lives
-                    // in NVM pending persistence; keep it in the
-                    // functional overlay so reads, repairs and drains see
-                    // it instead of the stale durable copy.
-                    self.overlay.write(node_line, content);
-                }
-            }
-        } else {
-            // w/o CC and cc-NVM: the dirtied counter *is* the trust
-            // frontier; all tree work is deferred (to eviction time or
-            // to the drain, respectively).
-            self.tcb.nwb += 1;
-        }
-
-        // Design-specific persistence.
-        match self.design() {
-            DesignKind::StrictConsistency => {
-                let mut to_persist = vec![ctr_line];
-                for (lvl, idx) in self.layout.path_of_counter(ctr_idx) {
-                    to_persist.push(self.layout.node_line(lvl, idx));
-                }
-                for l in to_persist {
-                    let content = self.meta_content(l);
-                    self.persist_meta(l, content);
-                    let (at, issued) = self.post_write(l, tree_done);
-                    tree_done = at;
-                    if issued {
-                        self.stats.meta_writes += 1;
-                    }
-                    self.meta_cache.mark_clean(l);
-                }
-                if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
-                    p.updates = 0;
-                }
-            }
-            DesignKind::OsirisPlus => {
-                // Stop-loss keyed on the counter *value* (not the cached
-                // update count, which dies on eviction): every N-th
-                // minor value persists the line, so recovery needs at
-                // most N retries no matter how the cache behaved.
-                let (_, minor_now) = ctr.seed(line.page_offset());
-                if (minor_now as u32).is_multiple_of(self.config.update_limit) {
-                    let content = self.meta_content(ctr_line);
-                    self.persist_meta(ctr_line, content);
-                    let (at, issued) = self.post_write(ctr_line, tree_done);
-                    tree_done = at;
-                    if issued {
-                        self.stats.meta_writes += 1;
-                    }
-                    self.meta_cache.mark_clean(ctr_line);
-                    if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
-                        p.updates = 0;
-                    }
-                }
-            }
-            _ => {}
-        }
-
-        // Data + data HMAC reach NVM atomically (ADR).
-        self.durable.write(line, ct);
-        let (dh_line, dh_off) = self.layout.dh_slot_of(line);
-        let mut dh_content = self.durable.read(dh_line);
-        dh_content[dh_off..dh_off + 16].copy_from_slice(&dh);
-        self.durable.write(dh_line, dh_content);
-        self.nvm_version.insert(line.0, version);
-        let mut done = crypto_done.max(tree_done);
-        let (at, issued) = self.post_write(line, done);
-        done = at;
-        if issued {
-            self.stats.data_writes += 1;
-        }
-        let (at, issued) = self.post_write(dh_line, done);
-        done = at;
-        if issued {
-            self.stats.dh_writes += 1;
-        }
-
-        // Final drains for the epoch designs: a minor-counter overflow
-        // commits the re-encrypted page's counter atomically
-        // (trigger: overflow), otherwise trigger 3 fires when the
-        // counter line exceeded N updates.
-        if self.design().has_drainer() {
-            if overflowed {
-                done = self.drain(done, DrainTrigger::Overflow);
-            } else if updates >= self.config.update_limit {
-                // Trigger 3 fires *at* N so no line's durable counter is
-                // ever more than N increments stale — the recovery retry
-                // budget (§4.4 step 2).
-                done = self.drain(done, DrainTrigger::UpdateLimit);
-            }
-        }
-
-        self.stats.engine_cycles += done.saturating_sub(service_start);
-        self.engine_busy_until = self.engine_busy_until.max(done);
-        self.wb_buffer.push(done);
-        Ok(release)
-    }
-
-    /// Atomic page re-encryption after a minor-counter overflow: every
-    /// already-persisted line of the page is re-encrypted under the new
-    /// major counter and its data HMAC refreshed; the counter line is
-    /// persisted with it (via a forced drain for the epoch designs).
-    fn reencrypt_page(
-        &mut self,
-        written: LineAddr,
-        old_ctr: &CounterLine,
-        new_ctr: &CounterLine,
-        mut t: Cycle,
-    ) -> Cycle {
-        let page_first = LineAddr(written.0 / 64 * 64);
-        let engine = self.bmt.engine().clone();
-        for i in 0..64usize {
-            let dline = LineAddr(page_first.0 + i as u64);
-            if dline == written {
-                continue; // rewritten by the in-flight write-back
-            }
-            let Some(ct_old) = self.durable.get(dline).copied() else {
-                continue;
-            };
-            let (maj_o, min_o) = old_ctr.seed(i);
-            let plain = engine.decrypt_line(&ct_old, dline, maj_o, min_o);
-            let (maj_n, min_n) = new_ctr.seed(i);
-            let ct_new = engine.encrypt_line(&plain, dline, maj_n, min_n);
-            let dh = engine.data_hmac(&ct_new, dline, maj_n, min_n);
-            self.stats.aes_ops += 2;
-            self.stats.hmacs += 1;
-            self.durable.write(dline, ct_new);
-            let (dh_line, dh_off) = self.layout.dh_slot_of(dline);
-            let mut dh_content = self.durable.read(dh_line);
-            dh_content[dh_off..dh_off + 16].copy_from_slice(&dh);
-            self.durable.write(dh_line, dh_content);
-            t = self.mc.read(dline, t);
-            for l in [dline, dh_line] {
-                let (at, issued) = self.post_write(l, t);
-                t = at;
-                if issued {
-                    self.stats.reenc_writes += 1;
-                }
-            }
-            t += AES_LATENCY_CYCLES + HMAC_LATENCY_CYCLES;
-        }
-        // Persist the counter atomically with the page.
-        match self.design() {
-            DesignKind::CcNvm | DesignKind::CcNvmNoDs => {
-                // Deferred: `write_back` issues the overflow drain as
-                // its final step, once the counter and any tree dirt
-                // are paired with their dirty-queue entries.
-            }
-            DesignKind::StrictConsistency => {
-                // The per-write-back persist that follows covers it.
-            }
-            DesignKind::OsirisPlus | DesignKind::WithoutCc => {
-                let content = self.meta_content(self.layout.counter_line_of(written));
-                let ctr_line = self.layout.counter_line_of(written);
-                self.persist_meta(ctr_line, content);
-                let (at, issued) = self.post_write(ctr_line, t);
-                t = at;
-                if issued {
-                    self.stats.reenc_writes += 1;
-                }
-                if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
-                    p.updates = 0;
-                }
-            }
-        }
-        t
-    }
-
-    // ----- draining -------------------------------------------------------
-
-    /// Runs a complete atomic drain (stage + commit) and returns its
-    /// end cycle. A no-op for designs without a drainer or when the
-    /// dirty address queue is empty.
-    pub fn drain(&mut self, now: Cycle, trigger: DrainTrigger) -> Cycle {
-        if !self.design().has_drainer() || self.dirty_queue.is_empty() {
-            return now;
-        }
-        let end = self.stage_drain(now);
-        self.commit_staged();
-        self.stats.drains += 1;
-        match trigger {
-            DrainTrigger::QueueFull => self.stats.drains_queue_full += 1,
-            DrainTrigger::DirtyEviction => self.stats.drains_evict += 1,
-            DrainTrigger::UpdateLimit | DrainTrigger::Overflow => {
-                self.stats.drains_update_limit += 1
-            }
-            DrainTrigger::External => {}
-        }
-        self.stats.drain_cycles += end - now;
-        self.engine_busy_until = self.engine_busy_until.max(end);
-        end
-    }
-
-    /// Stage phase of the drain protocol (§4.2 steps 4–5): with
-    /// deferred spreading, recompute every queued tree node bottom-up
-    /// (each exactly once) and refresh `ROOT_new`; then push every
-    /// queued line into the WPQ. The updates are *not* durable until
-    /// [`Self::commit_staged`] — a crash in between loses them, which
-    /// is exactly the ADR `end`-signal semantics.
-    pub fn stage_drain(&mut self, now: Cycle) -> Cycle {
-        debug_assert!(self.staged.is_empty(), "staged drain already pending");
-        let entries: Vec<LineAddr> = self.dirty_queue.entries().to_vec();
-        let mut t = now;
-
-        // Gather current contents; queued-but-uncached lines are read
-        // from NVM (deferred spreading reserves nodes that were never
-        // touched on-chip). The fetches are independent, so they issue
-        // together and overlap across banks.
-        let mut contents: HashMap<u64, Line> = HashMap::with_capacity(entries.len());
-        for &line in &entries {
-            if !self.chip_meta.contains(line) {
-                t = t.max(self.mc.read(line, now));
-            }
-            contents.insert(line.0, self.meta_content(line));
-        }
-
-        if self.design().has_deferred_spreading() {
-            // Recompute bottom-up: each queued line contributes one
-            // child HMAC to its parent (also queued, by construction).
-            let mut ordered: Vec<(usize, u64, LineAddr)> = entries
-                .iter()
-                .map(|&l| {
-                    let (level, idx) = self.level_of(l);
-                    (level, idx, l)
-                })
-                .collect();
-            ordered.sort_unstable_by_key(|&(level, idx, _)| (level, idx));
-            let top_level = self.layout.internal_levels();
-            for &(level, idx, line) in &ordered {
-                if level == top_level {
-                    continue;
-                }
-                let content = contents[&line.0];
-                let mac = self.bmt.child_mac(level, idx, &content);
-                self.stats.hmacs += 1;
-                t += HMAC_LATENCY_CYCLES;
-                let parent = self.layout.node_line(level + 1, idx / 4);
-                let pcontent = contents
-                    .get_mut(&parent.0)
-                    .expect("full path is reserved in the dirty queue");
-                let off = (idx % 4) as usize * 16;
-                pcontent[off..off + 16].copy_from_slice(&mac);
-            }
-            let top_line = self.layout.node_line(top_level, 0);
-            if let Some(top_content) = contents.get(&top_line.0) {
-                self.tcb.root_new = self.bmt.engine().node_mac(top_level, 0, top_content);
-                self.stats.hmacs += 1;
-                t += HMAC_LATENCY_CYCLES;
-            }
-        }
-
-        for &line in &entries {
-            self.staged.push((line, contents[&line.0]));
-            t = self.mc.wpq_write(line, t);
-        }
-        // The `end` signal is sent once every line is *in* the WPQ; ADR
-        // guarantees the WPQ reaches NVM even across a power failure,
-        // so the drain does not wait for the array writes themselves
-        // (they only backpressure the next drain through WPQ
-        // occupancy).
-        t
-    }
-
-    /// Commit phase of the drain protocol (after the `end` signal):
-    /// staged lines become durable, resident cache copies are updated
-    /// and cleaned, the dirty address queue empties, and
-    /// `ROOT_old ← ROOT_new`, `N_wb ← 0`.
-    pub fn commit_staged(&mut self) {
-        for (line, content) in std::mem::take(&mut self.staged) {
-            self.durable.write(line, content);
-            self.overlay.erase(line);
-            self.stats.meta_writes += 1;
-            if self.meta_cache.contains(line) {
-                self.chip_meta.write(line, content);
-                self.meta_cache.mark_clean(line);
-                if let Some(p) = self.meta_cache.payload_mut(line) {
-                    p.updates = 0;
-                }
-            }
-        }
-        self.dirty_queue.drain_all();
-        self.tcb.commit_drain();
-        self.epoch_lengths.record(self.wbs_this_epoch);
-        self.wbs_this_epoch = 0;
-    }
-
-    /// Discards a staged-but-uncommitted drain — the crash-before-
-    /// `end`-signal path, where the memory controller drops the
-    /// residual WPQ cachelines to keep the NVM tree consistent.
-    pub fn discard_staged(&mut self) {
-        self.staged.clear();
-    }
-
-    /// Whether a staged drain is awaiting its commit.
-    pub fn has_staged_drain(&self) -> bool {
-        !self.staged.is_empty()
-    }
-
-    // ----- crash ---------------------------------------------------------
-
-    /// Rebuilds a running secure memory from a crash image and its
-    /// recovery report — the "continue normal secure protection"
-    /// half of the paper's conclusion.
-    ///
-    /// The recovered NVM (stored data, recovered counters, rebuilt
-    /// tree) becomes the durable state; the rebuilt root becomes both
-    /// TCB roots; caches and the dirty address queue start cold.
-    ///
-    /// Plaintext self-checking is disabled on the resumed instance:
-    /// the synthetic write-versioning that drives it is simulator
-    /// ground truth a real system would not have. Decryption
-    /// correctness is still enforced through the data HMACs.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error when `config` is invalid or does not match the
-    /// image's capacity, or when the report carries located attacks /
-    /// a detected replay (a real system must not silently resume over
-    /// tampered state).
-    pub fn resume(
-        config: SimConfig,
-        image: &CrashImage,
-        report: &crate::recovery::RecoveryReport,
-    ) -> Result<Self, String> {
-        if config.capacity_bytes != image.capacity_bytes {
-            return Err(format!(
-                "config capacity {} does not match the image's {}",
-                config.capacity_bytes, image.capacity_bytes
-            ));
-        }
-        if !report.is_clean() {
-            return Err(format!(
-                "refusing to resume over a tampered image ({} located attacks, \
-                 potential replay: {})",
-                report.located.len(),
-                report.potential_replay
-            ));
-        }
-        let mut config = config;
-        config.check_plaintext = false;
-        let mut mem = Self::new(config)?;
-        mem.bmt = Bmt::new(mem.layout.clone(), CryptoEngine::new(&image.tcb.keys));
-        mem.tcb = Tcb::new(image.tcb.keys.clone(), report.rebuilt_root);
-        mem.durable = report.recovered_nvm.clone();
-        Ok(mem)
-    }
-
-    /// Snapshot of the durable state as a crash at this instant would
-    /// leave it: the NVM image plus the persistent TCB registers. Any
-    /// staged (pre-`end`-signal) drain is *not* included.
-    pub fn crash_image(&self) -> CrashImage {
-        CrashImage {
-            design: self.design(),
-            capacity_bytes: self.config.capacity_bytes,
-            update_limit: self.config.update_limit,
-            tcb: self.tcb.clone(),
-            nvm: self.durable.clone(),
-        }
-    }
-
-    /// Simulator-side ground truth (never visible to recovery).
-    pub fn ground_truth(&self) -> GroundTruth {
-        // Gather every counter line that was ever materialized in any
-        // layer, at its current logical value.
-        let mut counter_lines = HashMap::new();
-        let mut consider = |line: LineAddr, this: &Self| {
-            if this.layout.is_counter_line(line) {
-                let content = this.meta_content(line);
-                if content != [0u8; 64] {
-                    counter_lines.insert(line.0, content);
-                }
-            }
-        };
-        for (line, _) in self.chip_meta.iter() {
-            consider(line, self);
-        }
-        for (line, _) in self.overlay.iter() {
-            consider(line, self);
-        }
-        for (line, _) in self.durable.iter() {
-            consider(line, self);
-        }
-        // The logical root is the one over the *current* counters —
-        // with deferred spreading the on-chip tree is intentionally
-        // stale mid-epoch, so rebuild rather than read the top node.
-        let counters: Vec<(u64, Line)> = counter_lines
-            .iter()
-            .map(|(&l, &c)| (self.layout.counter_index(LineAddr(l)), c))
-            .collect();
-        let (_, current_root) = self.bmt.rebuild(counters);
-        GroundTruth {
-            data_versions: self.nvm_version.clone(),
-            counter_lines,
-            current_root,
-        }
-    }
+    // ----- attack-injection hooks --------------------------------------
 
     /// Direct tampering access to the durable NVM image (attack
     /// injection at runtime). Returns the previous content.
     pub fn tamper_durable(&mut self, line: LineAddr, content: Line) -> Line {
-        let old = self.durable.read(line);
-        self.durable.write(line, content);
+        let old = self.nvm.durable.read(line);
+        self.nvm.durable.store(line, content);
         old
     }
 
@@ -1171,164 +388,6 @@ mod tests {
     }
 
     #[test]
-    fn repeated_write_backs_bump_counter() {
-        let mut m = mem(DesignKind::CcNvm);
-        for _ in 0..5 {
-            m.write_back(LineAddr(64), 0).unwrap();
-        }
-        let ctr_line = m.layout().counter_line_of(LineAddr(64));
-        let ctr = m.logical_counter(ctr_line);
-        assert_eq!(ctr.minor(LineAddr(64).page_offset()), 5);
-        m.read_data(LineAddr(64), 1_000_000).expect("still readable");
-    }
-
-    #[test]
-    fn sc_persists_metadata_every_write_back() {
-        let mut m = mem(DesignKind::StrictConsistency);
-        m.write_back(LineAddr(0), 0).unwrap();
-        let s = m.stats();
-        // counter + every internal node.
-        assert_eq!(s.meta_writes as usize, m.layout().path_lines());
-        // NVM tree is immediately consistent with the root.
-        let img = m.crash_image();
-        assert_eq!(m.bmt().root(&img.nvm), m.tcb().root_new);
-    }
-
-    #[test]
-    fn osiris_persists_counter_only_at_stop_loss() {
-        let mut m = mem(DesignKind::OsirisPlus);
-        let n = m.config().update_limit as u64;
-        for i in 0..n - 1 {
-            m.write_back(LineAddr(0), i * 10_000).unwrap();
-        }
-        assert_eq!(m.stats().meta_writes, 0, "below the stop-loss limit");
-        m.write_back(LineAddr(0), 10_000_000).unwrap();
-        assert_eq!(m.stats().meta_writes, 1, "N-th update persists");
-    }
-
-    #[test]
-    fn ccnvm_defers_all_meta_writes_to_drain() {
-        let mut m = mem(DesignKind::CcNvm);
-        m.write_back(LineAddr(0), 0).unwrap();
-        m.write_back(LineAddr(64), 10_000).unwrap();
-        assert_eq!(m.stats().meta_writes, 0);
-        assert_eq!(m.stats().drains, 0);
-        m.drain(1_000_000, DrainTrigger::External);
-        let s = m.stats();
-        assert!(s.meta_writes > 0);
-        // After the drain, NVM matches both roots.
-        let img = m.crash_image();
-        assert_eq!(m.bmt().root(&img.nvm), m.tcb().root_old);
-        assert_eq!(m.tcb().root_old, m.tcb().root_new);
-    }
-
-    #[test]
-    fn ccnvm_roots_diverge_mid_epoch() {
-        let mut m = mem(DesignKind::CcNvm);
-        m.drain(0, DrainTrigger::External);
-        m.write_back(LineAddr(0), 0).unwrap();
-        // ROOT_new is lazy in cc-NVM: it still matches ROOT_old, and
-        // the durable tree matches both (old state).
-        let img = m.crash_image();
-        assert_eq!(m.bmt().root(&img.nvm), m.tcb().root_old);
-        assert_eq!(m.tcb().nwb, 1);
-        // Draining refreshes ROOT_new and commits it.
-        m.drain(100_000, DrainTrigger::External);
-        assert_eq!(m.tcb().nwb, 0);
-        let img = m.crash_image();
-        assert_eq!(m.bmt().root(&img.nvm), m.tcb().root_new);
-    }
-
-    #[test]
-    fn ccnvm_no_ds_root_new_is_eager() {
-        let mut m = mem(DesignKind::CcNvmNoDs);
-        let before = m.tcb().root_new;
-        m.write_back(LineAddr(0), 0).unwrap();
-        assert_ne!(m.tcb().root_new, before, "root updated per write-back");
-        assert_eq!(m.tcb().root_old, before, "old root awaits the drain");
-        m.drain(100_000, DrainTrigger::External);
-        assert_eq!(m.tcb().root_old, m.tcb().root_new);
-    }
-
-    #[test]
-    fn drain_commits_consistent_tree_for_ds() {
-        let mut m = mem(DesignKind::CcNvm);
-        for i in 0..8u64 {
-            m.write_back(LineAddr(i * 64), i * 50_000).unwrap();
-        }
-        m.drain(10_000_000, DrainTrigger::External);
-        let img = m.crash_image();
-        // Every materialized line is internally consistent.
-        assert!(m.bmt().consistency_scan(&img.nvm).is_empty());
-        assert_eq!(m.bmt().root(&img.nvm), m.tcb().root_new);
-    }
-
-    #[test]
-    fn staged_drain_discard_keeps_old_state() {
-        let mut m = mem(DesignKind::CcNvm);
-        m.write_back(LineAddr(0), 0).unwrap();
-        m.drain(50_000, DrainTrigger::External);
-        let root_after_first = m.tcb().root_old;
-        let nvm_before = m.crash_image().nvm;
-
-        m.write_back(LineAddr(64), 100_000).unwrap();
-        m.stage_drain(200_000);
-        assert!(m.has_staged_drain());
-        m.discard_staged();
-        let img = m.crash_image();
-        // Durable metadata unchanged: consistent with the *old* root.
-        // (The write-back's data + data-HMAC lines did persist — they
-        // flow in legacy mode — hence exactly two more durable lines.)
-        assert_eq!(m.bmt().root(&img.nvm), root_after_first);
-        assert_eq!(img.nvm.len(), nvm_before.len() + 2);
-    }
-
-    #[test]
-    fn queue_full_triggers_drain() {
-        let mut cfg = SimConfig::small(DesignKind::CcNvm);
-        cfg.dirty_queue_entries = 8; // path is 4 levels + counter = 5 lines
-        cfg.mem.wpq_entries = 8;
-        let mut m = SecureMemory::new(cfg).unwrap();
-        // Two distant pages: second path cannot fit alongside the first.
-        m.write_back(LineAddr(0), 0).unwrap();
-        assert_eq!(m.stats().drains, 0);
-        m.write_back(LineAddr(64 * 128), 100_000).unwrap();
-        assert_eq!(m.stats().drains, 1);
-        assert_eq!(m.stats().drains_queue_full, 1);
-    }
-
-    #[test]
-    fn update_limit_triggers_drain() {
-        let mut cfg = SimConfig::small(DesignKind::CcNvm);
-        cfg.update_limit = 4;
-        let mut m = SecureMemory::new(cfg).unwrap();
-        for i in 0..5u64 {
-            m.write_back(LineAddr(0), i * 100_000).unwrap();
-        }
-        assert_eq!(m.stats().drains, 1);
-        assert_eq!(m.stats().drains_update_limit, 1);
-    }
-
-    #[test]
-    fn counter_overflow_reencrypts_page() {
-        let mut cfg = SimConfig::small(DesignKind::CcNvm);
-        cfg.update_limit = 1000; // let the minor overflow first
-        let mut m = SecureMemory::new(cfg).unwrap();
-        // Write a sibling line so the page has content to re-encrypt.
-        m.write_back(LineAddr(1), 0).unwrap();
-        for i in 0..128u64 {
-            m.write_back(LineAddr(0), (i + 1) * 1_000_000).unwrap();
-        }
-        assert_eq!(m.stats().counter_overflows, 1);
-        assert!(m.stats().reenc_writes > 0);
-        let ctr = m.logical_counter(m.layout().counter_line_of(LineAddr(0)));
-        assert_eq!(ctr.major(), 1);
-        // Both lines still decrypt + authenticate.
-        m.read_data(LineAddr(0), 1_000_000_000).expect("written line ok");
-        m.read_data(LineAddr(1), 1_000_000_001).expect("sibling re-encrypted ok");
-    }
-
-    #[test]
     fn runtime_data_tamper_detected_and_located() {
         let mut m = mem(DesignKind::CcNvm);
         m.write_back(LineAddr(7), 0).unwrap();
@@ -1351,168 +410,26 @@ mod tests {
         m.tamper_durable(ctr_line, content);
         m.flush_meta_line(ctr_line);
         let err = m.read_data(LineAddr(7), 1_000_000).unwrap_err();
-        assert!(matches!(err, IntegrityError::TreeMismatch { child_level: 0, .. }));
+        assert!(matches!(
+            err,
+            IntegrityError::TreeMismatch { child_level: 0, .. }
+        ));
     }
 
     #[test]
-    fn write_traffic_cross_check() {
-        for design in DesignKind::ALL {
-            let mut m = mem(design);
-            for i in 0..20u64 {
-                m.write_back(LineAddr((i % 7) * 64), i * 200_000).unwrap();
-            }
-            m.drain(100_000_000, DrainTrigger::External);
-            let s = m.stats();
-            let mc = m.mem_stats();
-            assert_eq!(
-                s.total_writes(),
-                mc.total_writes(),
-                "{design}: categorized writes must equal controller writes"
-            );
-        }
-    }
-
-    #[test]
-    fn without_cc_writes_meta_only_on_eviction() {
-        let mut cfg = SimConfig::small(DesignKind::WithoutCc);
-        // Tiny meta cache: 4 lines — force evictions.
-        cfg.meta = ccnvm_mem::CacheConfig::new(256, 2);
-        let mut m = SecureMemory::new(cfg).unwrap();
-        // Touch many distinct pages to churn the meta cache.
-        for i in 0..32u64 {
-            m.write_back(LineAddr(i * 64), i * 300_000).unwrap();
-        }
-        assert!(m.stats().meta_writes > 0, "dirty evictions must write");
-        // Still functional: re-read everything.
-        for i in 0..32u64 {
-            m.read_data(LineAddr(i * 64), 1_000_000_000 + i * 100_000)
-                .expect("frontier invariant keeps verification sound");
-        }
-    }
-
-    #[test]
-    fn osiris_eviction_keeps_runtime_consistent_without_persisting() {
-        let mut cfg = SimConfig::small(DesignKind::OsirisPlus);
-        cfg.meta = ccnvm_mem::CacheConfig::new(256, 2);
-        let mut m = SecureMemory::new(cfg).unwrap();
-        for i in 0..32u64 {
-            m.write_back(LineAddr(i * 64), i * 300_000).unwrap();
-        }
-        for i in 0..32u64 {
-            m.read_data(LineAddr(i * 64), 2_000_000_000 + i * 100_000)
-                .expect("overlay models the online counter recovery");
-        }
-    }
-
-    #[test]
-    fn epoch_length_histogram_records_drains() {
-        let mut m = mem(DesignKind::CcNvm);
-        for i in 0..10u64 {
-            m.write_back(LineAddr((i % 2) * 64), i * 100_000).unwrap();
-        }
-        m.drain(10_000_000, DrainTrigger::External);
-        for i in 0..3u64 {
-            m.write_back(LineAddr(0), 20_000_000 + i * 100_000).unwrap();
-        }
-        m.drain(30_000_000, DrainTrigger::External);
-        let h = m.epoch_lengths();
-        assert_eq!(h.total(), 2);
-        assert_eq!(h.max(), 10);
-        assert!((h.mean() - 6.5).abs() < 1e-12);
-    }
-
-    #[test]
-    fn resume_continues_after_clean_recovery() {
-        let mut m = mem(DesignKind::CcNvm);
-        for i in 0..6u64 {
-            m.write_back(LineAddr(i * 64), i * 100_000).unwrap();
-        }
-        // Crash mid-epoch, recover, resume.
-        let image = m.crash_image();
-        let report = crate::recovery::recover(&image);
-        assert!(report.is_clean());
-        let mut resumed =
-            SecureMemory::resume(SimConfig::small(DesignKind::CcNvm), &image, &report)
-                .expect("clean resume");
-        // Old data still reads (authenticated against the rebuilt tree).
-        for i in 0..6u64 {
-            resumed
-                .read_data(LineAddr(i * 64), 1_000_000 + i * 50_000)
-                .expect("recovered line must verify");
-        }
-        // And the machine keeps working: write, drain, crash, recover.
-        resumed.write_back(LineAddr(0), 2_000_000).unwrap();
-        resumed.drain(3_000_000, DrainTrigger::External);
-        let report2 = crate::recovery::recover(&resumed.crash_image());
-        assert!(report2.is_clean(), "{report2:?}");
-    }
-
-    #[test]
-    fn resume_refuses_tampered_images() {
-        let mut m = mem(DesignKind::CcNvm);
-        m.write_back(LineAddr(0), 0).unwrap();
-        m.drain(100_000, DrainTrigger::External);
-        let mut image = m.crash_image();
-        crate::attack::spoof_data(&mut image, LineAddr(0));
-        let report = crate::recovery::recover(&image);
-        let err = SecureMemory::resume(SimConfig::small(DesignKind::CcNvm), &image, &report)
-            .expect_err("must refuse tampered state");
-        assert!(err.contains("tampered"));
-    }
-
-    #[test]
-    fn split_meta_cache_is_functionally_equivalent() {
-        use crate::metacache::MetaCacheOrg;
+    fn invalid_configs_are_typed() {
         let mut cfg = SimConfig::small(DesignKind::CcNvm);
-        cfg.meta_org = MetaCacheOrg::Split;
-        let mut m = SecureMemory::new(cfg).unwrap();
-        for i in 0..20u64 {
-            m.write_back(LineAddr((i % 5) * 64), i * 100_000).unwrap();
-        }
-        m.drain(10_000_000, DrainTrigger::External);
-        for i in 0..5u64 {
-            m.read_data(LineAddr(i * 64), 20_000_000 + i * 50_000).unwrap();
-        }
-        let report = crate::recovery::recover(&m.crash_image());
-        assert!(report.is_clean(), "{report:?}");
-    }
-
-    #[test]
-    fn wear_concentrates_on_sc_tree_path() {
-        // SC rewrites the same path lines every write-back; its hottest
-        // line must out-wear cc-NVM's by a wide margin.
-        let mut sc = mem(DesignKind::StrictConsistency);
-        let mut cc = mem(DesignKind::CcNvm);
-        for i in 0..64u64 {
-            sc.write_back(LineAddr((i % 4) * 64), i * 200_000).unwrap();
-            cc.write_back(LineAddr((i % 4) * 64), i * 200_000).unwrap();
-        }
-        cc.drain(100_000_000, DrainTrigger::External);
-        let w_sc = sc.wear_stats();
-        let w_cc = cc.wear_stats();
-        assert!(
-            w_sc.max_line_writes > 2 * w_cc.max_line_writes,
-            "SC hottest {} vs cc-NVM hottest {}",
-            w_sc.max_line_writes,
-            w_cc.max_line_writes
+        cfg.update_limit = 0;
+        assert_eq!(
+            SecureMemory::new(cfg).unwrap_err(),
+            ConfigError::UpdateLimitZero
         );
-    }
-
-    #[test]
-    fn engine_occupancy_grows_with_design_cost() {
-        let mut sc = mem(DesignKind::StrictConsistency);
-        let mut cc = mem(DesignKind::CcNvm);
-        let mut t_sc = 0;
-        let mut t_cc = 0;
-        for i in 0..64u64 {
-            t_sc = sc.write_back(LineAddr((i % 4) * 64), t_sc).unwrap();
-            t_cc = cc.write_back(LineAddr((i % 4) * 64), t_cc).unwrap();
-        }
-        // Back-to-back write-backs: SC's serialized root updates make
-        // its engine the bottleneck.
-        assert!(
-            t_sc > t_cc,
-            "SC ({t_sc}) must throttle write-backs harder than cc-NVM ({t_cc})"
-        );
+        let mut cfg = SimConfig::small(DesignKind::CcNvm);
+        cfg.dirty_queue_entries = 2; // below one path
+        cfg.mem.wpq_entries = 4;
+        assert!(matches!(
+            SecureMemory::new(cfg).unwrap_err(),
+            ConfigError::DirtyQueueTooSmallForPath { entries: 2, .. }
+        ));
     }
 }

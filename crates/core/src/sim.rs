@@ -62,7 +62,7 @@ impl Simulator {
     ///
     /// Propagates configuration validation failures from
     /// [`SecureMemory::new`].
-    pub fn new(config: SimConfig) -> Result<Self, String> {
+    pub fn new(config: SimConfig) -> Result<Self, crate::error::ConfigError> {
         Ok(Self {
             l1: SetAssocCache::new(config.l1),
             l2: SetAssocCache::new(config.l2),
@@ -207,12 +207,12 @@ impl Simulator {
     ///
     /// Returns the first [`IntegrityError`] raised by a write-back.
     pub fn flush_caches(&mut self) -> Result<(), IntegrityError> {
-        let mut dirty: Vec<LineAddr> = self.l1.dirty_lines();
+        let dirty: Vec<LineAddr> = self.l1.dirty_lines().collect();
         for line in &dirty {
             self.l1.mark_clean(*line);
             self.l2.access(*line, true);
         }
-        dirty = self.l2.dirty_lines();
+        let mut dirty: Vec<LineAddr> = self.l2.dirty_lines().collect();
         dirty.sort_unstable();
         for line in dirty {
             self.l2.mark_clean(line);
@@ -237,7 +237,7 @@ pub fn run_profile(
     instructions: u64,
     seed: u64,
 ) -> Result<RunStats, String> {
-    let mut sim = Simulator::new(config)?;
+    let mut sim = Simulator::new(config).map_err(|e| e.to_string())?;
     let trace = ccnvm_trace::TraceGenerator::new(profile.clone(), seed);
     sim.run(trace, instructions).map_err(|e| e.to_string())
 }

@@ -1,0 +1,493 @@
+//! The write-back pipeline (Figure 3's dirty-eviction event), phase by
+//! phase:
+//!
+//! 1. **Fetch** — bring every metadata line the write-back touches into
+//!    the Meta Cache (may trigger dirty-eviction drains, safe only
+//!    while nothing of *this* write-back is dirty yet);
+//! 2. **Reserve** — epoch designs record the counter-to-root path in
+//!    the dirty address queue (trigger 1 drains on overflow);
+//! 3. **Bump + encrypt** — increment the split counter, OTP-encrypt
+//!    the line, generate its data HMAC;
+//! 4. **Spread + persist** — design-specific tree maintenance and
+//!    durability (eager root updates for SC/Osiris/no-DS, deferred for
+//!    cc-NVM), ending with the epoch designs' trigger-3/overflow
+//!    drains.
+//!
+//! The counter-to-root path is walked once up front ([`PathLines`])
+//! and shared by every phase.
+
+use crate::config::DesignKind;
+use crate::counter::CounterLine;
+use crate::error::IntegrityError;
+use crate::secmem::{pattern, DrainTrigger, SecureMemory};
+use crate::view::{MetaSource, MetaView};
+use ccnvm_crypto::latency::{AES_LATENCY_CYCLES, DIRTY_QUEUE_LOOKUP_CYCLES, HMAC_LATENCY_CYCLES};
+use ccnvm_mem::{Cycle, DurableBackend, Line, LineAddr, LineStore};
+
+/// Chip-over-NVM metadata view used by full-path tree updates.
+struct ChipView<'a> {
+    chip: &'a mut LineStore,
+    overlay: &'a LineStore,
+    durable: &'a dyn DurableBackend,
+}
+
+impl MetaSource for ChipView<'_> {
+    fn load_meta(&self, line: LineAddr) -> Option<Line> {
+        self.chip
+            .get(line)
+            .copied()
+            .or_else(|| self.overlay.get(line).copied())
+            .or_else(|| self.durable.load(line))
+    }
+}
+
+impl MetaView for ChipView<'_> {
+    fn store_meta(&mut self, line: LineAddr, content: Line) {
+        self.chip.write(line, content);
+    }
+}
+
+/// One write-back's counter-to-root walk, computed once and shared by
+/// every phase (fetch, reservation, tree maintenance, persistence).
+struct PathLines {
+    /// The counter line (path level 0).
+    ctr_line: LineAddr,
+    /// Counter index within its level.
+    ctr_idx: u64,
+    /// Internal tree node lines, bottom-up (excludes the counter).
+    nodes: Vec<(usize, u64, LineAddr)>,
+}
+
+impl PathLines {
+    fn of(mem: &SecureMemory, line: LineAddr) -> Self {
+        let ctr_line = mem.layout.counter_line_of(line);
+        let ctr_idx = mem.layout.counter_index(ctr_line);
+        let nodes = mem
+            .layout
+            .path_of_counter(ctr_idx)
+            .into_iter()
+            .map(|(lvl, idx)| (lvl, idx, mem.layout.node_line(lvl, idx)))
+            .collect();
+        Self {
+            ctr_line,
+            ctr_idx,
+            nodes,
+        }
+    }
+
+    /// Every line of the path: counter first, then the nodes bottom-up.
+    fn all_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        std::iter::once(self.ctr_line).chain(self.nodes.iter().map(|&(_, _, l)| l))
+    }
+}
+
+impl SecureMemory {
+    /// Services an LLC dirty eviction of data line `line` arriving at
+    /// `now`; returns the cycle the write-back buffer releases the
+    /// entry (the LLC-visible latency — the engine and NVM work
+    /// continue in the background and throttle *later* write-backs).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IntegrityError`] when a metadata fetch fails
+    /// authentication (runtime attack detected and located).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line` is outside the data region.
+    pub fn write_back(&mut self, line: LineAddr, now: Cycle) -> Result<Cycle, IntegrityError> {
+        assert!(self.layout.is_data_line(line), "{line} is not a data line");
+        self.stats.write_backs += 1;
+        self.wbs_this_epoch += 1;
+        let release = self.wb_buffer.accept(now);
+        let mut t = release.max(self.engine_busy_until);
+        let service_start = t;
+
+        let path = PathLines::of(self, line);
+        let ctr_line = path.ctr_line;
+
+        // Phase 1 — bring every metadata line this write-back touches
+        // into the Meta Cache. Installs may trigger dirty-eviction
+        // drains, which clear the dirty address queue; that is safe
+        // only while nothing of *this* write-back is dirty yet, so all
+        // fetches happen before the reservation and the counter bump.
+        t = self.ensure_meta_cached(ctr_line, t, true)?;
+        if self.design().updates_root_every_wb() {
+            for &(_, _, node_line) in &path.nodes {
+                if !self.meta_cache.contains(node_line) {
+                    t = self.ensure_meta_cached(node_line, t, true)?;
+                }
+            }
+            if !self.meta_cache.contains(ctr_line) {
+                // A tiny meta cache can displace the counter while the
+                // path streams in; bring it back.
+                t = self.ensure_meta_cached(ctr_line, t, true)?;
+            }
+        }
+
+        // Phase 2 — epoch designs reserve dirty-queue entries
+        // (trigger 1). The counter is still clean here, so a
+        // queue-full drain commits a complete epoch.
+        if self.design().has_drainer() {
+            let entries: Vec<LineAddr> = path.all_lines().collect();
+            if !self.dirty_queue.try_insert_all(&entries) {
+                t = self.drain(t, DrainTrigger::QueueFull);
+                let inserted = self.dirty_queue.try_insert_all(&entries);
+                debug_assert!(inserted, "one path must fit an empty queue");
+            }
+            // The write-back data may only be forwarded once *every*
+            // metadata address has been looked up and recorded (§5.1's
+            // explanation of cc-NVM's residual IPC cost). The CAM is
+            // pipelined: 32-cycle lookup latency, one entry retired
+            // every 8 cycles after that.
+            t += DIRTY_QUEUE_LOOKUP_CYCLES + 8 * entries.len() as u64;
+        }
+        // Phase 3 — bump the counter. From here to the end of the
+        // write-back nothing may install into the Meta Cache (no
+        // drains may fire except the ones this function issues
+        // explicitly), so dirty state and queue entries stay paired.
+        let old_ctr = CounterLine::decode(&self.meta_content(ctr_line));
+        let mut ctr = old_ctr;
+        let overflowed = ctr.bump(line.page_offset());
+        self.chip_meta.write(ctr_line, ctr.encode());
+        self.meta_cache.mark_dirty(ctr_line);
+        let updates = {
+            let p = self
+                .meta_cache
+                .payload_mut(ctr_line)
+                .expect("counter just cached");
+            p.updates += 1;
+            p.updates
+        };
+
+        if overflowed {
+            self.stats.counter_overflows += 1;
+            t = self.reencrypt_page(line, &old_ctr, &ctr, t);
+        }
+
+        // Encrypt + data HMAC (parallel with tree work below).
+        let version = self.nvm.versions.get(&line.0).copied().unwrap_or(0) + 1;
+        let plain = pattern(line, version);
+        let (major, minor) = ctr.seed(line.page_offset());
+        let engine = self.bmt.engine().clone();
+        let ct = engine.encrypt_line(&plain, line, major, minor);
+        let dh = engine.data_hmac(&ct, line, major, minor);
+        self.stats.aes_ops += 1;
+        self.stats.hmacs += 1;
+        let crypto_done = t + AES_LATENCY_CYCLES + HMAC_LATENCY_CYCLES;
+
+        // Phase 4 — design-specific tree maintenance (the path is
+        // already cached from phase 1).
+        let mut tree_done = t;
+        if self.design().updates_root_every_wb() {
+            let (root, hmacs) = {
+                let mut view = ChipView {
+                    chip: &mut self.chip_meta,
+                    overlay: &self.nvm.overlay,
+                    durable: self.nvm.durable.as_ref(),
+                };
+                self.bmt.update_path(&mut view, path.ctr_idx)
+            };
+            self.stats.hmacs += hmacs as u64;
+            tree_done += hmacs as u64 * HMAC_LATENCY_CYCLES;
+            self.tcb.root_new = root;
+            if !self.design().has_drainer() {
+                // SC and Osiris Plus persist the root atomically with
+                // the write-back.
+                self.tcb.root_old = root;
+            }
+            for &(_, _, node_line) in &path.nodes {
+                if self.meta_cache.contains(node_line) {
+                    self.meta_cache.mark_dirty(node_line);
+                } else if let Some(content) = self.chip_meta.erase(node_line) {
+                    // The path update touched a node that is not (or no
+                    // longer) cache-resident — e.g. a path longer than a
+                    // tiny meta cache. Its fresh value conceptually lives
+                    // in NVM pending persistence; keep it in the
+                    // functional overlay so reads, repairs and drains see
+                    // it instead of the stale durable copy.
+                    self.nvm.overlay.write(node_line, content);
+                }
+            }
+        } else {
+            // w/o CC and cc-NVM: the dirtied counter *is* the trust
+            // frontier; all tree work is deferred (to eviction time or
+            // to the drain, respectively).
+            self.tcb.nwb += 1;
+        }
+
+        // Design-specific persistence.
+        match self.design() {
+            DesignKind::StrictConsistency => {
+                for l in path.all_lines() {
+                    let content = self.meta_content(l);
+                    self.nvm.persist_meta(l, content);
+                    let (at, issued) = self.post_write(l, tree_done);
+                    tree_done = at;
+                    if issued {
+                        self.stats.meta_writes += 1;
+                    }
+                    self.meta_cache.mark_clean(l);
+                }
+                if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
+                    p.updates = 0;
+                }
+            }
+            DesignKind::OsirisPlus => {
+                // Stop-loss keyed on the counter *value* (not the cached
+                // update count, which dies on eviction): every N-th
+                // minor value persists the line, so recovery needs at
+                // most N retries no matter how the cache behaved.
+                let (_, minor_now) = ctr.seed(line.page_offset());
+                if (minor_now as u32).is_multiple_of(self.config.update_limit) {
+                    let content = self.meta_content(ctr_line);
+                    self.nvm.persist_meta(ctr_line, content);
+                    let (at, issued) = self.post_write(ctr_line, tree_done);
+                    tree_done = at;
+                    if issued {
+                        self.stats.meta_writes += 1;
+                    }
+                    self.meta_cache.mark_clean(ctr_line);
+                    if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
+                        p.updates = 0;
+                    }
+                }
+            }
+            _ => {}
+        }
+
+        // Data + data HMAC reach NVM atomically (ADR).
+        self.nvm.durable.store(line, ct);
+        let (dh_line, dh_off) = self.layout.dh_slot_of(line);
+        let mut dh_content = self.nvm.durable.read(dh_line);
+        dh_content[dh_off..dh_off + 16].copy_from_slice(&dh);
+        self.nvm.durable.store(dh_line, dh_content);
+        self.nvm.versions.insert(line.0, version);
+        let mut done = crypto_done.max(tree_done);
+        let (at, issued) = self.post_write(line, done);
+        done = at;
+        if issued {
+            self.stats.data_writes += 1;
+        }
+        let (at, issued) = self.post_write(dh_line, done);
+        done = at;
+        if issued {
+            self.stats.dh_writes += 1;
+        }
+
+        // Final drains for the epoch designs: a minor-counter overflow
+        // commits the re-encrypted page's counter atomically
+        // (trigger: overflow), otherwise trigger 3 fires when the
+        // counter line exceeded N updates.
+        if self.design().has_drainer() {
+            if overflowed {
+                done = self.drain(done, DrainTrigger::Overflow);
+            } else if updates >= self.config.update_limit {
+                // Trigger 3 fires *at* N so no line's durable counter is
+                // ever more than N increments stale — the recovery retry
+                // budget (§4.4 step 2).
+                done = self.drain(done, DrainTrigger::UpdateLimit);
+            }
+        }
+
+        self.stats.engine_cycles += done.saturating_sub(service_start);
+        self.engine_busy_until = self.engine_busy_until.max(done);
+        self.wb_buffer.push(done);
+        Ok(release)
+    }
+
+    /// Atomic page re-encryption after a minor-counter overflow: every
+    /// already-persisted line of the page is re-encrypted under the new
+    /// major counter and its data HMAC refreshed; the counter line is
+    /// persisted with it (via a forced drain for the epoch designs).
+    pub(crate) fn reencrypt_page(
+        &mut self,
+        written: LineAddr,
+        old_ctr: &CounterLine,
+        new_ctr: &CounterLine,
+        mut t: Cycle,
+    ) -> Cycle {
+        let page_first = LineAddr(written.0 / 64 * 64);
+        let engine = self.bmt.engine().clone();
+        for i in 0..64usize {
+            let dline = LineAddr(page_first.0 + i as u64);
+            if dline == written {
+                continue; // rewritten by the in-flight write-back
+            }
+            let Some(ct_old) = self.nvm.durable.load(dline) else {
+                continue;
+            };
+            let (maj_o, min_o) = old_ctr.seed(i);
+            let plain = engine.decrypt_line(&ct_old, dline, maj_o, min_o);
+            let (maj_n, min_n) = new_ctr.seed(i);
+            let ct_new = engine.encrypt_line(&plain, dline, maj_n, min_n);
+            let dh = engine.data_hmac(&ct_new, dline, maj_n, min_n);
+            self.stats.aes_ops += 2;
+            self.stats.hmacs += 1;
+            self.nvm.durable.store(dline, ct_new);
+            let (dh_line, dh_off) = self.layout.dh_slot_of(dline);
+            let mut dh_content = self.nvm.durable.read(dh_line);
+            dh_content[dh_off..dh_off + 16].copy_from_slice(&dh);
+            self.nvm.durable.store(dh_line, dh_content);
+            t = self.mc.read(dline, t);
+            for l in [dline, dh_line] {
+                let (at, issued) = self.post_write(l, t);
+                t = at;
+                if issued {
+                    self.stats.reenc_writes += 1;
+                }
+            }
+            t += AES_LATENCY_CYCLES + HMAC_LATENCY_CYCLES;
+        }
+        // Persist the counter atomically with the page.
+        match self.design() {
+            DesignKind::CcNvm | DesignKind::CcNvmNoDs => {
+                // Deferred: `write_back` issues the overflow drain as
+                // its final step, once the counter and any tree dirt
+                // are paired with their dirty-queue entries.
+            }
+            DesignKind::StrictConsistency => {
+                // The per-write-back persist that follows covers it.
+            }
+            DesignKind::OsirisPlus | DesignKind::WithoutCc => {
+                let ctr_line = self.layout.counter_line_of(written);
+                let content = self.meta_content(ctr_line);
+                self.nvm.persist_meta(ctr_line, content);
+                let (at, issued) = self.post_write(ctr_line, t);
+                t = at;
+                if issued {
+                    self.stats.reenc_writes += 1;
+                }
+                if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
+                    p.updates = 0;
+                }
+            }
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+
+    fn mem(design: DesignKind) -> SecureMemory {
+        SecureMemory::new(SimConfig::small(design)).expect("valid config")
+    }
+
+    #[test]
+    fn repeated_write_backs_bump_counter() {
+        let mut m = mem(DesignKind::CcNvm);
+        for _ in 0..5 {
+            m.write_back(LineAddr(64), 0).unwrap();
+        }
+        let ctr_line = m.layout().counter_line_of(LineAddr(64));
+        let ctr = m.logical_counter(ctr_line);
+        assert_eq!(ctr.minor(LineAddr(64).page_offset()), 5);
+        m.read_data(LineAddr(64), 1_000_000)
+            .expect("still readable");
+    }
+
+    #[test]
+    fn sc_persists_metadata_every_write_back() {
+        let mut m = mem(DesignKind::StrictConsistency);
+        m.write_back(LineAddr(0), 0).unwrap();
+        let s = m.stats();
+        // counter + every internal node.
+        assert_eq!(s.meta_writes as usize, m.layout().path_lines());
+        // NVM tree is immediately consistent with the root.
+        let img = m.crash_image();
+        assert_eq!(m.bmt().root(&img.nvm), m.tcb().root_new);
+    }
+
+    #[test]
+    fn osiris_persists_counter_only_at_stop_loss() {
+        let mut m = mem(DesignKind::OsirisPlus);
+        let n = m.config().update_limit as u64;
+        for i in 0..n - 1 {
+            m.write_back(LineAddr(0), i * 10_000).unwrap();
+        }
+        assert_eq!(m.stats().meta_writes, 0, "below the stop-loss limit");
+        m.write_back(LineAddr(0), 10_000_000).unwrap();
+        assert_eq!(m.stats().meta_writes, 1, "N-th update persists");
+    }
+
+    #[test]
+    fn counter_overflow_reencrypts_page() {
+        let mut cfg = SimConfig::small(DesignKind::CcNvm);
+        cfg.update_limit = 1000; // let the minor overflow first
+        let mut m = SecureMemory::new(cfg).unwrap();
+        // Write a sibling line so the page has content to re-encrypt.
+        m.write_back(LineAddr(1), 0).unwrap();
+        for i in 0..128u64 {
+            m.write_back(LineAddr(0), (i + 1) * 1_000_000).unwrap();
+        }
+        assert_eq!(m.stats().counter_overflows, 1);
+        assert!(m.stats().reenc_writes > 0);
+        let ctr = m.logical_counter(m.layout().counter_line_of(LineAddr(0)));
+        assert_eq!(ctr.major(), 1);
+        // Both lines still decrypt + authenticate.
+        m.read_data(LineAddr(0), 1_000_000_000)
+            .expect("written line ok");
+        m.read_data(LineAddr(1), 1_000_000_001)
+            .expect("sibling re-encrypted ok");
+    }
+
+    #[test]
+    fn write_traffic_cross_check() {
+        for design in DesignKind::ALL {
+            let mut m = mem(design);
+            for i in 0..20u64 {
+                m.write_back(LineAddr((i % 7) * 64), i * 200_000).unwrap();
+            }
+            m.drain(100_000_000, DrainTrigger::External);
+            let s = m.stats();
+            let mc = m.mem_stats();
+            assert_eq!(
+                s.total_writes(),
+                mc.total_writes(),
+                "{design}: categorized writes must equal controller writes"
+            );
+        }
+    }
+
+    #[test]
+    fn wear_concentrates_on_sc_tree_path() {
+        // SC rewrites the same path lines every write-back; its hottest
+        // line must out-wear cc-NVM's by a wide margin.
+        let mut sc = mem(DesignKind::StrictConsistency);
+        let mut cc = mem(DesignKind::CcNvm);
+        for i in 0..64u64 {
+            sc.write_back(LineAddr((i % 4) * 64), i * 200_000).unwrap();
+            cc.write_back(LineAddr((i % 4) * 64), i * 200_000).unwrap();
+        }
+        cc.drain(100_000_000, DrainTrigger::External);
+        let w_sc = sc.wear_stats();
+        let w_cc = cc.wear_stats();
+        assert!(
+            w_sc.max_line_writes > 2 * w_cc.max_line_writes,
+            "SC hottest {} vs cc-NVM hottest {}",
+            w_sc.max_line_writes,
+            w_cc.max_line_writes
+        );
+    }
+
+    #[test]
+    fn engine_occupancy_grows_with_design_cost() {
+        let mut sc = mem(DesignKind::StrictConsistency);
+        let mut cc = mem(DesignKind::CcNvm);
+        let mut t_sc = 0;
+        let mut t_cc = 0;
+        for i in 0..64u64 {
+            t_sc = sc.write_back(LineAddr((i % 4) * 64), t_sc).unwrap();
+            t_cc = cc.write_back(LineAddr((i % 4) * 64), t_cc).unwrap();
+        }
+        // Back-to-back write-backs: SC's serialized root updates make
+        // its engine the bottleneck.
+        assert!(
+            t_sc > t_cc,
+            "SC ({t_sc}) must throttle write-backs harder than cc-NVM ({t_cc})"
+        );
+    }
+}

@@ -1,6 +1,7 @@
-//! Property-based tests for the core security machinery: split-counter
+//! Randomized tests for the core security machinery: split-counter
 //! encoding, the sparse Merkle tree, and full crash/recovery round
-//! trips under randomized workloads.
+//! trips under randomized workloads. Driven by the workspace's
+//! deterministic PRNG so every failure is reproducible.
 
 use ccnvm::bmt::Bmt;
 use ccnvm::config::{DesignKind, SimConfig};
@@ -11,15 +12,15 @@ use ccnvm::recovery::recover;
 use ccnvm::secmem::{DrainTrigger, SecureMemory};
 use ccnvm::tcb::Keys;
 use ccnvm_mem::{LineAddr, LineStore};
-use proptest::prelude::*;
+use ccnvm_rng::Rng;
 
-proptest! {
-    /// Split-counter lines encode/decode losslessly for any contents.
-    #[test]
-    fn counter_line_codec_roundtrip(
-        major: u64,
-        minors in proptest::collection::vec(0u8..128, 64..=64),
-    ) {
+/// Split-counter lines encode/decode losslessly for any contents.
+#[test]
+fn counter_line_codec_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0xc0e1);
+    for _ in 0..128 {
+        let major = rng.next_u64();
+        let minors: Vec<u8> = (0..64).map(|_| rng.gen_range(0u8..128)).collect();
         let mut ctr = CounterLine::new();
         for (i, &m) in minors.iter().enumerate() {
             ctr.set_minor(i, m);
@@ -30,79 +31,95 @@ proptest! {
         let mut encoded = ctr.encode();
         encoded[..8].copy_from_slice(&major.to_le_bytes());
         let decoded = CounterLine::decode(&encoded);
-        prop_assert_eq!(decoded.major(), major);
+        assert_eq!(decoded.major(), major);
         for (i, &m) in minors.iter().enumerate() {
-            prop_assert_eq!(decoded.minor(i), m, "minor {}", i);
+            assert_eq!(decoded.minor(i), m, "minor {i}");
         }
-        prop_assert_eq!(CounterLine::decode(&decoded.encode()), decoded);
+        assert_eq!(CounterLine::decode(&decoded.encode()), decoded);
     }
+}
 
-    /// The incrementally maintained root always equals a from-scratch
-    /// rebuild, for any update sequence.
-    #[test]
-    fn bmt_incremental_equals_rebuild(
-        updates in proptest::collection::vec((0u64..256, any::<u8>()), 1..40),
-    ) {
+/// The incrementally maintained root always equals a from-scratch
+/// rebuild, for any update sequence.
+#[test]
+fn bmt_incremental_equals_rebuild() {
+    let mut rng = Rng::seed_from_u64(0xc0e2);
+    for _ in 0..64 {
         let layout = SecureLayout::new(1 << 20);
         let bmt = Bmt::new(layout, CryptoEngine::new(&Keys::from_seed(7)));
         let mut store = LineStore::new();
         let mut latest: std::collections::HashMap<u64, [u8; 64]> = Default::default();
-        for (idx, fill) in updates {
-            let content = [fill; 64];
+        let updates = rng.gen_range(1usize..40);
+        for _ in 0..updates {
+            let idx = rng.gen_range(0u64..256);
+            let content = [rng.gen_range(0u64..256) as u8; 64];
             store.write(bmt.layout().counter_line_at(idx), content);
             latest.insert(idx, content);
             bmt.update_path(&mut store, idx);
         }
         let (_, rebuilt) = bmt.rebuild(latest.into_iter().filter(|(_, c)| c != &[0u8; 64]));
-        prop_assert_eq!(bmt.root(&store), rebuilt);
+        assert_eq!(bmt.root(&store), rebuilt);
     }
+}
 
-    /// After any update sequence, every path verifies against the
-    /// current root — including untouched leaves.
-    #[test]
-    fn bmt_paths_verify_after_updates(
-        updates in proptest::collection::vec(0u64..256, 1..30),
-        probe in 0u64..256,
-    ) {
+/// After any update sequence, every path verifies against the current
+/// root — including untouched leaves.
+#[test]
+fn bmt_paths_verify_after_updates() {
+    let mut rng = Rng::seed_from_u64(0xc0e3);
+    for _ in 0..64 {
         let layout = SecureLayout::new(1 << 20);
         let bmt = Bmt::new(layout, CryptoEngine::new(&Keys::from_seed(9)));
         let mut store = LineStore::new();
         let mut root = bmt.default_root();
+        let count = rng.gen_range(1usize..30);
+        let updates: Vec<u64> = (0..count).map(|_| rng.gen_range(0u64..256)).collect();
+        let probe = rng.gen_range(0u64..256);
         for (i, idx) in updates.iter().enumerate() {
-            store.write(bmt.layout().counter_line_at(*idx), [(i as u8).wrapping_add(1); 64]);
+            store.write(
+                bmt.layout().counter_line_at(*idx),
+                [(i as u8).wrapping_add(1); 64],
+            );
             let (r, _) = bmt.update_path(&mut store, *idx);
             root = r;
         }
         for idx in updates.iter().chain([&probe]) {
-            prop_assert!(bmt.verify_path(&store, *idx, &root).is_ok(), "leaf {}", idx);
+            assert!(bmt.verify_path(&store, *idx, &root).is_ok(), "leaf {idx}");
         }
     }
+}
 
-    /// Tampering with any materialized counter line is located by the
-    /// consistency scan at exactly that leaf.
-    #[test]
-    fn bmt_scan_locates_any_tamper(
-        updates in proptest::collection::vec(0u64..64, 1..20),
-        victim_sel in 0usize..20,
-        flip in 1u8..255,
-    ) {
+/// Tampering with any materialized counter line is located by the
+/// consistency scan at exactly that leaf.
+#[test]
+fn bmt_scan_locates_any_tamper() {
+    let mut rng = Rng::seed_from_u64(0xc0e4);
+    for _ in 0..64 {
         let layout = SecureLayout::new(1 << 20);
         let bmt = Bmt::new(layout, CryptoEngine::new(&Keys::from_seed(5)));
         let mut store = LineStore::new();
+        let count = rng.gen_range(1usize..20);
+        let updates: Vec<u64> = (0..count).map(|_| rng.gen_range(0u64..64)).collect();
         for (i, idx) in updates.iter().enumerate() {
-            store.write(bmt.layout().counter_line_at(*idx), [(i as u8).wrapping_add(1); 64]);
+            store.write(
+                bmt.layout().counter_line_at(*idx),
+                [(i as u8).wrapping_add(1); 64],
+            );
             bmt.update_path(&mut store, *idx);
         }
-        prop_assert!(bmt.consistency_scan(&store).is_empty());
-        let victim = updates[victim_sel % updates.len()];
+        assert!(bmt.consistency_scan(&store).is_empty());
+        let victim = updates[rng.gen_range(0usize..20) % updates.len()];
+        let flip = rng.gen_range(1u8..=255);
         let line = bmt.layout().counter_line_at(victim);
         let mut content = store.read(line);
         content[0] ^= flip;
         store.write(line, content);
         let found = bmt.consistency_scan(&store);
-        prop_assert!(
-            found.iter().any(|m| m.child_level == 0 && m.child_index == victim),
-            "tamper at leaf {} not located: {:?}", victim, found
+        assert!(
+            found
+                .iter()
+                .any(|m| m.child_level == 0 && m.child_index == victim),
+            "tamper at leaf {victim} not located: {found:?}"
         );
     }
 }
@@ -115,31 +132,34 @@ enum Step {
     Drain,
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        4 => (0u64..48).prop_map(|l| Step::WriteBack(l * 64)),
-        2 => (0u64..48).prop_map(|l| Step::Read(l * 64)),
-        1 => Just(Step::Drain),
-    ]
+/// Samples a step with 4:2:1 write/read/drain weights over 48 lines.
+fn random_step(rng: &mut Rng) -> Step {
+    match rng.gen_range(0u32..7) {
+        0..=3 => Step::WriteBack(rng.gen_range(0u64..48) * 64),
+        4..=5 => Step::Read(rng.gen_range(0u64..48) * 64),
+        _ => Step::Drain,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn random_steps(rng: &mut Rng) -> Vec<Step> {
+    let n = rng.gen_range(1usize..60);
+    (0..n).map(|_| random_step(rng)).collect()
+}
 
-    /// For every crash-consistent design and any operation sequence:
-    /// a crash at the end recovers cleanly and reconstructs the exact
-    /// logical counter state and root.
-    #[test]
-    fn any_workload_crash_recovers_exactly(
-        steps in proptest::collection::vec(step_strategy(), 1..60),
-        design_sel in 0usize..4,
-    ) {
+/// For every crash-consistent design and any operation sequence: a
+/// crash at the end recovers cleanly and reconstructs the exact
+/// logical counter state and root.
+#[test]
+fn any_workload_crash_recovers_exactly() {
+    let mut rng = Rng::seed_from_u64(0xc0e5);
+    for case in 0..24 {
         let design = [
             DesignKind::StrictConsistency,
             DesignKind::OsirisPlus,
             DesignKind::CcNvmNoDs,
             DesignKind::CcNvm,
-        ][design_sel];
+        ][case % 4];
+        let steps = random_steps(&mut rng);
         let mut mem = SecureMemory::new(SimConfig::small(design)).expect("valid config");
         let mut now = 0u64;
         for step in &steps {
@@ -157,26 +177,28 @@ proptest! {
             }
         }
         let report = recover(&mem.crash_image());
-        prop_assert!(report.is_clean(), "{}: {:?}", design, report);
+        assert!(report.is_clean(), "{design}: {report:?}");
         let truth = mem.ground_truth();
-        prop_assert_eq!(report.rebuilt_root, truth.current_root, "{}", design);
+        assert_eq!(report.rebuilt_root, truth.current_root, "{design}");
         for (line, content) in &truth.counter_lines {
-            prop_assert_eq!(
+            assert_eq!(
                 &report.recovered_nvm.read(LineAddr(*line)),
                 content,
-                "{}: counter {:#x}", design, line
+                "{design}: counter {line:#x}"
             );
         }
-        prop_assert!(report.max_line_retries <= mem.config().update_limit as u64);
+        assert!(report.max_line_retries <= mem.config().update_limit as u64);
     }
+}
 
-    /// Runtime functional integrity: after any operation sequence,
-    /// every previously written line still reads back (decrypts and
-    /// authenticates against its expected content).
-    #[test]
-    fn any_workload_reads_back(
-        steps in proptest::collection::vec(step_strategy(), 1..60),
-    ) {
+/// Runtime functional integrity: after any operation sequence, every
+/// previously written line still reads back (decrypts and
+/// authenticates against its expected content).
+#[test]
+fn any_workload_reads_back() {
+    let mut rng = Rng::seed_from_u64(0xc0e6);
+    for _ in 0..24 {
+        let steps = random_steps(&mut rng);
         let mut mem = SecureMemory::new(SimConfig::small(DesignKind::CcNvm)).expect("config");
         let mut now = 0u64;
         let mut written = std::collections::BTreeSet::new();
@@ -197,7 +219,8 @@ proptest! {
         }
         for line in written {
             now += 40_000;
-            mem.read_data(LineAddr(line), now).expect("read-back must verify");
+            mem.read_data(LineAddr(line), now)
+                .expect("read-back must verify");
         }
     }
 }
@@ -212,34 +235,36 @@ enum Tamper {
     ReplayData(u64),
 }
 
-fn tamper_strategy() -> impl Strategy<Value = Tamper> {
-    prop_oneof![
-        (0u64..16).prop_map(Tamper::SpoofData),
-        ((0u64..16), (0u64..16)).prop_map(|(a, b)| Tamper::SpliceData(a, b)),
-        (0u64..4).prop_map(Tamper::SpoofCounter),
-        (0u64..4).prop_map(Tamper::SpoofNode),
-        (0u64..16).prop_map(Tamper::ReplayData),
-    ]
+fn random_tamper(rng: &mut Rng) -> Tamper {
+    match rng.gen_range(0u32..5) {
+        0 => Tamper::SpoofData(rng.gen_range(0u64..16)),
+        1 => Tamper::SpliceData(rng.gen_range(0u64..16), rng.gen_range(0u64..16)),
+        2 => Tamper::SpoofCounter(rng.gen_range(0u64..4)),
+        3 => Tamper::SpoofNode(rng.gen_range(0u64..4)),
+        _ => Tamper::ReplayData(rng.gen_range(0u64..16)),
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Attack fuzzer: no random single tampering of a committed cc-NVM
-    /// crash image survives recovery undetected. (Tampers that restore
-    /// a value identical to the stored one are semantic no-ops and are
-    /// filtered out.)
-    #[test]
-    fn no_random_tamper_escapes_detection(
-        tamper in tamper_strategy(),
-        design_sel in 0usize..3,
-    ) {
-        use ccnvm::attack;
+/// Attack fuzzer: no random single tampering of a committed cc-NVM
+/// crash image survives recovery undetected. (Tampers that restore a
+/// value identical to the stored one are semantic no-ops and are
+/// skipped.)
+#[test]
+fn no_random_tamper_escapes_detection() {
+    use ccnvm::attack;
+    let mut rng = Rng::seed_from_u64(0xc0e7);
+    for case in 0..32 {
         let design = [
             DesignKind::StrictConsistency,
             DesignKind::CcNvmNoDs,
             DesignKind::CcNvm,
-        ][design_sel];
+        ][case % 3];
+        let tamper = random_tamper(&mut rng);
+        if let Tamper::SpliceData(a, b) = tamper {
+            if a == b {
+                continue;
+            }
+        }
         // Two committed epochs over 16 lines spanning 4 pages.
         let mut mem = SecureMemory::new(SimConfig::small(design)).expect("config");
         let mut now = 0u64;
@@ -268,7 +293,6 @@ proptest! {
         match tamper {
             Tamper::SpoofData(i) => attack::spoof_data(&mut img, LineAddr(i * 16)),
             Tamper::SpliceData(a, b) => {
-                prop_assume!(a != b);
                 attack::splice_data(&mut img, LineAddr(a * 16), LineAddr(b * 16));
             }
             Tamper::SpoofCounter(p) => {
@@ -281,12 +305,16 @@ proptest! {
             Tamper::ReplayData(i) => attack::replay_data(&mut img, &old, LineAddr(i * 16)),
         }
         // Semantic no-op (tamper wrote back identical bytes)?
-        let changed = img.nvm.sorted_addrs().iter().any(|&l| {
-            img.nvm.read(l) != clean_img.nvm.read(l)
-        });
-        prop_assume!(changed);
+        let changed = img
+            .nvm
+            .sorted_addrs()
+            .iter()
+            .any(|&l| img.nvm.read(l) != clean_img.nvm.read(l));
+        if !changed {
+            continue;
+        }
         let report = recover(&img);
-        prop_assert!(
+        assert!(
             !report.is_clean(),
             "{design}: tamper {tamper:?} escaped detection: {report}"
         );

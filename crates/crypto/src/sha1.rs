@@ -38,7 +38,13 @@ impl Sha1 {
     /// Creates a hasher in the initial SHA-1 state.
     pub fn new() -> Self {
         Self {
-            state: [0x6745_2301, 0xefcd_ab89, 0x98ba_dcfe, 0x1032_5476, 0xc3d2_e1f0],
+            state: [
+                0x6745_2301,
+                0xefcd_ab89,
+                0x98ba_dcfe,
+                0x1032_5476,
+                0xc3d2_e1f0,
+            ],
             len: 0,
             buf: [0u8; 64],
             buf_len: 0,

@@ -1,78 +1,126 @@
-//! Property-based tests for the crypto primitives.
+//! Randomized property tests for the crypto primitives, driven by the
+//! workspace's deterministic PRNG (seeded per test, so failures are
+//! reproducible by construction).
 
 use ccnvm_crypto::otp::OtpGenerator;
 use ccnvm_crypto::{hmac_sha1, hmac_sha1_128, Aes128, HmacSha1, Sha1};
-use proptest::prelude::*;
+use ccnvm_rng::Rng;
 
-proptest! {
-    /// Incremental hashing over any split equals one-shot hashing.
-    #[test]
-    fn sha1_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
-        let split = split.min(data.len());
+const CASES: usize = 128;
+
+/// Incremental hashing over any split equals one-shot hashing.
+#[test]
+fn sha1_incremental_equals_oneshot() {
+    let mut rng = Rng::seed_from_u64(0x5a01);
+    for _ in 0..CASES {
+        let len = rng.gen_range(0usize..512);
+        let data = rng.gen_bytes(len);
+        let split = rng.gen_range(0usize..512).min(data.len());
         let mut h = Sha1::new();
         h.update(&data[..split]);
         h.update(&data[split..]);
-        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+        assert_eq!(h.finalize(), Sha1::digest(&data));
     }
+}
 
-    /// HMAC truncation is a strict prefix of the full tag.
-    #[test]
-    fn hmac_truncation_is_prefix(key in proptest::collection::vec(any::<u8>(), 0..80),
-                                 msg in proptest::collection::vec(any::<u8>(), 0..256)) {
+/// HMAC truncation is a strict prefix of the full tag.
+#[test]
+fn hmac_truncation_is_prefix() {
+    let mut rng = Rng::seed_from_u64(0x5a02);
+    for _ in 0..CASES {
+        let key_len = rng.gen_range(0usize..80);
+        let key = rng.gen_bytes(key_len);
+        let msg_len = rng.gen_range(0usize..256);
+        let msg = rng.gen_bytes(msg_len);
         let full = hmac_sha1(&key, &msg);
         let short = hmac_sha1_128(&key, &msg);
-        prop_assert_eq!(&full[..16], &short[..]);
+        assert_eq!(&full[..16], &short[..]);
     }
+}
 
-    /// Incremental HMAC equals one-shot for any split.
-    #[test]
-    fn hmac_incremental_equals_oneshot(key in proptest::collection::vec(any::<u8>(), 1..64),
-                                       msg in proptest::collection::vec(any::<u8>(), 0..256),
-                                       split in 0usize..256) {
-        let split = split.min(msg.len());
+/// Incremental HMAC equals one-shot for any split.
+#[test]
+fn hmac_incremental_equals_oneshot() {
+    let mut rng = Rng::seed_from_u64(0x5a03);
+    for _ in 0..CASES {
+        let key_len = rng.gen_range(1usize..64);
+        let key = rng.gen_bytes(key_len);
+        let msg_len = rng.gen_range(0usize..256);
+        let msg = rng.gen_bytes(msg_len);
+        let split = rng.gen_range(0usize..256).min(msg.len());
         let mut mac = HmacSha1::new(&key);
         mac.update(&msg[..split]);
         mac.update(&msg[split..]);
-        prop_assert_eq!(mac.finalize(), hmac_sha1(&key, &msg));
+        assert_eq!(mac.finalize(), hmac_sha1(&key, &msg));
     }
+}
 
-    /// Flipping any single message bit changes the MAC (128-bit
-    /// collision within proptest's budget would be astronomical).
-    #[test]
-    fn hmac_detects_single_bit_flips(msg in proptest::collection::vec(any::<u8>(), 1..128),
-                                     bit in 0usize..1024) {
-        let bit = bit % (msg.len() * 8);
+/// Flipping any single message bit changes the MAC (a 128-bit
+/// collision within this budget would be astronomical).
+#[test]
+fn hmac_detects_single_bit_flips() {
+    let mut rng = Rng::seed_from_u64(0x5a04);
+    for _ in 0..CASES {
+        let msg_len = rng.gen_range(1usize..128);
+        let msg = rng.gen_bytes(msg_len);
+        let bit = rng.gen_range(0usize..1024) % (msg.len() * 8);
         let mut tampered = msg.clone();
         tampered[bit / 8] ^= 1 << (bit % 8);
-        prop_assert_ne!(hmac_sha1_128(b"key", &msg), hmac_sha1_128(b"key", &tampered));
+        assert_ne!(
+            hmac_sha1_128(b"key", &msg),
+            hmac_sha1_128(b"key", &tampered)
+        );
     }
+}
 
-    /// OTP encryption round-trips for any line/seed combination.
-    #[test]
-    fn otp_roundtrip(key: [u8; 16], line in proptest::collection::vec(any::<u8>(), 64..=64),
-                     addr: u64, major: u64, minor in 0u64..128) {
-        let mut arr = [0u8; 64];
-        arr.copy_from_slice(&line);
+/// OTP encryption round-trips for any line/seed combination.
+#[test]
+fn otp_roundtrip() {
+    let mut rng = Rng::seed_from_u64(0x5a05);
+    for _ in 0..CASES {
+        let key: [u8; 16] = rng.gen_array();
+        let line: [u8; 64] = rng.gen_array();
+        let addr = rng.next_u64();
+        let major = rng.next_u64();
+        let minor = rng.gen_range(0u64..128);
         let otp = OtpGenerator::new(Aes128::new(&key));
-        let ct = otp.xor64(&arr, addr, major, minor);
-        prop_assert_eq!(otp.xor64(&ct, addr, major, minor), arr);
+        let ct = otp.xor64(&line, addr, major, minor);
+        assert_eq!(otp.xor64(&ct, addr, major, minor), line);
     }
+}
 
-    /// Distinct seeds produce distinct pads (the CME security
-    /// requirement: never reuse a one-time pad).
-    #[test]
-    fn otp_seed_uniqueness(key: [u8; 16], a1: u32, a2: u32, m1 in 0u64..128, m2 in 0u64..128) {
-        prop_assume!(a1 != a2 || m1 != m2);
+/// Distinct seeds produce distinct pads (the CME security
+/// requirement: never reuse a one-time pad).
+#[test]
+fn otp_seed_uniqueness() {
+    let mut rng = Rng::seed_from_u64(0x5a06);
+    for _ in 0..CASES {
+        let key: [u8; 16] = rng.gen_array();
+        let a1 = rng.gen_range(0u64..=u32::MAX as u64);
+        let a2 = rng.gen_range(0u64..=u32::MAX as u64);
+        let m1 = rng.gen_range(0u64..128);
+        let m2 = rng.gen_range(0u64..128);
+        if a1 == a2 && m1 == m2 {
+            continue;
+        }
         let otp = OtpGenerator::new(Aes128::new(&key));
-        prop_assert_ne!(otp.pad64(a1 as u64, 0, m1), otp.pad64(a2 as u64, 0, m2));
+        assert_ne!(otp.pad64(a1, 0, m1), otp.pad64(a2, 0, m2));
     }
+}
 
-    /// AES is a permutation: distinct plaintexts give distinct
-    /// ciphertexts under the same key.
-    #[test]
-    fn aes_injective(key: [u8; 16], p1: [u8; 16], p2: [u8; 16]) {
-        prop_assume!(p1 != p2);
+/// AES is a permutation: distinct plaintexts give distinct
+/// ciphertexts under the same key.
+#[test]
+fn aes_injective() {
+    let mut rng = Rng::seed_from_u64(0x5a07);
+    for _ in 0..CASES {
+        let key: [u8; 16] = rng.gen_array();
+        let p1: [u8; 16] = rng.gen_array();
+        let p2: [u8; 16] = rng.gen_array();
+        if p1 == p2 {
+            continue;
+        }
         let aes = Aes128::new(&key);
-        prop_assert_ne!(aes.encrypt_block(p1), aes.encrypt_block(p2));
+        assert_ne!(aes.encrypt_block(p1), aes.encrypt_block(p2));
     }
 }

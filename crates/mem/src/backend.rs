@@ -1,0 +1,112 @@
+//! The durable-NVM storage seam.
+//!
+//! [`DurableBackend`] abstracts the *crash-survivable* line store that
+//! the secure-memory subsystem persists into. The simulator uses the
+//! in-memory [`LineStore`] implementation; tests substitute
+//! instrumented mocks to prove that crash images and recovery resume
+//! flow exclusively through this interface (no hidden side channels to
+//! the durable state).
+
+use crate::store::{Line, LineStore, ZERO_LINE};
+use crate::LineAddr;
+
+/// Crash-survivable line-granular storage.
+///
+/// Semantics every implementation must uphold:
+///
+/// * a line never stored reads as [`ZERO_LINE`] and loads as `None`;
+/// * [`store`](Self::store) makes the content durable immediately
+///   (callers model ADR/WPQ ordering above this trait);
+/// * [`snapshot`](Self::snapshot) captures exactly the stored lines —
+///   it is what a power failure preserves.
+pub trait DurableBackend: std::fmt::Debug + Send {
+    /// The stored content of `line`, if any.
+    fn load(&self, line: LineAddr) -> Option<Line>;
+
+    /// Durably stores `content` at `line`.
+    fn store(&mut self, line: LineAddr, content: Line);
+
+    /// Removes `line`, returning its previous content.
+    fn erase(&mut self, line: LineAddr) -> Option<Line>;
+
+    /// Number of stored lines.
+    fn len(&self) -> usize;
+
+    /// Every stored line address, in unspecified order.
+    fn addrs(&self) -> Vec<LineAddr>;
+
+    /// Copies the full durable contents into a [`LineStore`] (the
+    /// crash-image representation).
+    fn snapshot(&self) -> LineStore;
+
+    /// Replaces the entire durable contents with `image`.
+    fn restore(&mut self, image: &LineStore);
+
+    /// Whether nothing is stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `line` is stored.
+    fn contains(&self, line: LineAddr) -> bool {
+        self.load(line).is_some()
+    }
+
+    /// The content of `line`, defaulting to [`ZERO_LINE`].
+    fn read(&self, line: LineAddr) -> Line {
+        self.load(line).unwrap_or(ZERO_LINE)
+    }
+}
+
+impl DurableBackend for LineStore {
+    fn load(&self, line: LineAddr) -> Option<Line> {
+        self.get(line).copied()
+    }
+
+    fn store(&mut self, line: LineAddr, content: Line) {
+        self.write(line, content);
+    }
+
+    fn erase(&mut self, line: LineAddr) -> Option<Line> {
+        LineStore::erase(self, line)
+    }
+
+    fn len(&self) -> usize {
+        LineStore::len(self)
+    }
+
+    fn addrs(&self) -> Vec<LineAddr> {
+        self.iter().map(|(l, _)| l).collect()
+    }
+
+    fn snapshot(&self) -> LineStore {
+        self.clone()
+    }
+
+    fn restore(&mut self, image: &LineStore) {
+        *self = image.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_store_implements_the_contract() {
+        let mut b: Box<dyn DurableBackend> = Box::new(LineStore::new());
+        assert!(b.is_empty());
+        assert_eq!(b.read(LineAddr(3)), ZERO_LINE);
+        b.store(LineAddr(3), [7u8; 64]);
+        assert!(b.contains(LineAddr(3)));
+        assert_eq!(b.load(LineAddr(3)), Some([7u8; 64]));
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.addrs(), vec![LineAddr(3)]);
+        let snap = b.snapshot();
+        assert_eq!(snap.read(LineAddr(3)), [7u8; 64]);
+        assert_eq!(b.erase(LineAddr(3)), Some([7u8; 64]));
+        assert!(b.is_empty());
+        b.restore(&snap);
+        assert_eq!(b.read(LineAddr(3)), [7u8; 64]);
+    }
+}

@@ -265,18 +265,22 @@ impl<T> SetAssocCache<T> {
     }
 
     /// All resident dirty line addresses, in unspecified order.
-    pub fn dirty_lines(&self) -> Vec<LineAddr> {
+    ///
+    /// Allocation-free: the drain path walks this on every trigger, so
+    /// it borrows the sets instead of materialising a `Vec` per call.
+    pub fn dirty_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.sets
             .iter()
             .flatten()
             .filter(|w| w.dirty)
             .map(|w| w.addr)
-            .collect()
     }
 
     /// All resident line addresses, in unspecified order.
-    pub fn resident_lines(&self) -> Vec<LineAddr> {
-        self.sets.iter().flatten().map(|w| w.addr).collect()
+    ///
+    /// Allocation-free for the same reason as [`Self::dirty_lines`].
+    pub fn resident_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.sets.iter().flatten().map(|w| w.addr)
     }
 
     /// Number of resident lines.
@@ -402,7 +406,41 @@ mod tests {
         let mut c = tiny();
         c.access(LineAddr(0), true);
         c.access(LineAddr(1), false);
-        assert_eq!(c.dirty_lines(), vec![LineAddr(0)]);
+        assert_eq!(c.dirty_lines().collect::<Vec<_>>(), vec![LineAddr(0)]);
+        assert_eq!(c.resident_lines().count(), 2);
+    }
+
+    #[test]
+    fn mark_clean_and_dirty_on_absent_lines() {
+        let mut c = tiny();
+        assert!(!c.mark_clean(LineAddr(7)), "absent line cannot be cleaned");
+        assert!(!c.mark_dirty(LineAddr(7)), "absent line cannot be dirtied");
+        assert!(!c.contains(LineAddr(7)), "marking must not insert");
+        c.access(LineAddr(0), false);
+        assert!(c.mark_dirty(LineAddr(0)));
+        assert!(c.is_dirty(LineAddr(0)));
+        // A line evicted from its set is absent again.
+        c.access(LineAddr(1), false);
+        c.access(LineAddr(2), false);
+        let gone = if c.contains(LineAddr(0)) {
+            LineAddr(1)
+        } else {
+            LineAddr(0)
+        };
+        assert!(!c.mark_dirty(gone));
+        assert!(!c.mark_clean(gone));
+    }
+
+    #[test]
+    fn invalidate_absent_line_is_none() {
+        let mut c = tiny();
+        assert!(c.invalidate(LineAddr(3)).is_none());
+        c.access(LineAddr(0), false);
+        assert!(c.invalidate(LineAddr(3)).is_none());
+        assert!(
+            c.contains(LineAddr(0)),
+            "missed invalidate must not disturb residents"
+        );
     }
 
     #[test]

@@ -215,7 +215,11 @@ impl MemController {
         let mut total = 0u64;
         for (&line, &count) in &self.wear {
             total += count;
-            if count > max {
+            // Ties break to the lowest address so the report is
+            // deterministic despite the map's iteration order.
+            let wins =
+                count > max || (count == max && hottest.is_some_and(|h: LineAddr| line < h.0));
+            if wins {
                 max = count;
                 hottest = Some(LineAddr(line));
             }
@@ -289,7 +293,7 @@ mod tests {
         });
         assert_eq!(m.write(LineAddr(0), 0), 0); // completes at 100
         assert_eq!(m.write(LineAddr(1), 0), 0); // completes at 200
-        // Queue full: third write stalls until the first retires.
+                                                // Queue full: third write stalls until the first retires.
         assert_eq!(m.write(LineAddr(2), 0), 100);
         assert_eq!(m.stats().write_queue_stalls, 1);
     }

@@ -36,12 +36,14 @@
 #![warn(missing_docs)]
 
 pub mod addr;
+pub mod backend;
 pub mod cache;
 pub mod controller;
 pub mod store;
 pub mod timing;
 
 pub use addr::{Addr, LineAddr, LINE_SIZE, PAGE_SIZE};
+pub use backend::DurableBackend;
 pub use cache::{CacheConfig, SetAssocCache};
 pub use controller::{MemController, MemControllerConfig, MemStats, WearStats};
 pub use store::{Line, LineStore};

@@ -143,7 +143,10 @@ mod tests {
             s.write(LineAddr(a), [a as u8; 64]);
         }
         let addrs = s.sorted_addrs();
-        assert_eq!(addrs, vec![LineAddr(1), LineAddr(3), LineAddr(7), LineAddr(9)]);
+        assert_eq!(
+            addrs,
+            vec![LineAddr(1), LineAddr(3), LineAddr(7), LineAddr(9)]
+        );
     }
 
     #[test]

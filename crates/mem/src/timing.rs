@@ -96,10 +96,16 @@ impl NvmTiming {
         let bank = self.bank_of(line);
         let (latency, busy) = if is_write {
             self.writes += 1;
-            (self.config.write_cycles, &mut self.bank_write_busy_until[bank])
+            (
+                self.config.write_cycles,
+                &mut self.bank_write_busy_until[bank],
+            )
         } else {
             self.reads += 1;
-            (self.config.read_cycles, &mut self.bank_read_busy_until[bank])
+            (
+                self.config.read_cycles,
+                &mut self.bank_read_busy_until[bank],
+            )
         };
         let start = now.max(*busy);
         let done = start + latency;

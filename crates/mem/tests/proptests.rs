@@ -1,9 +1,10 @@
-//! Property-based tests: the cache model against a straightforward
-//! reference implementation, and queue invariants.
+//! Randomized model tests: the cache against a straightforward
+//! reference implementation, and queue invariants. Driven by the
+//! workspace's deterministic PRNG so every failure is reproducible.
 
 use ccnvm_mem::timing::BoundedQueue;
 use ccnvm_mem::{CacheConfig, LineAddr, SetAssocCache};
-use proptest::prelude::*;
+use ccnvm_rng::Rng;
 use std::collections::HashMap;
 
 /// Reference model: per-set vectors with explicit LRU ordering.
@@ -40,30 +41,31 @@ impl RefCache {
     }
 }
 
-proptest! {
-    /// The production cache agrees with the reference model on every
-    /// hit/miss outcome, every victim choice and every dirty bit, for
-    /// arbitrary access sequences over several geometries.
-    #[test]
-    fn cache_matches_reference(
-        ways in 1usize..5,
-        sets_pow in 0u32..4,
-        accesses in proptest::collection::vec((0u64..64, any::<bool>()), 1..400),
-    ) {
-        let sets = 1usize << sets_pow;
+/// The production cache agrees with the reference model on every
+/// hit/miss outcome, every victim choice and every dirty bit, for
+/// random access sequences over several geometries.
+#[test]
+fn cache_matches_reference() {
+    let mut rng = Rng::seed_from_u64(0x3e01);
+    for _ in 0..96 {
+        let ways = rng.gen_range(1usize..5);
+        let sets = 1usize << rng.gen_range(0u32..4);
         let config = CacheConfig::new((sets * ways * 64) as u64, ways);
-        prop_assert_eq!(config.sets(), sets);
+        assert_eq!(config.sets(), sets);
         let mut cache = SetAssocCache::<()>::new(config);
         let mut reference = RefCache::new(sets, ways);
-        for (line, write) in accesses {
+        let accesses = rng.gen_range(1usize..400);
+        for _ in 0..accesses {
+            let line = rng.gen_range(0u64..64);
+            let write = rng.gen_bool(0.5);
             let got = cache.access(LineAddr(line), write);
             let (want_hit, want_evicted) = reference.access(line, write);
-            prop_assert_eq!(got.is_hit(), want_hit, "hit/miss diverged at {}", line);
+            assert_eq!(got.is_hit(), want_hit, "hit/miss diverged at {line}");
             let got_evicted = got.evicted.map(|e| (e.addr.0, e.dirty));
-            prop_assert_eq!(got_evicted, want_evicted, "victim diverged at {}", line);
+            assert_eq!(got_evicted, want_evicted, "victim diverged at {line}");
         }
         // Final dirty sets agree.
-        let mut got_dirty: Vec<u64> = cache.dirty_lines().iter().map(|l| l.0).collect();
+        let mut got_dirty: Vec<u64> = cache.dirty_lines().map(|l| l.0).collect();
         got_dirty.sort_unstable();
         let mut want_dirty: Vec<u64> = reference
             .content
@@ -73,39 +75,46 @@ proptest! {
             .map(|&(l, _)| l)
             .collect();
         want_dirty.sort_unstable();
-        prop_assert_eq!(got_dirty, want_dirty);
+        assert_eq!(got_dirty, want_dirty);
     }
+}
 
-    /// peek_victim always predicts exactly what access() will evict.
-    #[test]
-    fn peek_victim_is_exact(
-        accesses in proptest::collection::vec((0u64..32, any::<bool>()), 1..200),
-    ) {
+/// peek_victim always predicts exactly what access() will evict.
+#[test]
+fn peek_victim_is_exact() {
+    let mut rng = Rng::seed_from_u64(0x3e02);
+    for _ in 0..64 {
         let mut cache = SetAssocCache::<()>::new(CacheConfig::new(4 * 64, 2));
-        for (line, write) in accesses {
+        let accesses = rng.gen_range(1usize..200);
+        for _ in 0..accesses {
+            let line = rng.gen_range(0u64..32);
+            let write = rng.gen_bool(0.5);
             let predicted = cache.peek_victim(LineAddr(line));
             let got = cache.access(LineAddr(line), write);
             let actual = got.evicted.map(|e| (e.addr, e.dirty));
-            prop_assert_eq!(predicted, actual);
+            assert_eq!(predicted, actual);
         }
     }
+}
 
-    /// Queue occupancy never exceeds capacity and accepts are
-    /// monotone in time.
-    #[test]
-    fn bounded_queue_invariants(
-        capacity in 1usize..8,
-        ops in proptest::collection::vec((0u64..1000, 1u64..500), 1..200),
-    ) {
+/// Queue occupancy never exceeds capacity and accepts are monotone in
+/// time.
+#[test]
+fn bounded_queue_invariants() {
+    let mut rng = Rng::seed_from_u64(0x3e03);
+    for _ in 0..64 {
+        let capacity = rng.gen_range(1usize..8);
         let mut q = BoundedQueue::new(capacity);
         let mut now = 0u64;
-        for (advance, latency) in ops {
-            now += advance;
+        let ops = rng.gen_range(1usize..200);
+        for _ in 0..ops {
+            now += rng.gen_range(0u64..1000);
+            let latency = rng.gen_range(1u64..500);
             let slot = q.accept(now);
-            prop_assert!(slot >= now);
-            prop_assert!(q.len() < capacity, "accept must free a slot");
+            assert!(slot >= now);
+            assert!(q.len() < capacity, "accept must free a slot");
             q.push(slot + latency);
-            prop_assert!(q.len() <= capacity);
+            assert!(q.len() <= capacity);
         }
     }
 }

@@ -8,8 +8,7 @@
 use crate::profiles::WorkloadProfile;
 use crate::{OpKind, TraceOp};
 use ccnvm_mem::Addr;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ccnvm_rng::Rng;
 
 /// Word granularity of generated accesses.
 const WORD: u64 = 8;
@@ -39,7 +38,7 @@ fn stream_region(profile: &WorkloadProfile) -> u64 {
 #[derive(Debug, Clone)]
 pub struct TraceGenerator {
     profile: WorkloadProfile,
-    rng: StdRng,
+    rng: Rng,
     stream_ptrs: Vec<u64>,
     next_stream: usize,
     cold_window_base: u64,
@@ -58,7 +57,7 @@ const COLD_WINDOW_PERIOD: u32 = 1024;
 impl TraceGenerator {
     /// Creates a generator for `profile` seeded with `seed`.
     pub fn new(profile: WorkloadProfile, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Rng::seed_from_u64(seed);
         let region = stream_region(&profile);
         let streams = profile.locality.streams.max(1);
         // Concurrent streams start on distinct pages but close together
@@ -202,8 +201,7 @@ mod tests {
         let p = profiles::by_name("lbm").unwrap();
         let loc = &p.locality;
         assert_eq!(loc.write_streams, 2);
-        let read_share =
-            (loc.streams - loc.write_streams) as f64 / loc.streams as f64;
+        let read_share = (loc.streams - loc.write_streams) as f64 / loc.streams as f64;
         let expect = p.write_fraction * (1.0 - loc.stream_fraction * read_share);
         let n = 50_000;
         let writes = TraceGenerator::new(p.clone(), 4)

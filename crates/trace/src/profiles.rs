@@ -324,8 +324,8 @@ pub fn mixed() -> WorkloadProfile {
             hot_prob: 0.86,
             warm_bytes: 96 * KIB,
             warm_prob: 0.10,
-                stream_bytes: 0,
-                write_streams: 2,
+            stream_bytes: 0,
+            write_streams: 2,
         },
     )
 }
@@ -347,7 +347,16 @@ mod tests {
         let names: Vec<String> = spec2006().into_iter().map(|p| p.name).collect();
         assert_eq!(
             names,
-            ["leslie3d", "libquantum", "gcc", "lbm", "soplex", "hmmer", "milc", "namd"]
+            [
+                "leslie3d",
+                "libquantum",
+                "gcc",
+                "lbm",
+                "soplex",
+                "hmmer",
+                "milc",
+                "namd"
+            ]
         );
     }
 
@@ -377,7 +386,11 @@ mod tests {
     #[test]
     fn tier_probabilities_are_valid() {
         for p in spec2006() {
-            assert!(p.locality.hot_prob + p.locality.warm_prob <= 1.0, "{}", p.name);
+            assert!(
+                p.locality.hot_prob + p.locality.warm_prob <= 1.0,
+                "{}",
+                p.name
+            );
             assert!(p.locality.cold_prob() >= 0.0, "{}", p.name);
             assert!(p.locality.hot_bytes < p.locality.warm_bytes, "{}", p.name);
             assert!(p.locality.warm_bytes < p.working_set_bytes, "{}", p.name);

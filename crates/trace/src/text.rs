@@ -104,7 +104,9 @@ mod tests {
 
     #[test]
     fn roundtrip() {
-        let ops: Vec<TraceOp> = TraceGenerator::new(profiles::mixed(), 11).take(200).collect();
+        let ops: Vec<TraceOp> = TraceGenerator::new(profiles::mixed(), 11)
+            .take(200)
+            .collect();
         let mut buf = Vec::new();
         write_trace(&mut buf, &ops).unwrap();
         let parsed = read_trace(buf.as_slice()).unwrap();

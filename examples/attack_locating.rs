@@ -54,7 +54,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("crash spoof    -> located: {:?}", report.located);
     assert_eq!(
         report.located,
-        vec![LocatedAttack::DataTampered { line: LineAddr(128) }]
+        vec![LocatedAttack::DataTampered {
+            line: LineAddr(128)
+        }]
     );
 
     // Splicing: swap two lines (with their HMACs) — both ends located.

@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for i in 0..10u64 {
         mem.write_back(LineAddr((i % 3) * 64), 6_000_000 + i * 50_000)?;
     }
-    check("mid-epoch (stalled counters recovered via data HMACs)", &mem)?;
+    check(
+        "mid-epoch (stalled counters recovered via data HMACs)",
+        &mem,
+    )?;
 
     // Mid-drain: the drainer has staged the epoch into the WPQ but the
     // `end` signal never arrives — ADR drops the residual lines and the
@@ -63,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     mem.stage_drain(8_000_000);
     assert!(mem.has_staged_drain());
     mem.discard_staged(); // power failed before the end signal
-    check("mid-drain, before the end signal (staged lines dropped)", &mem)?;
+    check(
+        "mid-drain, before the end signal (staged lines dropped)",
+        &mem,
+    )?;
 
     println!("all three crash points recovered cleanly");
     Ok(())

@@ -129,9 +129,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (&key, &slot) in &kv.directory {
         let line = LineAddr(slot);
         let ct = report.recovered_nvm.read(line);
-        let ctr = CounterLine::decode(
-            &report.recovered_nvm.read(layout.counter_line_of(line)),
-        );
+        let ctr = CounterLine::decode(&report.recovered_nvm.read(layout.counter_line_of(line)));
         let (major, minor) = ctr.seed(line.page_offset());
         let plain = engine.decrypt_line(&ct, line, major, minor);
         let version = kv.slot_versions[&slot];
@@ -142,6 +140,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
         verified += 1;
     }
-    println!("re-opened store: {verified}/{} records verified bit-exact", kv.directory.len());
+    println!(
+        "re-opened store: {verified}/{} records verified bit-exact",
+        kv.directory.len()
+    );
     Ok(())
 }

@@ -18,7 +18,10 @@ fn run(n: u32, m: usize) -> Result<RunStats, String> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("cc-NVM epoch-trigger sensitivity ({INSTRUCTIONS} instructions, mixed workload)\n");
-    println!("{:<12}{:>10}{:>14}{:>12}{:>14}", "config", "IPC", "NVM writes", "epochs", "wb/epoch");
+    println!(
+        "{:<12}{:>10}{:>14}{:>12}{:>14}",
+        "config", "IPC", "NVM writes", "epochs", "wb/epoch"
+    );
     for (n, m) in [(4, 64), (16, 64), (64, 64), (16, 32), (16, 48)] {
         let s = run(n, m)?;
         println!(

@@ -29,7 +29,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     text::write_trace(&mut file, &ops)?;
     drop(file);
     let bytes = std::fs::metadata(&path)?.len();
-    println!("captured {} ops to {} ({} KiB)", ops.len(), path.display(), bytes / 1024);
+    println!(
+        "captured {} ops to {} ({} KiB)",
+        ops.len(),
+        path.display(),
+        bytes / 1024
+    );
 
     // Replay from disk.
     let parsed = text::read_trace(std::io::BufReader::new(std::fs::File::open(&path)?))?;

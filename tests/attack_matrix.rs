@@ -12,7 +12,8 @@ use ccnvm_mem::LineAddr;
 fn epochs(design: DesignKind) -> (CrashImage, CrashImage) {
     let mut mem = SecureMemory::new(SimConfig::paper(design)).expect("config");
     for i in 0..16u64 {
-        mem.write_back(LineAddr((i % 4) * 64), i * 60_000).expect("wb");
+        mem.write_back(LineAddr((i % 4) * 64), i * 60_000)
+            .expect("wb");
     }
     mem.drain(2_000_000, DrainTrigger::External);
     let old = mem.crash_image();
@@ -55,7 +56,9 @@ fn splicing_is_located_at_both_ends() {
         let report = recover(&img);
         for line in [LineAddr(0), LineAddr(192)] {
             assert!(
-                report.located.contains(&LocatedAttack::DataTampered { line }),
+                report
+                    .located
+                    .contains(&LocatedAttack::DataTampered { line }),
                 "{design} missed {line}: {report:?}"
             );
         }
@@ -68,10 +71,13 @@ fn counter_replay_located_by_tree_designs() {
     // to be stale (stop-loss), so a counter-only replay within the
     // window is indistinguishable from normal staleness and simply
     // repaired by its own recovery — see the dedicated test below.
-    for design in [DesignKind::StrictConsistency, DesignKind::CcNvmNoDs, DesignKind::CcNvm] {
+    for design in [
+        DesignKind::StrictConsistency,
+        DesignKind::CcNvmNoDs,
+        DesignKind::CcNvm,
+    ] {
         let (old, mut img) = epochs(design);
-        let ctr = ccnvm::layout::SecureLayout::new(img.capacity_bytes)
-            .counter_line_of(LineAddr(0));
+        let ctr = ccnvm::layout::SecureLayout::new(img.capacity_bytes).counter_line_of(LineAddr(0));
         attack::replay_counter(&mut img, &old, ctr);
         let report = recover(&img);
         assert!(!report.is_clean(), "{design} must notice the replay");
@@ -93,8 +99,7 @@ fn osiris_full_replay_detected_but_never_located() {
     // so all of NVM must be dropped.
     let (old, mut img) = epochs(DesignKind::OsirisPlus);
     attack::replay_data(&mut img, &old, LineAddr(0));
-    let ctr =
-        ccnvm::layout::SecureLayout::new(img.capacity_bytes).counter_line_of(LineAddr(0));
+    let ctr = ccnvm::layout::SecureLayout::new(img.capacity_bytes).counter_line_of(LineAddr(0));
     attack::replay_counter(&mut img, &old, ctr);
     let report = recover(&img);
     assert!(report.located.is_empty(), "nothing locatable: {report:?}");
@@ -104,7 +109,11 @@ fn osiris_full_replay_detected_but_never_located() {
 
 #[test]
 fn tree_node_spoof_located_by_consistency_scan() {
-    for design in [DesignKind::StrictConsistency, DesignKind::CcNvmNoDs, DesignKind::CcNvm] {
+    for design in [
+        DesignKind::StrictConsistency,
+        DesignKind::CcNvmNoDs,
+        DesignKind::CcNvm,
+    ] {
         let (_, mut img) = epochs(design);
         attack::spoof_tree_node(&mut img, 1, 0);
         let report = recover(&img);
@@ -159,9 +168,15 @@ fn figure4_window_detected_by_nwb() {
     let mut img = mem.crash_image();
     attack::replay_data(&mut img, &old, LineAddr(0));
     let report = recover(&img);
-    assert!(report.located.is_empty(), "locally consistent by construction");
+    assert!(
+        report.located.is_empty(),
+        "locally consistent by construction"
+    );
     assert_eq!(report.nwb, 2);
-    assert_eq!(report.total_retries, 1, "only the un-replayed line needs a retry");
+    assert_eq!(
+        report.total_retries, 1,
+        "only the un-replayed line needs a retry"
+    );
     assert!(report.potential_replay);
     assert!(!report.is_clean());
 }
@@ -180,7 +195,9 @@ fn runtime_tamper_detected_across_designs() {
             .expect_err("tamper must be caught at runtime");
         assert_eq!(
             err,
-            IntegrityError::DataHmacMismatch { line: LineAddr(320) },
+            IntegrityError::DataHmacMismatch {
+                line: LineAddr(320)
+            },
             "{design}"
         );
     }

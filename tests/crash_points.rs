@@ -52,7 +52,8 @@ fn interrupted_drain_keeps_old_epoch() {
     let committed_root = mem.tcb().root_old;
 
     for i in 0..6u64 {
-        mem.write_back(LineAddr(i * 64), 2_000_000 + i * 60_000).expect("wb");
+        mem.write_back(LineAddr(i * 64), 2_000_000 + i * 60_000)
+            .expect("wb");
     }
     // Stage the next epoch but crash before the end signal.
     mem.stage_drain(3_000_000);
@@ -65,7 +66,10 @@ fn interrupted_drain_keeps_old_epoch() {
         ccnvm::engine::CryptoEngine::new(&image.tcb.keys),
     );
     assert_eq!(bmt.root(&image.nvm), committed_root);
-    assert!(bmt.consistency_scan(&image.nvm).is_empty(), "old epoch stays consistent");
+    assert!(
+        bmt.consistency_scan(&image.nvm).is_empty(),
+        "old epoch stays consistent"
+    );
 
     // And recovery still reconstructs the *newest* counters from the
     // data HMACs.
@@ -87,7 +91,10 @@ fn completed_drain_commits_new_epoch() {
     let image = mem.crash_image();
     let report = recover(&image);
     assert!(report.is_clean(), "{report:?}");
-    assert_eq!(report.total_retries, 0, "committed epoch leaves nothing stalled");
+    assert_eq!(
+        report.total_retries, 0,
+        "committed epoch leaves nothing stalled"
+    );
     assert_eq!(image.tcb.root_old, image.tcb.root_new);
     assert_eq!(image.tcb.nwb, 0);
 }

@@ -15,13 +15,8 @@ fn run(design: DesignKind, bench: &str, seed: u64) -> RunStats {
 fn every_design_runs_every_benchmark() {
     for design in DesignKind::ALL {
         for profile in profiles::spec2006() {
-            let s = ccnvm::sim::run_profile(
-                SimConfig::paper(design),
-                &profile,
-                20_000,
-                1,
-            )
-            .expect("clean run");
+            let s = ccnvm::sim::run_profile(SimConfig::paper(design), &profile, 20_000, 1)
+                .expect("clean run");
             assert!(s.instructions >= 20_000, "{design}/{}", profile.name);
             assert!(s.cycles > 0, "{design}/{}", profile.name);
         }
@@ -79,7 +74,10 @@ fn figure5_orderings_hold() {
 
     // (b) writes: SC catastrophic; Osiris leanest of the consistent
     // designs; cc-NVM between Osiris and SC; no-DS >= cc-NVM.
-    assert!(sc.total_writes() > 3 * base.total_writes(), "SC amplification");
+    assert!(
+        sc.total_writes() > 3 * base.total_writes(),
+        "SC amplification"
+    );
     assert!(osiris.total_writes() < cc.total_writes());
     assert!(cc.total_writes() <= no_ds.total_writes());
     assert!(cc.total_writes() < sc.total_writes());
@@ -140,7 +138,10 @@ fn flush_then_crash_needs_no_recovery_work() {
     sim.flush_caches().expect("orderly shutdown");
     let report = recover(&sim.memory().crash_image());
     assert!(report.is_clean());
-    assert_eq!(report.total_retries, 0, "orderly shutdown leaves nothing stalled");
+    assert_eq!(
+        report.total_retries, 0,
+        "orderly shutdown leaves nothing stalled"
+    );
     assert_eq!(report.recovered_counter_lines, 0);
 }
 
@@ -155,8 +156,18 @@ fn sensitivity_trends_are_monotoneish() {
         let s = ccnvm::sim::run_profile(config, &profile, INSTRUCTIONS, 42).unwrap();
         writes.push(s.total_writes());
     }
-    assert!(writes[0] >= writes[1], "N=4 {} vs N=16 {}", writes[0], writes[1]);
-    assert!(writes[1] >= writes[2], "N=16 {} vs N=64 {}", writes[1], writes[2]);
+    assert!(
+        writes[0] >= writes[1],
+        "N=4 {} vs N=16 {}",
+        writes[0],
+        writes[1]
+    );
+    assert!(
+        writes[1] >= writes[2],
+        "N=16 {} vs N=64 {}",
+        writes[1],
+        writes[2]
+    );
 
     // Larger M must not increase write traffic (Fig. 6b trend).
     let mut writes = Vec::new();
@@ -166,5 +177,10 @@ fn sensitivity_trends_are_monotoneish() {
         let s = ccnvm::sim::run_profile(config, &profile, INSTRUCTIONS, 42).unwrap();
         writes.push(s.total_writes());
     }
-    assert!(writes[0] >= writes[1], "M=32 {} vs M=64 {}", writes[0], writes[1]);
+    assert!(
+        writes[0] >= writes[1],
+        "M=32 {} vs M=64 {}",
+        writes[0],
+        writes[1]
+    );
 }
