@@ -50,6 +50,11 @@ pub struct RunArgs {
     pub split_meta: bool,
     /// Emit CSV instead of human-readable output.
     pub csv: bool,
+    /// Write the observability event trace to this path (`.csv`
+    /// extension selects CSV, anything else JSON lines).
+    pub trace_out: Option<String>,
+    /// Print the per-epoch rollup report after the run.
+    pub epoch_report: bool,
     /// Worker threads for multi-point commands (`sweep`). `None`
     /// falls back to `CCNVM_BENCH_THREADS`, then to the machine's
     /// available parallelism.
@@ -68,6 +73,8 @@ impl Default for RunArgs {
             queue_m: 64,
             split_meta: false,
             csv: false,
+            trace_out: None,
+            epoch_report: false,
             threads: None,
         }
     }
@@ -125,6 +132,8 @@ OPTIONS:
   --queue-m M         dirty address queue entries                      [64]
   --split-meta        split counter/tree meta cache (default shared)
   --csv               machine-readable CSV output
+  --trace-out FILE    write the event trace (.csv => CSV, else JSON lines)
+  --epoch-report      print the per-epoch rollup report after the run
   --threads T         worker threads for sweep points          [all cores]
 ";
 
@@ -162,6 +171,8 @@ fn parse_common<'a, I: Iterator<Item = &'a str>>(
         }
         "--split-meta" => args.split_meta = true,
         "--csv" => args.csv = true,
+        "--trace-out" => args.trace_out = Some(take_value(flag, iter)?.to_owned()),
+        "--epoch-report" => args.epoch_report = true,
         "--threads" => {
             let n = parse_number(flag, take_value(flag, iter)?)? as usize;
             if n == 0 {
@@ -288,6 +299,9 @@ mod tests {
             "48",
             "--split-meta",
             "--csv",
+            "--trace-out",
+            "events.jsonl",
+            "--epoch-report",
             "--threads",
             "3",
         ])
@@ -302,6 +316,8 @@ mod tests {
         assert_eq!(args.queue_m, 48);
         assert!(args.split_meta);
         assert!(args.csv);
+        assert_eq!(args.trace_out.as_deref(), Some("events.jsonl"));
+        assert!(args.epoch_report);
         assert_eq!(args.threads, Some(3));
     }
 

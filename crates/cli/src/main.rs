@@ -13,7 +13,7 @@ use args::{Command, RunArgs, SweepArgs, SweepParam, USAGE};
 use ccnvm::metacache::MetaCacheOrg;
 use ccnvm::prelude::*;
 use std::fs::File;
-use std::io::BufReader;
+use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -89,6 +89,9 @@ fn config_of(run: &RunArgs) -> Result<SimConfig, String> {
 fn simulate(run: &RunArgs) -> Result<Simulator, String> {
     let config = config_of(run)?;
     let mut sim = Simulator::new(config).map_err(|e| e.to_string())?;
+    if run.trace_out.is_some() || run.epoch_report {
+        sim.memory_mut().attach_recorder(RecorderConfig::default());
+    }
     if let Some(path) = &run.trace {
         let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
         let ops = ccnvm_trace::text::read_trace(BufReader::new(file))
@@ -110,6 +113,37 @@ fn simulate(run: &RunArgs) -> Result<Simulator, String> {
             .map_err(|e| e.to_string())?;
     }
     Ok(sim)
+}
+
+/// Writes `--trace-out` and prints `--epoch-report`, when requested.
+///
+/// The trace file goes out as CSV when the path ends in `.csv`,
+/// JSON lines otherwise. Status goes to stderr so stdout stays
+/// machine-parseable under `--csv`.
+fn emit_observability(run: &RunArgs, sim: &Simulator) -> Result<(), String> {
+    let Some(rec) = sim.memory().recorder() else {
+        return Ok(());
+    };
+    if let Some(path) = &run.trace_out {
+        let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut out = BufWriter::new(file);
+        if path.ends_with(".csv") {
+            rec.write_csv(&mut out)
+        } else {
+            rec.write_jsonl(&mut out)
+        }
+        .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "wrote {} events to {path} ({} dropped at capacity {})",
+            rec.trace().len(),
+            rec.trace().dropped(),
+            rec.trace().capacity()
+        );
+    }
+    if run.epoch_report {
+        println!("{}", rec.epoch_report());
+    }
+    Ok(())
 }
 
 fn cmd_run(run: &RunArgs) -> Result<(), String> {
@@ -135,7 +169,7 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
             wear.mean_line_writes
         );
     }
-    Ok(())
+    emit_observability(run, &sim)
 }
 
 fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
@@ -223,7 +257,7 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
     );
     if report.is_clean() {
         println!("verdict: CLEAN — memory fully recovered");
-        Ok(())
+        emit_observability(run, &sim)
     } else if run.design.is_crash_consistent() {
         Err("recovery reported attacks on an attack-free run (bug!)".into())
     } else {

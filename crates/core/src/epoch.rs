@@ -15,6 +15,7 @@
 //! [`SecureMemory::drain`] runs both phases back to back, which is the
 //! normal (non-crash) behaviour.
 
+use crate::obs;
 use crate::secmem::{DrainTrigger, SecureMemory};
 use ccnvm_crypto::latency::HMAC_LATENCY_CYCLES;
 use ccnvm_mem::{Cycle, Line, LineAddr};
@@ -28,8 +29,30 @@ impl SecureMemory {
         if !self.design().has_drainer() || self.dirty_queue.is_empty() {
             return now;
         }
+        let queued = self.dirty_queue.len() as u64;
+        let wbs = self.wbs_this_epoch;
+        self.obs_event(|| obs::Event::Drain {
+            at: now,
+            stage: obs::DrainStage::Stage,
+            trigger: Some(trigger),
+            lines: queued,
+        });
         let end = self.stage_drain(now);
         self.commit_staged();
+        if self.recorder.is_some() {
+            // Fold the stage's WPQ accepts in first so the trace stays
+            // chronologically ordered, then close out the epoch.
+            self.obs_sync_queues();
+            let high_water = self.mc.take_wpq_high_water() as u64;
+            let rec = self.recorder.as_deref_mut().expect("recorder attached");
+            rec.record(obs::Event::Drain {
+                at: end,
+                stage: obs::DrainStage::Commit,
+                trigger: Some(trigger),
+                lines: queued,
+            });
+            rec.epoch_committed(trigger, end, queued, wbs, high_water);
+        }
         self.stats.drains += 1;
         match trigger {
             DrainTrigger::QueueFull => self.stats.drains_queue_full += 1,
@@ -143,6 +166,18 @@ impl SecureMemory {
     /// Only the staging buffer is touched: the dirty address queue and
     /// the durable image are left exactly as they were.
     pub fn discard_staged(&mut self) {
+        let staged = self.staged.len() as u64;
+        if staged > 0 {
+            // Discard models a crash before the `end` signal, which has
+            // no simulated-time cost; stamp it with the last known
+            // event time (0 when nothing was ever traced).
+            self.obs_event(|| obs::Event::Drain {
+                at: 0,
+                stage: obs::DrainStage::Discard,
+                trigger: None,
+                lines: staged,
+            });
+        }
         self.staged.clear();
     }
 

@@ -62,6 +62,7 @@ pub mod epoch;
 pub mod error;
 pub mod layout;
 pub mod metacache;
+pub mod obs;
 pub mod persist;
 pub mod recovery;
 pub mod secmem;
@@ -77,6 +78,7 @@ pub mod prelude {
     pub use crate::config::{DesignKind, SimConfig};
     pub use crate::crash::CrashImage;
     pub use crate::error::{ConfigError, IntegrityError, ResumeError};
+    pub use crate::obs::{Recorder, RecorderConfig};
     pub use crate::recovery::{recover, LocatedAttack, RecoveryReport, RootMatch};
     pub use crate::secmem::{DrainTrigger, SecureMemory};
     pub use crate::sim::{run_profile, Simulator};

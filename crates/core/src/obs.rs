@@ -1,0 +1,900 @@
+//! Observability: deterministic, zero-cost-when-off event tracing and
+//! per-epoch metrics for the secure-memory pipeline.
+//!
+//! The paper's argument (Figs. 5–6) is about *where cycles and writes
+//! go* — write-back stalls, drain bursts, Meta Cache churn — but
+//! aggregate [`RunStats`](crate::stats::RunStats) counters cannot show
+//! what happens *inside* an epoch. This module adds that visibility:
+//!
+//! * [`Event`] / [`EventTrace`] — a bounded ring buffer of typed
+//!   pipeline events: write-back phases (from `writepath`), drain
+//!   stage/commit/discard (from `epoch`), Meta Cache installs and
+//!   evictions (from `verify`), and controller queue-occupancy samples
+//!   and stalls (from `ccnvm_mem::controller`).
+//! * [`EpochRollup`] — one record per committed epoch: trigger,
+//!   duration, lines drained, write-backs, WPQ high-water mark.
+//! * [`Recorder`] — owns the trace, the rollups and latency
+//!   [`Histogram`]s with percentile support, and renders them as
+//!   JSON-lines, CSV, or a human-readable epoch-timeline report.
+//!
+//! Hooks throughout the pipeline are guarded by `Option<Recorder>`:
+//! with no recorder attached (the default) the hot path performs a
+//! single branch and allocates nothing, so timing results are
+//! byte-identical with and without the subsystem compiled in. All
+//! recording is driven by simulated time, never host state, so traces
+//! are deterministic: the same run produces the same bytes at any
+//! host thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use ccnvm::obs::RecorderConfig;
+//! use ccnvm::prelude::*;
+//!
+//! let mut sim = Simulator::new(SimConfig::small(DesignKind::CcNvm)).unwrap();
+//! sim.memory_mut().attach_recorder(RecorderConfig::default());
+//! let trace = TraceGenerator::new(profiles::by_name("lbm").unwrap(), 1);
+//! sim.run(trace, 5_000).unwrap();
+//! let rec = sim.memory().recorder().expect("attached");
+//! assert!(rec.trace().len() > 0);
+//! let mut jsonl = Vec::new();
+//! rec.write_jsonl(&mut jsonl).unwrap();
+//! assert!(jsonl.starts_with(b"{\"event\":"));
+//! ```
+
+use crate::secmem::DrainTrigger;
+use crate::stats::Histogram;
+use ccnvm_mem::{Cycle, LineAddr, QueueKind};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+impl DrainTrigger {
+    /// Stable lower-case name used in trace exports and reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DrainTrigger::QueueFull => "queue-full",
+            DrainTrigger::DirtyEviction => "dirty-evict",
+            DrainTrigger::UpdateLimit => "update-limit",
+            DrainTrigger::Overflow => "overflow",
+            DrainTrigger::External => "external",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            DrainTrigger::QueueFull => 0,
+            DrainTrigger::DirtyEviction => 1,
+            DrainTrigger::UpdateLimit => 2,
+            DrainTrigger::Overflow => 3,
+            DrainTrigger::External => 4,
+        }
+    }
+
+    const ALL: [DrainTrigger; 5] = [
+        DrainTrigger::QueueFull,
+        DrainTrigger::DirtyEviction,
+        DrainTrigger::UpdateLimit,
+        DrainTrigger::Overflow,
+        DrainTrigger::External,
+    ];
+}
+
+/// Phase a write-back has just completed in the pipeline (the four
+/// stages of `writepath::write_back`, plus acceptance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WbPhase {
+    /// Accepted by the write-back buffer (the LLC is released).
+    Accept,
+    /// Metadata fetch and verification complete (phase 1).
+    Fetch,
+    /// Dirty-address-queue reservation made (phase 2, epoch designs).
+    Reserve,
+    /// Counter bumped, line encrypted, HMAC computed (phase 3).
+    Encrypt,
+    /// Design-specific spreading/persistence complete (phase 4).
+    Persist,
+}
+
+impl WbPhase {
+    /// Stable lower-case name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            WbPhase::Accept => "accept",
+            WbPhase::Fetch => "fetch",
+            WbPhase::Reserve => "reserve",
+            WbPhase::Encrypt => "encrypt",
+            WbPhase::Persist => "persist",
+        }
+    }
+}
+
+/// Stage of the atomic drain protocol (§4.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrainStage {
+    /// Queued lines staged into the WPQ behind the `start` signal.
+    Stage,
+    /// The `end` signal persisted; staged state became durable.
+    Commit,
+    /// Staged state thrown away (crash modelling).
+    Discard,
+}
+
+impl DrainStage {
+    /// Stable lower-case name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            DrainStage::Stage => "stage",
+            DrainStage::Commit => "commit",
+            DrainStage::Discard => "discard",
+        }
+    }
+}
+
+/// Meta Cache maintenance action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetaAction {
+    /// A metadata line was installed.
+    Install,
+    /// A clean resident line was displaced.
+    EvictClean,
+    /// A dirty resident line was displaced (persists, and triggers a
+    /// drain in epoch designs).
+    EvictDirty,
+}
+
+impl MetaAction {
+    /// Stable lower-case name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            MetaAction::Install => "install",
+            MetaAction::EvictClean => "evict-clean",
+            MetaAction::EvictDirty => "evict-dirty",
+        }
+    }
+}
+
+/// One trace record. Every variant carries the simulated cycle it
+/// happened at; serialized forms always include `event` and `at` keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    /// A write-back completed a pipeline phase.
+    WriteBack {
+        /// Cycle the phase completed.
+        at: Cycle,
+        /// The completed phase.
+        phase: WbPhase,
+        /// The data line being written back.
+        line: LineAddr,
+    },
+    /// The drain protocol advanced a stage.
+    Drain {
+        /// Cycle the stage completed.
+        at: Cycle,
+        /// Stage reached.
+        stage: DrainStage,
+        /// What triggered the drain (`None` for a discard, which has
+        /// no trigger of its own).
+        trigger: Option<DrainTrigger>,
+        /// Queued lines involved.
+        lines: u64,
+    },
+    /// The Meta Cache installed or displaced a line.
+    Meta {
+        /// Cycle of the action.
+        at: Cycle,
+        /// What happened.
+        action: MetaAction,
+        /// The metadata line.
+        line: LineAddr,
+    },
+    /// A controller queue accepted a request (occupancy sample).
+    Queue {
+        /// Accept cycle.
+        at: Cycle,
+        /// Which queue.
+        queue: QueueKind,
+        /// Entries in flight after the accept.
+        occupancy: u64,
+        /// Whether the accept waited for a slot.
+        stalled: bool,
+    },
+    /// An epoch committed (per-epoch rollup, also kept in
+    /// [`Recorder::epochs`]).
+    Epoch {
+        /// Commit cycle.
+        at: Cycle,
+        /// Zero-based epoch index.
+        index: u64,
+        /// What triggered the drain that ended the epoch.
+        trigger: DrainTrigger,
+        /// Cycles from the epoch's first write-back to commit.
+        duration: Cycle,
+        /// Lines drained through the WPQ.
+        lines: u64,
+        /// Write-backs the epoch accumulated.
+        write_backs: u64,
+        /// Highest WPQ occupancy observed during the epoch.
+        wpq_high_water: u64,
+    },
+}
+
+impl Event {
+    /// Column names for [`Event::csv_row`], in order.
+    pub const CSV_HEADER: &'static str = "event,at,phase,stage,action,line,queue,occupancy,\
+stalled,trigger,lines,write_backs,duration,wpq_high_water";
+
+    /// The simulated cycle this event happened at.
+    pub fn at(&self) -> Cycle {
+        match *self {
+            Event::WriteBack { at, .. }
+            | Event::Drain { at, .. }
+            | Event::Meta { at, .. }
+            | Event::Queue { at, .. }
+            | Event::Epoch { at, .. } => at,
+        }
+    }
+
+    /// Serializes the event as one JSON object (no trailing newline).
+    /// All values are integers, booleans or fixed lower-case names, so
+    /// no escaping is required and the output is byte-stable.
+    pub fn to_json(&self) -> String {
+        match *self {
+            Event::WriteBack { at, phase, line } => format!(
+                "{{\"event\":\"writeback\",\"at\":{at},\"phase\":\"{}\",\"line\":{}}}",
+                phase.name(),
+                line.0
+            ),
+            Event::Drain {
+                at,
+                stage,
+                trigger,
+                lines,
+            } => match trigger {
+                Some(t) => format!(
+                    "{{\"event\":\"drain\",\"at\":{at},\"stage\":\"{}\",\"trigger\":\"{}\",\
+\"lines\":{lines}}}",
+                    stage.name(),
+                    t.name()
+                ),
+                None => format!(
+                    "{{\"event\":\"drain\",\"at\":{at},\"stage\":\"{}\",\"lines\":{lines}}}",
+                    stage.name()
+                ),
+            },
+            Event::Meta { at, action, line } => format!(
+                "{{\"event\":\"meta\",\"at\":{at},\"action\":\"{}\",\"line\":{}}}",
+                action.name(),
+                line.0
+            ),
+            Event::Queue {
+                at,
+                queue,
+                occupancy,
+                stalled,
+            } => format!(
+                "{{\"event\":\"queue\",\"at\":{at},\"queue\":\"{}\",\"occupancy\":{occupancy},\
+\"stalled\":{stalled}}}",
+                queue.name()
+            ),
+            Event::Epoch {
+                at,
+                index,
+                trigger,
+                duration,
+                lines,
+                write_backs,
+                wpq_high_water,
+            } => format!(
+                "{{\"event\":\"epoch\",\"at\":{at},\"index\":{index},\"trigger\":\"{}\",\
+\"duration\":{duration},\"lines\":{lines},\"write_backs\":{write_backs},\
+\"wpq_high_water\":{wpq_high_water}}}",
+                trigger.name()
+            ),
+        }
+    }
+
+    /// Serializes the event as one CSV row matching
+    /// [`Event::CSV_HEADER`]; inapplicable columns are left empty.
+    pub fn csv_row(&self) -> String {
+        // event,at,phase,stage,action,line,queue,occupancy,stalled,
+        // trigger,lines,write_backs,duration,wpq_high_water
+        match *self {
+            Event::WriteBack { at, phase, line } => {
+                format!("writeback,{at},{},,,{},,,,,,,,", phase.name(), line.0)
+            }
+            Event::Drain {
+                at,
+                stage,
+                trigger,
+                lines,
+            } => format!(
+                "drain,{at},,{},,,,,,{},{lines},,,",
+                stage.name(),
+                trigger.map(|t| t.name()).unwrap_or("")
+            ),
+            Event::Meta { at, action, line } => {
+                format!("meta,{at},,,{},{},,,,,,,,", action.name(), line.0)
+            }
+            Event::Queue {
+                at,
+                queue,
+                occupancy,
+                stalled,
+            } => format!("queue,{at},,,,,{},{occupancy},{stalled},,,,,", queue.name()),
+            Event::Epoch {
+                at,
+                index: _,
+                trigger,
+                duration,
+                lines,
+                write_backs,
+                wpq_high_water,
+            } => format!(
+                "epoch,{at},,,,,,,,{},{lines},{write_backs},{duration},{wpq_high_water}",
+                trigger.name()
+            ),
+        }
+    }
+}
+
+/// Bounded ring buffer of [`Event`]s: when full, the oldest event is
+/// dropped and counted, so arbitrarily long runs trace in constant
+/// memory while keeping the most recent window.
+#[derive(Debug, Clone)]
+pub struct EventTrace {
+    events: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl EventTrace {
+    /// Creates an empty trace holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self {
+            events: VecDeque::new(),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Appends an event, dropping the oldest if the buffer is full.
+    pub fn push(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Buffered events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// Events currently buffered.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Maximum events held.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+/// Rollup of one committed epoch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochRollup {
+    /// Zero-based epoch index (in commit order).
+    pub index: u64,
+    /// What triggered the drain that ended the epoch.
+    pub trigger: DrainTrigger,
+    /// Cycle of the epoch's first write-back (commit cycle when the
+    /// epoch had none).
+    pub start: Cycle,
+    /// Commit cycle.
+    pub end: Cycle,
+    /// Lines drained through the WPQ.
+    pub lines_drained: u64,
+    /// Write-backs accumulated during the epoch.
+    pub write_backs: u64,
+    /// Highest WPQ occupancy observed during the epoch.
+    pub wpq_high_water: u64,
+}
+
+impl EpochRollup {
+    /// Cycles from the epoch's first write-back to commit.
+    pub fn duration(&self) -> Cycle {
+        self.end.saturating_sub(self.start)
+    }
+}
+
+/// Sizing knobs for a [`Recorder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecorderConfig {
+    /// Ring-buffer capacity of the event trace.
+    pub trace_capacity: usize,
+    /// Most recent epoch rollups retained (histograms still see every
+    /// epoch).
+    pub epoch_capacity: usize,
+}
+
+impl Default for RecorderConfig {
+    fn default() -> Self {
+        Self {
+            trace_capacity: 1 << 18,
+            epoch_capacity: 1 << 14,
+        }
+    }
+}
+
+/// Collects the event trace, per-epoch rollups and latency histograms
+/// for one simulation. Attach with
+/// [`SecureMemory::attach_recorder`](crate::secmem::SecureMemory::attach_recorder).
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    trace: EventTrace,
+    epochs: VecDeque<EpochRollup>,
+    epoch_capacity: usize,
+    epochs_dropped: u64,
+    epoch_count: u64,
+    epoch_start: Option<Cycle>,
+    trigger_counts: [u64; 5],
+    wb_latency: Histogram,
+    epoch_len: Histogram,
+    epoch_duration: Histogram,
+    epoch_lines: Histogram,
+    wpq_occupancy: Histogram,
+    wpq_high_water: u64,
+    wpq_capacity: usize,
+}
+
+impl Recorder {
+    /// Creates an empty recorder.
+    pub fn new(config: RecorderConfig) -> Self {
+        Self {
+            trace: EventTrace::new(config.trace_capacity),
+            epochs: VecDeque::new(),
+            epoch_capacity: config.epoch_capacity.max(1),
+            epochs_dropped: 0,
+            epoch_count: 0,
+            epoch_start: None,
+            trigger_counts: [0; 5],
+            wb_latency: Histogram::new(&[64, 256, 1024, 4096, 16384, 65536, 262144]),
+            epoch_len: Histogram::new(&[2, 4, 8, 16, 32, 64, 128, 256]),
+            epoch_duration: Histogram::new(&[1024, 4096, 16384, 65536, 262144, 1048576, 4194304]),
+            epoch_lines: Histogram::new(&[2, 4, 8, 16, 32, 64, 128]),
+            wpq_occupancy: Histogram::new(&[2, 4, 8, 16, 32, 48, 64]),
+            wpq_high_water: 0,
+            wpq_capacity: 0,
+        }
+    }
+
+    /// Appends one event to the trace (and folds queue samples into
+    /// the occupancy histogram).
+    pub fn record(&mut self, event: Event) {
+        if let Event::Queue {
+            queue: QueueKind::Wpq,
+            occupancy,
+            ..
+        } = event
+        {
+            self.wpq_occupancy.record(occupancy);
+            self.wpq_high_water = self.wpq_high_water.max(occupancy);
+        }
+        self.trace.push(event);
+    }
+
+    /// Marks the start of an epoch at the first write-back after a
+    /// commit (idempotent until the next commit).
+    pub(crate) fn note_write_back(&mut self, at: Cycle) {
+        if self.epoch_start.is_none() {
+            self.epoch_start = Some(at);
+        }
+    }
+
+    /// Records one write-back's end-to-end service latency.
+    pub(crate) fn note_wb_latency(&mut self, cycles: u64) {
+        self.wb_latency.record(cycles);
+    }
+
+    /// Tells the recorder the configured WPQ capacity (for reports).
+    pub(crate) fn set_wpq_capacity(&mut self, slots: usize) {
+        self.wpq_capacity = slots;
+    }
+
+    /// Finalizes the current epoch: emits the rollup record, updates
+    /// the per-epoch histograms, and re-arms for the next epoch.
+    pub(crate) fn epoch_committed(
+        &mut self,
+        trigger: DrainTrigger,
+        end: Cycle,
+        lines_drained: u64,
+        write_backs: u64,
+        wpq_high_water: u64,
+    ) {
+        let start = self.epoch_start.take().unwrap_or(end);
+        let rollup = EpochRollup {
+            index: self.epoch_count,
+            trigger,
+            start,
+            end,
+            lines_drained,
+            write_backs,
+            wpq_high_water,
+        };
+        self.epoch_count += 1;
+        self.trigger_counts[trigger.index()] += 1;
+        self.epoch_len.record(write_backs);
+        self.epoch_duration.record(rollup.duration());
+        self.epoch_lines.record(lines_drained);
+        if self.epochs.len() == self.epoch_capacity {
+            self.epochs.pop_front();
+            self.epochs_dropped += 1;
+        }
+        self.epochs.push_back(rollup);
+        self.record(Event::Epoch {
+            at: end,
+            index: rollup.index,
+            trigger,
+            duration: rollup.duration(),
+            lines: lines_drained,
+            write_backs,
+            wpq_high_water,
+        });
+    }
+
+    /// The event trace.
+    pub fn trace(&self) -> &EventTrace {
+        &self.trace
+    }
+
+    /// Retained epoch rollups, oldest first.
+    pub fn epochs(&self) -> impl Iterator<Item = &EpochRollup> {
+        self.epochs.iter()
+    }
+
+    /// Epochs committed over the whole run (including rollups no
+    /// longer retained).
+    pub fn epoch_count(&self) -> u64 {
+        self.epoch_count
+    }
+
+    /// Epochs ended by `trigger` over the whole run.
+    pub fn epochs_by_trigger(&self, trigger: DrainTrigger) -> u64 {
+        self.trigger_counts[trigger.index()]
+    }
+
+    /// End-to-end write-back service latency (cycles).
+    pub fn wb_latency(&self) -> &Histogram {
+        &self.wb_latency
+    }
+
+    /// Write-backs per epoch.
+    pub fn epoch_len(&self) -> &Histogram {
+        &self.epoch_len
+    }
+
+    /// Epoch duration (cycles, first write-back to commit).
+    pub fn epoch_duration(&self) -> &Histogram {
+        &self.epoch_duration
+    }
+
+    /// Lines drained per epoch.
+    pub fn epoch_lines(&self) -> &Histogram {
+        &self.epoch_lines
+    }
+
+    /// WPQ occupancy sampled at each accept.
+    pub fn wpq_occupancy(&self) -> &Histogram {
+        &self.wpq_occupancy
+    }
+
+    /// Highest WPQ occupancy observed over the whole run.
+    pub fn wpq_high_water(&self) -> u64 {
+        self.wpq_high_water
+    }
+
+    /// Writes the trace as JSON-lines: one object per event, oldest
+    /// first, each with at least `event` and `at` keys.
+    pub fn write_jsonl<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        for event in self.trace.iter() {
+            writeln!(out, "{}", event.to_json())?;
+        }
+        Ok(())
+    }
+
+    /// Writes the trace as CSV with a header row (see
+    /// [`Event::CSV_HEADER`]).
+    pub fn write_csv<W: Write>(&self, out: &mut W) -> io::Result<()> {
+        writeln!(out, "{}", Event::CSV_HEADER)?;
+        for event in self.trace.iter() {
+            writeln!(out, "{}", event.csv_row())?;
+        }
+        Ok(())
+    }
+
+    /// Renders the epoch timeline as a human-readable report: trigger
+    /// mix, percentile summaries of the per-epoch histograms and
+    /// write-back latency, WPQ pressure, and the most recent epochs.
+    pub fn epoch_report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "epochs {} ({} rollups retained)  trace events {} ({} dropped)",
+            self.epoch_count,
+            self.epochs.len(),
+            self.trace.len(),
+            self.trace.dropped()
+        );
+        let mut triggers = String::new();
+        for t in DrainTrigger::ALL {
+            let _ = write!(
+                triggers,
+                "{} {}  ",
+                t.name(),
+                self.trigger_counts[t.index()]
+            );
+        }
+        let _ = writeln!(out, "epochs by trigger: {}", triggers.trim_end());
+        let summary = |h: &Histogram| {
+            format!(
+                "p50 {:>7}  p90 {:>7}  p99 {:>7}  max {:>7}  mean {:>9.1}",
+                h.percentile(50.0),
+                h.percentile(90.0),
+                h.percentile(99.0),
+                h.max(),
+                h.mean()
+            )
+        };
+        let _ = writeln!(
+            out,
+            "epoch length (write-backs): {}",
+            summary(&self.epoch_len)
+        );
+        let _ = writeln!(
+            out,
+            "epoch duration (cycles):    {}",
+            summary(&self.epoch_duration)
+        );
+        let _ = writeln!(
+            out,
+            "lines drained per epoch:    {}",
+            summary(&self.epoch_lines)
+        );
+        let _ = writeln!(
+            out,
+            "wb service latency (cycles):{}",
+            summary(&self.wb_latency)
+        );
+        let _ = writeln!(
+            out,
+            "WPQ occupancy: p50 {}  p99 {}  high water {}{}",
+            self.wpq_occupancy.percentile(50.0),
+            self.wpq_occupancy.percentile(99.0),
+            self.wpq_high_water,
+            if self.wpq_capacity > 0 {
+                format!(" / {}", self.wpq_capacity)
+            } else {
+                String::new()
+            }
+        );
+        if !self.epochs.is_empty() {
+            let _ = writeln!(
+                out,
+                "last epochs:\n  {:>6} {:>13} {:>12} {:>12} {:>6} {:>6} {:>7}",
+                "idx", "trigger", "start", "end", "wb", "lines", "wpq-hw"
+            );
+            let shown = self.epochs.len().min(8);
+            for r in self.epochs.iter().skip(self.epochs.len() - shown) {
+                let _ = writeln!(
+                    out,
+                    "  {:>6} {:>13} {:>12} {:>12} {:>6} {:>6} {:>7}",
+                    r.index,
+                    r.trigger.name(),
+                    r.start,
+                    r.end,
+                    r.write_backs,
+                    r.lines_drained,
+                    r.wpq_high_water
+                );
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_bounds_memory_and_counts_drops() {
+        let mut trace = EventTrace::new(2);
+        for i in 0..5u64 {
+            trace.push(Event::Meta {
+                at: i,
+                action: MetaAction::Install,
+                line: LineAddr(i),
+            });
+        }
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.dropped(), 3);
+        let ats: Vec<Cycle> = trace.iter().map(|e| e.at()).collect();
+        assert_eq!(ats, vec![3, 4], "oldest events were dropped");
+    }
+
+    #[test]
+    fn json_records_are_stable_and_keyed() {
+        let events = [
+            Event::WriteBack {
+                at: 7,
+                phase: WbPhase::Persist,
+                line: LineAddr(3),
+            },
+            Event::Drain {
+                at: 9,
+                stage: DrainStage::Stage,
+                trigger: Some(DrainTrigger::QueueFull),
+                lines: 4,
+            },
+            Event::Drain {
+                at: 9,
+                stage: DrainStage::Discard,
+                trigger: None,
+                lines: 4,
+            },
+            Event::Meta {
+                at: 1,
+                action: MetaAction::EvictDirty,
+                line: LineAddr(8),
+            },
+            Event::Queue {
+                at: 2,
+                queue: QueueKind::Wpq,
+                occupancy: 5,
+                stalled: true,
+            },
+            Event::Epoch {
+                at: 100,
+                index: 0,
+                trigger: DrainTrigger::UpdateLimit,
+                duration: 90,
+                lines: 6,
+                write_backs: 12,
+                wpq_high_water: 5,
+            },
+        ];
+        assert_eq!(
+            events[0].to_json(),
+            "{\"event\":\"writeback\",\"at\":7,\"phase\":\"persist\",\"line\":3}"
+        );
+        assert_eq!(
+            events[1].to_json(),
+            "{\"event\":\"drain\",\"at\":9,\"stage\":\"stage\",\"trigger\":\"queue-full\",\"lines\":4}"
+        );
+        for e in &events {
+            let json = e.to_json();
+            assert!(json.starts_with("{\"event\":\""), "{json}");
+            assert!(json.contains("\"at\":"), "{json}");
+            assert!(json.ends_with('}'), "{json}");
+        }
+    }
+
+    #[test]
+    fn csv_rows_match_header_arity() {
+        let header_cols = Event::CSV_HEADER.split(',').count();
+        let events = [
+            Event::WriteBack {
+                at: 7,
+                phase: WbPhase::Fetch,
+                line: LineAddr(3),
+            },
+            Event::Drain {
+                at: 9,
+                stage: DrainStage::Commit,
+                trigger: Some(DrainTrigger::External),
+                lines: 4,
+            },
+            Event::Meta {
+                at: 1,
+                action: MetaAction::EvictClean,
+                line: LineAddr(8),
+            },
+            Event::Queue {
+                at: 2,
+                queue: QueueKind::Read,
+                occupancy: 5,
+                stalled: false,
+            },
+            Event::Epoch {
+                at: 100,
+                index: 2,
+                trigger: DrainTrigger::Overflow,
+                duration: 90,
+                lines: 6,
+                write_backs: 12,
+                wpq_high_water: 5,
+            },
+        ];
+        for e in &events {
+            assert_eq!(e.csv_row().split(',').count(), header_cols, "{e:?}");
+        }
+    }
+
+    #[test]
+    fn rollups_and_histograms_track_epochs() {
+        let mut rec = Recorder::new(RecorderConfig {
+            trace_capacity: 64,
+            epoch_capacity: 2,
+        });
+        rec.note_write_back(100);
+        rec.note_write_back(150); // idempotent within the epoch
+        rec.epoch_committed(DrainTrigger::QueueFull, 1100, 8, 20, 30);
+        rec.epoch_committed(DrainTrigger::UpdateLimit, 2000, 4, 10, 12);
+        rec.note_write_back(2500);
+        rec.epoch_committed(DrainTrigger::QueueFull, 3000, 2, 5, 6);
+        assert_eq!(rec.epoch_count(), 3);
+        assert_eq!(rec.epochs_by_trigger(DrainTrigger::QueueFull), 2);
+        assert_eq!(rec.epochs_by_trigger(DrainTrigger::External), 0);
+        let rollups: Vec<EpochRollup> = rec.epochs().copied().collect();
+        assert_eq!(rollups.len(), 2, "rollup retention is bounded");
+        assert_eq!(rollups[0].index, 1);
+        assert_eq!(
+            rollups[0].start, 2000,
+            "epoch without write-backs starts at its commit"
+        );
+        assert_eq!(rollups[1].start, 2500);
+        assert_eq!(rollups[1].duration(), 500);
+        assert_eq!(rec.epoch_len().total(), 3);
+        assert_eq!(rec.epoch_duration().max(), 1000);
+        // The trace received one epoch event per commit.
+        let epoch_events = rec
+            .trace()
+            .iter()
+            .filter(|e| matches!(e, Event::Epoch { .. }))
+            .count();
+        assert_eq!(epoch_events, 3);
+        let report = rec.epoch_report();
+        assert!(report.contains("epochs 3"));
+        assert!(report.contains("queue-full 2"));
+        assert!(report.contains("last epochs:"));
+    }
+
+    #[test]
+    fn queue_samples_feed_occupancy_histogram() {
+        let mut rec = Recorder::new(RecorderConfig::default());
+        for occ in [3u64, 5, 7] {
+            rec.record(Event::Queue {
+                at: occ,
+                queue: QueueKind::Wpq,
+                occupancy: occ,
+                stalled: false,
+            });
+        }
+        rec.record(Event::Queue {
+            at: 9,
+            queue: QueueKind::Read,
+            occupancy: 31,
+            stalled: true,
+        });
+        assert_eq!(rec.wpq_occupancy().total(), 3, "only WPQ samples counted");
+        assert_eq!(rec.wpq_high_water(), 7);
+    }
+}

@@ -101,6 +101,7 @@ impl SecureMemory {
             wbs_this_epoch: 0,
             epoch_lengths: Histogram::new(&[4, 8, 16, 32, 64, 128]),
             stats: RunStats::default(),
+            recorder: None,
             config,
         })
     }

@@ -144,6 +144,10 @@ pub struct SecureMemory {
     pub(crate) wbs_this_epoch: u64,
     pub(crate) epoch_lengths: Histogram,
     pub(crate) stats: RunStats,
+    /// Optional observability recorder (see [`crate::obs`]); `None`
+    /// (the default) keeps every hook down to a single branch with no
+    /// allocation.
+    pub(crate) recorder: Option<Box<crate::obs::Recorder>>,
 }
 
 impl SecureMemory {
@@ -205,6 +209,61 @@ impl SecureMemory {
     /// Distribution of epoch lengths (write-backs per committed drain).
     pub fn epoch_lengths(&self) -> &Histogram {
         &self.epoch_lengths
+    }
+
+    // ----- observability ----------------------------------------------
+
+    /// Attaches an observability recorder (see [`crate::obs`]),
+    /// replacing any existing one. Also arms queue-event sampling in
+    /// the memory controller.
+    pub fn attach_recorder(&mut self, config: crate::obs::RecorderConfig) {
+        let mut rec = Box::new(crate::obs::Recorder::new(config));
+        rec.set_wpq_capacity(self.config.mem.wpq_entries);
+        self.mc.attach_queue_recorder(config.trace_capacity);
+        self.recorder = Some(rec);
+    }
+
+    /// The attached recorder, if any (with any controller queue events
+    /// accumulated since the last entry point already folded in).
+    pub fn recorder(&self) -> Option<&crate::obs::Recorder> {
+        self.recorder.as_deref()
+    }
+
+    /// Detaches and returns the recorder.
+    pub fn take_recorder(&mut self) -> Option<Box<crate::obs::Recorder>> {
+        self.obs_sync_queues();
+        self.recorder.take()
+    }
+
+    /// Records one event, building it only when a recorder is
+    /// attached.
+    #[inline]
+    pub(crate) fn obs_event(&mut self, make: impl FnOnce() -> crate::obs::Event) {
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(make());
+        }
+    }
+
+    /// Folds queue-accept samples buffered in the memory controller
+    /// into the unified trace. Called at the end of each public entry
+    /// point so the merged ordering is deterministic.
+    pub(crate) fn obs_sync_queues(&mut self) {
+        if self.recorder.is_none() {
+            return;
+        }
+        let events = self.mc.take_queue_events();
+        if events.is_empty() {
+            return;
+        }
+        let rec = self.recorder.as_deref_mut().expect("recorder attached");
+        for e in events {
+            rec.record(crate::obs::Event::Queue {
+                at: e.at,
+                queue: e.queue,
+                occupancy: e.occupancy as u64,
+                stalled: e.stalled,
+            });
+        }
     }
 
     // ----- functional value resolution --------------------------------
@@ -326,6 +385,7 @@ impl SecureMemory {
                 }
             }
         }
+        self.obs_sync_queues();
         Ok(t_data.max(otp_ready).max(t_dh))
     }
 

@@ -210,7 +210,17 @@ impl Simulator {
         let dirty: Vec<LineAddr> = self.l1.dirty_lines().collect();
         for line in &dirty {
             self.l1.mark_clean(*line);
-            self.l2.access(*line, true);
+            // Installing the L1 victim can displace an L2 line; a dirty
+            // displaced line must reach the secure engine right here —
+            // it is no longer resident anywhere, so the L2 sweep below
+            // would never see it and an "orderly shutdown" would lose
+            // its data.
+            let r = self.l2.access(*line, true);
+            if let Some(victim) = r.evicted {
+                if victim.dirty {
+                    self.write_back(victim.addr)?;
+                }
+            }
         }
         let mut dirty: Vec<LineAddr> = self.l2.dirty_lines().collect();
         dirty.sort_unstable();
@@ -338,6 +348,43 @@ mod tests {
         let root = sim.memory().bmt().root(&img.nvm);
         assert_eq!(root, img.tcb.root_new);
         assert_eq!(root, img.tcb.root_old);
+    }
+
+    #[test]
+    fn flush_caches_writes_back_displaced_l2_victims() {
+        use ccnvm_mem::{Addr, CacheConfig};
+
+        // 2-way 1-set L1 over a 1-way 1-set L2: flushing the two dirty
+        // L1 lines into L2 forces the second install to displace the
+        // first — which is dirty by then and resident nowhere else.
+        let mut cfg = SimConfig::small(DesignKind::CcNvm);
+        cfg.l1 = CacheConfig::new(128, 2);
+        cfg.l2 = CacheConfig::new(64, 1);
+        let mut sim = Simulator::new(cfg).unwrap();
+        for addr in [0u64, 64] {
+            sim.step(&TraceOp {
+                gap_instrs: 0,
+                kind: OpKind::Write,
+                addr: Addr(addr),
+            })
+            .unwrap();
+        }
+        assert_eq!(sim.stats().write_backs, 0, "both stores still cached");
+
+        sim.flush_caches().unwrap();
+        assert_eq!(
+            sim.stats().write_backs,
+            2,
+            "a dirty line displaced from L2 during the flush must not \
+             be dropped"
+        );
+        let img = sim.memory().crash_image();
+        for line in [LineAddr(0), LineAddr(1)] {
+            assert!(
+                img.nvm.get(line).is_some(),
+                "{line} must be durable after an orderly shutdown"
+            );
+        }
     }
 
     #[test]

@@ -85,6 +85,48 @@ impl Histogram {
     pub fn max(&self) -> u64 {
         self.max
     }
+
+    /// Nearest-rank percentile at bucket resolution: an inclusive
+    /// upper bound on the value below or at which at least `p` percent
+    /// of observations fall. The k-th smallest observation (k =
+    /// ⌈p/100 · total⌉, at least 1) is located in its bucket and the
+    /// bucket's largest representable value is returned — the recorded
+    /// maximum for the overflow bucket. Returns 0 when empty; `p` is
+    /// clamped to [0, 100].
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use ccnvm::stats::Histogram;
+    ///
+    /// let mut h = Histogram::new(&[10, 100]);
+    /// for v in [1, 2, 3, 50] {
+    ///     h.record(v);
+    /// }
+    /// assert_eq!(h.percentile(50.0), 9); // 2nd smallest is in [0,10)
+    /// assert_eq!(h.percentile(100.0), 99); // 4th smallest is in [10,100)
+    /// ```
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let k = ((p / 100.0 * self.total as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &count) in self.counts.iter().enumerate() {
+            cumulative += count;
+            if cumulative >= k {
+                return if i < self.bounds.len() {
+                    // Bucket i holds values in [bounds[i-1], bounds[i]);
+                    // its largest integer member is bounds[i] - 1.
+                    self.bounds[i].saturating_sub(1)
+                } else {
+                    self.max
+                };
+            }
+        }
+        self.max
+    }
 }
 
 impl fmt::Display for Histogram {
@@ -345,6 +387,46 @@ mod tests {
     #[should_panic(expected = "increasing")]
     fn histogram_rejects_unsorted_bounds() {
         Histogram::new(&[5, 5]);
+    }
+
+    #[test]
+    fn percentile_empty_is_zero() {
+        let h = Histogram::new(&[10]);
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+    }
+
+    #[test]
+    fn percentile_single_bucket() {
+        // One bound → two buckets; everything lands in the overflow
+        // bucket here, so every percentile is the recorded max.
+        let mut h = Histogram::new(&[1]);
+        for v in [5, 7, 9] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(1.0), 9);
+        assert_eq!(h.percentile(50.0), 9);
+        assert_eq!(h.percentile(99.0), 9);
+    }
+
+    #[test]
+    fn percentile_walks_buckets() {
+        let mut h = Histogram::new(&[10, 100, 1000]);
+        for _ in 0..50 {
+            h.record(5); // bucket [0,10)
+        }
+        for _ in 0..40 {
+            h.record(50); // bucket [10,100)
+        }
+        for _ in 0..10 {
+            h.record(5000); // overflow bucket
+        }
+        assert_eq!(h.percentile(0.0), 9, "p0 clamps to the 1st observation");
+        assert_eq!(h.percentile(50.0), 9);
+        assert_eq!(h.percentile(90.0), 99);
+        assert_eq!(h.percentile(91.0), 5000, "overflow reports the max");
+        assert_eq!(h.percentile(200.0), 5000, "p clamps to 100");
     }
 
     #[test]

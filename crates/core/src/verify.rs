@@ -11,6 +11,7 @@ use crate::bmt::Bmt;
 use crate::config::DesignKind;
 use crate::engine::CryptoEngine;
 use crate::error::IntegrityError;
+use crate::obs;
 use crate::secmem::{DrainTrigger, SecureMemory};
 use ccnvm_crypto::latency::HMAC_LATENCY_CYCLES;
 use ccnvm_mem::{Cycle, Line, LineAddr};
@@ -56,6 +57,15 @@ impl SecureMemory {
                 .chip_meta
                 .erase(victim)
                 .unwrap_or_else(|| self.meta_default(victim));
+            self.obs_event(|| obs::Event::Meta {
+                at: t,
+                action: if dirty {
+                    obs::MetaAction::EvictDirty
+                } else {
+                    obs::MetaAction::EvictClean
+                },
+                line: victim,
+            });
             if dirty {
                 t = self.evict_dirty_meta(victim, victim_content, t);
             }
@@ -67,6 +77,11 @@ impl SecureMemory {
         debug_assert!(result.evicted.is_none(), "room was made above");
         debug_assert!(result.is_miss(), "install_meta on a resident line");
         self.chip_meta.write(line, content);
+        self.obs_event(|| obs::Event::Meta {
+            at: t,
+            action: obs::MetaAction::Install,
+            line,
+        });
         t
     }
 

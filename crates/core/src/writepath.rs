@@ -19,6 +19,7 @@
 use crate::config::DesignKind;
 use crate::counter::CounterLine;
 use crate::error::IntegrityError;
+use crate::obs;
 use crate::secmem::{pattern, DrainTrigger, SecureMemory};
 use crate::view::{MetaSource, MetaView};
 use ccnvm_crypto::latency::{AES_LATENCY_CYCLES, DIRTY_QUEUE_LOOKUP_CYCLES, HMAC_LATENCY_CYCLES};
@@ -102,6 +103,14 @@ impl SecureMemory {
         let release = self.wb_buffer.accept(now);
         let mut t = release.max(self.engine_busy_until);
         let service_start = t;
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.note_write_back(release);
+            rec.record(obs::Event::WriteBack {
+                at: release,
+                phase: obs::WbPhase::Accept,
+                line,
+            });
+        }
 
         let path = PathLines::of(self, line);
         let ctr_line = path.ctr_line;
@@ -124,6 +133,11 @@ impl SecureMemory {
                 t = self.ensure_meta_cached(ctr_line, t, true)?;
             }
         }
+        self.obs_event(|| obs::Event::WriteBack {
+            at: t,
+            phase: obs::WbPhase::Fetch,
+            line,
+        });
 
         // Phase 2 — epoch designs reserve dirty-queue entries
         // (trigger 1). The counter is still clean here, so a
@@ -141,6 +155,11 @@ impl SecureMemory {
             // pipelined: 32-cycle lookup latency, one entry retired
             // every 8 cycles after that.
             t += DIRTY_QUEUE_LOOKUP_CYCLES + 8 * entries.len() as u64;
+            self.obs_event(|| obs::Event::WriteBack {
+                at: t,
+                phase: obs::WbPhase::Reserve,
+                line,
+            });
         }
         // Phase 3 — bump the counter. From here to the end of the
         // write-back nothing may install into the Meta Cache (no
@@ -175,6 +194,11 @@ impl SecureMemory {
         self.stats.aes_ops += 1;
         self.stats.hmacs += 1;
         let crypto_done = t + AES_LATENCY_CYCLES + HMAC_LATENCY_CYCLES;
+        self.obs_event(|| obs::Event::WriteBack {
+            at: crypto_done,
+            phase: obs::WbPhase::Encrypt,
+            line,
+        });
 
         // Phase 4 — design-specific tree maintenance (the path is
         // already cached from phase 1).
@@ -293,6 +317,15 @@ impl SecureMemory {
         self.stats.engine_cycles += done.saturating_sub(service_start);
         self.engine_busy_until = self.engine_busy_until.max(done);
         self.wb_buffer.push(done);
+        if let Some(rec) = self.recorder.as_deref_mut() {
+            rec.record(obs::Event::WriteBack {
+                at: done,
+                phase: obs::WbPhase::Persist,
+                line,
+            });
+            rec.note_wb_latency(done.saturating_sub(service_start));
+        }
+        self.obs_sync_queues();
         Ok(release)
     }
 

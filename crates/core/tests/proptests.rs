@@ -124,6 +124,90 @@ fn bmt_scan_locates_any_tamper() {
     }
 }
 
+/// `Histogram::percentile` agrees with a sorted-reference nearest-rank
+/// percentile, at bucket resolution, for random bounds, samples and
+/// probe points — plus the empty and single-bucket edges.
+#[test]
+fn histogram_percentile_matches_sorted_reference() {
+    use ccnvm::stats::Histogram;
+    let mut rng = Rng::seed_from_u64(0xc0e8);
+
+    // Edge: empty histogram reports 0 everywhere.
+    let empty = Histogram::new(&[10]);
+    for p in [0.0, 50.0, 100.0] {
+        assert_eq!(empty.percentile(p), 0);
+    }
+    // Edge: everything in one bucket (the overflow bucket here) —
+    // every percentile collapses to the recorded maximum.
+    let mut single = Histogram::new(&[1]);
+    for v in [3u64, 9, 4] {
+        single.record(v);
+    }
+    for p in [0.0, 50.0, 100.0] {
+        assert_eq!(single.percentile(p), 9);
+    }
+
+    for _ in 0..200 {
+        let nbounds = rng.gen_range(1usize..8);
+        let mut bounds = Vec::with_capacity(nbounds);
+        let mut b = 0u64;
+        for _ in 0..nbounds {
+            b += rng.gen_range(1u64..100);
+            bounds.push(b);
+        }
+        let mut h = Histogram::new(&bounds);
+        let n = rng.gen_range(1usize..200);
+        let mut samples: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..500)).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let bucket_of = |v: u64| bounds.iter().position(|&bb| v < bb).unwrap_or(bounds.len());
+        let random_p = rng.gen_range(0u64..=100) as f64;
+        for p in [0.0, 1.0, 25.0, 50.0, 90.0, 99.0, 100.0, random_p] {
+            let k = ((p / 100.0 * n as f64).ceil() as usize).max(1);
+            let reference = samples[k - 1];
+            let got = h.percentile(p);
+            assert!(
+                got >= reference,
+                "p{p}: {got} < reference {reference} (bounds {bounds:?})"
+            );
+            assert_eq!(
+                bucket_of(got),
+                bucket_of(reference),
+                "p{p}: percentile {got} not in the reference's bucket \
+                 (reference {reference}, bounds {bounds:?})"
+            );
+        }
+    }
+}
+
+/// With a recorder attached, the exported trace is byte-identical
+/// across repeated runs — the determinism `--trace-out` relies on at
+/// any `--threads` count.
+#[test]
+fn trace_export_is_deterministic() {
+    use ccnvm::obs::RecorderConfig;
+    use ccnvm::prelude::{profiles, Simulator, TraceGenerator};
+
+    let export = || {
+        let mut sim = Simulator::new(SimConfig::small(DesignKind::CcNvm)).unwrap();
+        sim.memory_mut().attach_recorder(RecorderConfig::default());
+        let trace = TraceGenerator::new(profiles::mixed(), 11);
+        sim.run(trace, 30_000).unwrap();
+        let rec = sim.memory().recorder().expect("attached");
+        let mut jsonl = Vec::new();
+        rec.write_jsonl(&mut jsonl).unwrap();
+        let mut csv = Vec::new();
+        rec.write_csv(&mut csv).unwrap();
+        (jsonl, csv, rec.epoch_report())
+    };
+    let a = export();
+    let b = export();
+    assert!(!a.0.is_empty(), "the run must trace events");
+    assert_eq!(a, b);
+}
+
 /// One random workload step.
 #[derive(Debug, Clone)]
 enum Step {

@@ -16,6 +16,94 @@
 
 use crate::addr::LineAddr;
 use crate::timing::{BoundedQueue, Cycle, NvmTiming, NvmTimingConfig};
+use std::collections::VecDeque;
+
+/// Which controller queue a [`QueueEvent`] refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// The blocking read queue.
+    Read,
+    /// The posted regular write queue.
+    Write,
+    /// The ADR-protected write pending queue.
+    Wpq,
+}
+
+impl QueueKind {
+    /// Stable lower-case name used in trace exports.
+    pub fn name(self) -> &'static str {
+        match self {
+            QueueKind::Read => "read",
+            QueueKind::Write => "write",
+            QueueKind::Wpq => "wpq",
+        }
+    }
+}
+
+/// One queue transaction observed by a [`QueueRecorder`]: a request
+/// accepted into a controller queue, sampled at its accept time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueEvent {
+    /// Cycle the request was accepted (its slot time).
+    pub at: Cycle,
+    /// The queue it entered.
+    pub queue: QueueKind,
+    /// Entries in flight immediately after the accept (occupancy
+    /// sample).
+    pub occupancy: usize,
+    /// Whether the accept had to wait for a slot to free up.
+    pub stalled: bool,
+}
+
+/// Bounded buffer of [`QueueEvent`]s. When full, the oldest event is
+/// dropped (and counted) so a long run cannot grow memory without
+/// bound. The recorder also tracks the WPQ occupancy high-water mark
+/// since it was last taken, which the drain protocol reads per epoch.
+#[derive(Debug, Clone)]
+pub struct QueueRecorder {
+    events: VecDeque<QueueEvent>,
+    capacity: usize,
+    dropped: u64,
+    wpq_high_water: usize,
+}
+
+impl QueueRecorder {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "recorder capacity must be positive");
+        Self {
+            events: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            dropped: 0,
+            wpq_high_water: 0,
+        }
+    }
+
+    fn record(&mut self, event: QueueEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        if event.queue == QueueKind::Wpq {
+            self.wpq_high_water = self.wpq_high_water.max(event.occupancy);
+        }
+        self.events.push_back(event);
+    }
+
+    /// Buffered events not yet taken.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
 
 /// Queue sizes and device parameters for the controller.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -124,6 +212,9 @@ pub struct MemController {
     /// Array writes per line, for endurance accounting.
     wear: std::collections::HashMap<u64, u64>,
     stats: MemStats,
+    /// Optional queue-event observer; `None` (the default) keeps the
+    /// hot path free of any recording work or allocation.
+    recorder: Option<QueueRecorder>,
 }
 
 impl MemController {
@@ -138,17 +229,63 @@ impl MemController {
             pending_writes: std::collections::HashMap::new(),
             wear: std::collections::HashMap::new(),
             stats: MemStats::default(),
+            recorder: None,
         }
+    }
+
+    /// Attaches a bounded queue-event recorder, replacing any existing
+    /// one. Until detached (via [`MemController::take_queue_events`]
+    /// consumers draining it), every queue accept is sampled.
+    pub fn attach_queue_recorder(&mut self, capacity: usize) {
+        self.recorder = Some(QueueRecorder::new(capacity));
+    }
+
+    /// The attached queue recorder, if any.
+    pub fn queue_recorder(&self) -> Option<&QueueRecorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Removes and returns all buffered queue events in record order.
+    /// Returns an empty vector when no recorder is attached (the empty
+    /// `Vec` does not allocate).
+    pub fn take_queue_events(&mut self) -> Vec<QueueEvent> {
+        match &mut self.recorder {
+            Some(rec) => rec.events.drain(..).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Highest WPQ occupancy observed since this was last called;
+    /// resets the mark. Returns 0 when no recorder is attached.
+    pub fn take_wpq_high_water(&mut self) -> usize {
+        match &mut self.recorder {
+            Some(rec) => std::mem::take(&mut rec.wpq_high_water),
+            None => 0,
+        }
+    }
+
+    /// WPQ entries in flight as of the last accept.
+    pub fn wpq_len(&self) -> usize {
+        self.wpq.len()
     }
 
     /// Issues a blocking read of `line`; returns its completion cycle.
     pub fn read(&mut self, line: LineAddr, now: Cycle) -> Cycle {
         let before = self.read_queue.stalled_accepts();
         let slot = self.read_queue.accept(now);
+        let stalled = self.read_queue.stalled_accepts() > before;
         self.stats.read_queue_stalls += self.read_queue.stalled_accepts() - before;
         let done = self.nvm.access(line, false, slot);
         self.read_queue.push(done);
         self.stats.reads += 1;
+        if let Some(rec) = &mut self.recorder {
+            rec.record(QueueEvent {
+                at: slot,
+                queue: QueueKind::Read,
+                occupancy: self.read_queue.len(),
+                stalled,
+            });
+        }
         done
     }
 
@@ -160,7 +297,10 @@ impl MemController {
     /// coalesced (write combining): no additional array write is
     /// issued or counted.
     pub fn write(&mut self, line: LineAddr, now: Cycle) -> Cycle {
-        self.pending_writes.retain(|_, done| *done > now);
+        // Staleness is checked on lookup: an entry whose write already
+        // drained (`done <= now`) no longer merges, and the insert
+        // below overwrites it. At most one entry per distinct line ever
+        // accumulates — the same footprint as the wear map.
         if let Some(&done) = self.pending_writes.get(&line.0) {
             if done > now {
                 self.stats.merged_writes += 1;
@@ -169,12 +309,21 @@ impl MemController {
         }
         let before = self.write_queue.stalled_accepts();
         let slot = self.write_queue.accept(now);
+        let stalled = self.write_queue.stalled_accepts() > before;
         self.stats.write_queue_stalls += self.write_queue.stalled_accepts() - before;
         let done = self.nvm.access(line, true, slot);
         self.write_queue.push(done);
         self.pending_writes.insert(line.0, done);
         *self.wear.entry(line.0).or_insert(0) += 1;
         self.stats.writes += 1;
+        if let Some(rec) = &mut self.recorder {
+            rec.record(QueueEvent {
+                at: slot,
+                queue: QueueKind::Write,
+                occupancy: self.write_queue.len(),
+                stalled,
+            });
+        }
         slot
     }
 
@@ -183,11 +332,20 @@ impl MemController {
     pub fn wpq_write(&mut self, line: LineAddr, now: Cycle) -> Cycle {
         let before = self.wpq.stalled_accepts();
         let slot = self.wpq.accept(now);
+        let stalled = self.wpq.stalled_accepts() > before;
         self.stats.wpq_stalls += self.wpq.stalled_accepts() - before;
         let done = self.nvm.access(line, true, slot);
         self.wpq.push(done);
         *self.wear.entry(line.0).or_insert(0) += 1;
         self.stats.wpq_writes += 1;
+        if let Some(rec) = &mut self.recorder {
+            rec.record(QueueEvent {
+                at: slot,
+                queue: QueueKind::Wpq,
+                occupancy: self.wpq.len(),
+                stalled,
+            });
+        }
         slot
     }
 
@@ -247,13 +405,13 @@ impl MemController {
         self.config
     }
 
-    /// WPQ slots currently free as of `now` (drainer-visible headroom).
-    pub fn wpq_free_slots(&mut self, now: Cycle) -> usize {
-        // `accept` would retire entries; probe without side effects by
-        // cloning the heap state is wasteful — instead retire via accept
-        // semantics: capacity minus live entries older than `now`.
-        let _ = now;
-        self.config.wpq_entries - self.wpq.len().min(self.config.wpq_entries)
+    /// WPQ slots free as of `now` (drainer-visible headroom): capacity
+    /// minus the entries whose array writes have not completed by
+    /// `now`. Applies the same retirement rule as `accept` — entries
+    /// done at or before `now` have left the queue — but is a pure
+    /// probe: no entry is retired and no timing state changes.
+    pub fn wpq_free_slots(&self, now: Cycle) -> usize {
+        self.config.wpq_entries - self.wpq.len_at(now).min(self.config.wpq_entries)
     }
 }
 
@@ -375,5 +533,111 @@ mod tests {
         // Once the original write has drained, the same line writes again.
         assert_eq!(m.write(LineAddr(0), 250), 250);
         assert_eq!(m.stats().writes, 3);
+    }
+
+    #[test]
+    fn wpq_headroom_recovers_after_completions() {
+        let mut m = MemController::new(MemControllerConfig {
+            nvm: NvmTimingConfig {
+                read_cycles: 10,
+                write_cycles: 100,
+                banks: 1,
+            },
+            read_queue_entries: 4,
+            write_queue_entries: 4,
+            wpq_entries: 4,
+        });
+        assert_eq!(m.wpq_free_slots(0), 4);
+        m.wpq_write(LineAddr(0), 0); // completes at 100
+        m.wpq_write(LineAddr(1), 0); // completes at 200 (same bank)
+        assert_eq!(m.wpq_free_slots(0), 2);
+        // At 150 the first entry has drained; the probe must see the
+        // freed slot even though `accept` never ran at that cycle.
+        assert_eq!(m.wpq_free_slots(150), 3);
+        assert_eq!(m.wpq_free_slots(200), 4, "completion at `now` has retired");
+        // The probe retired nothing: occupancy state is untouched.
+        assert_eq!(m.wpq_len(), 2);
+        assert_eq!(m.stats().wpq_stalls, 0);
+    }
+
+    #[test]
+    fn merged_writes_accounting_unchanged_by_on_lookup_staleness() {
+        let mut m = MemController::new(MemControllerConfig {
+            nvm: NvmTimingConfig {
+                read_cycles: 10,
+                write_cycles: 100,
+                banks: 1,
+            },
+            read_queue_entries: 4,
+            write_queue_entries: 4,
+            wpq_entries: 4,
+        });
+        m.write(LineAddr(0), 0); // pending until 100
+        m.write(LineAddr(0), 50); // still pending: merges
+        m.write(LineAddr(0), 99); // boundary: done > now, still merges
+        m.write(LineAddr(0), 100); // done == now: stale, new array write
+        m.write(LineAddr(0), 150); // pending until 300 now: merges
+        assert_eq!(m.stats().writes, 2);
+        assert_eq!(m.stats().merged_writes, 3);
+        assert_eq!(m.line_wear(LineAddr(0)), 2, "merges issue no array write");
+    }
+
+    #[test]
+    fn queue_recorder_samples_accepts() {
+        let mut m = MemController::new(MemControllerConfig {
+            nvm: NvmTimingConfig {
+                read_cycles: 10,
+                write_cycles: 100,
+                banks: 1,
+            },
+            read_queue_entries: 4,
+            write_queue_entries: 4,
+            wpq_entries: 2,
+        });
+        assert!(m.take_queue_events().is_empty(), "no recorder attached");
+        m.attach_queue_recorder(16);
+        m.read(LineAddr(0), 0);
+        m.write(LineAddr(1), 0);
+        m.write(LineAddr(1), 0); // merged: no queue transaction, no event
+        m.wpq_write(LineAddr(2), 0);
+        m.wpq_write(LineAddr(3), 0);
+        m.wpq_write(LineAddr(4), 0); // WPQ full: stalls until cycle 100
+        let events = m.take_queue_events();
+        assert_eq!(events.len(), 5, "merged write produced no event");
+        assert_eq!(
+            events[0],
+            QueueEvent {
+                at: 0,
+                queue: QueueKind::Read,
+                occupancy: 1,
+                stalled: false
+            }
+        );
+        assert_eq!(events[1].queue, QueueKind::Write);
+        let wpq: Vec<_> = events
+            .iter()
+            .filter(|e| e.queue == QueueKind::Wpq)
+            .collect();
+        assert_eq!(wpq.len(), 3);
+        assert!(!wpq[0].stalled);
+        assert!(!wpq[1].stalled);
+        assert!(wpq[2].stalled, "third WPQ write waited for a slot");
+        assert_eq!(m.take_wpq_high_water(), 2);
+        assert_eq!(m.take_wpq_high_water(), 0, "high-water mark resets");
+        assert!(m.take_queue_events().is_empty(), "events were drained");
+    }
+
+    #[test]
+    fn queue_recorder_bounds_memory() {
+        let mut m = mc();
+        m.attach_queue_recorder(2);
+        m.read(LineAddr(0), 0);
+        m.read(LineAddr(1), 0);
+        m.read(LineAddr(2), 0);
+        let rec = m.queue_recorder().expect("attached");
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.dropped(), 1);
+        let events = m.take_queue_events();
+        assert_eq!(events.len(), 2, "oldest event was dropped");
     }
 }

@@ -45,6 +45,8 @@ pub mod timing;
 pub use addr::{Addr, LineAddr, LINE_SIZE, PAGE_SIZE};
 pub use backend::DurableBackend;
 pub use cache::{CacheConfig, SetAssocCache};
-pub use controller::{MemController, MemControllerConfig, MemStats, WearStats};
+pub use controller::{
+    MemController, MemControllerConfig, MemStats, QueueEvent, QueueKind, QueueRecorder, WearStats,
+};
 pub use store::{Line, LineStore};
 pub use timing::{Cycle, NvmTiming, NvmTimingConfig};

@@ -190,6 +190,15 @@ impl BoundedQueue {
         self.in_flight.len()
     }
 
+    /// Entries that would still be in flight at `now` — completion
+    /// times strictly after `now` — without retiring anything. This is
+    /// the side-effect-free view `accept(now)` would see after its
+    /// retirement pass; use it to probe headroom without mutating the
+    /// queue.
+    pub fn len_at(&self, now: Cycle) -> usize {
+        self.in_flight.iter().filter(|r| r.0 > now).count()
+    }
+
     /// Whether no entries are in flight.
     pub fn is_empty(&self) -> bool {
         self.in_flight.is_empty()
@@ -263,6 +272,21 @@ mod tests {
         q.accept(0);
         q.push(20);
         assert_eq!(q.last_completion(), Some(30));
+    }
+
+    #[test]
+    fn len_at_is_pure() {
+        let mut q = BoundedQueue::new(4);
+        q.accept(0);
+        q.push(10);
+        q.accept(0);
+        q.push(30);
+        assert_eq!(q.len_at(5), 2);
+        assert_eq!(q.len_at(10), 1, "completion at exactly `now` has retired");
+        assert_eq!(q.len_at(40), 0);
+        // Probing retired nothing: the heap still holds both entries.
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.stalled_accepts(), 0);
     }
 
     #[test]
