@@ -70,11 +70,17 @@ impl DirtyAddressQueue {
 
     /// How many of `lines` are *not* yet recorded (the space the next
     /// write-back needs).
+    ///
+    /// `lines` is a counter-to-root path — at most a few dozen entries —
+    /// so duplicates are found with a backward scan instead of a
+    /// heap-allocated set; this runs on every write-back.
     pub fn missing(&self, lines: &[LineAddr]) -> usize {
-        let mut seen = HashSet::new();
         lines
             .iter()
-            .filter(|l| !self.members.contains(&l.0) && seen.insert(l.0))
+            .enumerate()
+            .filter(|&(i, l)| {
+                !self.members.contains(&l.0) && !lines[..i].iter().any(|p| p.0 == l.0)
+            })
             .count()
     }
 
@@ -97,6 +103,13 @@ impl DirtyAddressQueue {
     /// The recorded addresses in insertion order.
     pub fn entries(&self) -> &[LineAddr] {
         &self.order
+    }
+
+    /// Empties the queue in place (drain committed), keeping the
+    /// allocated capacity for the next epoch.
+    pub fn clear(&mut self) {
+        self.members.clear();
+        self.order.clear();
     }
 
     /// Empties the queue (drain committed), returning the drained
@@ -150,6 +163,17 @@ mod tests {
         assert!(q.is_empty());
         assert!(!q.contains(LineAddr(5)));
         // Reusable afterwards.
+        assert!(q.try_insert_all(&lines(&[5])));
+    }
+
+    #[test]
+    fn clear_keeps_capacity_and_resets_membership() {
+        let mut q = DirtyAddressQueue::new(8);
+        q.try_insert_all(&lines(&[5, 1, 9]));
+        q.clear();
+        assert!(q.is_empty());
+        assert!(!q.contains(LineAddr(5)));
+        assert_eq!(q.free(), 8);
         assert!(q.try_insert_all(&lines(&[5])));
     }
 

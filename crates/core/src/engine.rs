@@ -5,12 +5,33 @@
 //! counter, it produces real ciphertexts and real 128-bit data HMACs.
 //! The timing half (72 ns AES, 80-cycle HMACs, engine occupancy on the
 //! write-back path) lives in the simulator.
+//!
+//! Every MAC goes through a [`HmacEngine`] keyed once at construction,
+//! so the hot path pays only the message compressions plus one outer
+//! compression per MAC — the key schedule (pad XORs plus two extra
+//! SHA-1 block compressions) is hoisted out of the per-operation cost.
+//! [`HmacMode::Rekey`] keeps the original per-MAC key-schedule path
+//! alive as the bit-identical "before" reference for the perf bench
+//! and the equivalence tests.
 
 use crate::counter::CounterLine;
 use crate::tcb::Keys;
 use ccnvm_crypto::otp::OtpGenerator;
-use ccnvm_crypto::{Aes128, HmacSha1, Mac128};
+use ccnvm_crypto::{Aes128, HmacEngine, HmacSha1, Mac128};
 use ccnvm_mem::{Line, LineAddr};
+
+/// How [`CryptoEngine`] computes its HMACs. Both modes produce
+/// bit-identical tags; they differ only in per-MAC cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum HmacMode {
+    /// Keyed midstate engine: message compressions + one outer
+    /// compression per MAC (the optimized default).
+    #[default]
+    Midstate,
+    /// Re-run the RFC 2104 key schedule on every MAC (the
+    /// pre-optimization reference path; slower, same output).
+    Rekey,
+}
 
 /// Functional encryption/authentication engine.
 ///
@@ -29,16 +50,37 @@ use ccnvm_mem::{Line, LineAddr};
 #[derive(Debug, Clone)]
 pub struct CryptoEngine {
     otp: OtpGenerator,
+    hmac: HmacEngine,
     hmac_key: [u8; 16],
+    mode: HmacMode,
 }
+
+/// Data-HMAC message: `"DH" ‖ ciphertext ‖ address ‖ counter`.
+const DH_MSG_LEN: usize = 2 + 64 + 8 + 8 + 1;
+
+/// Node-MAC message: `"MT" ‖ level ‖ position ‖ child content`.
+const MT_MSG_LEN: usize = 2 + 4 + 1 + 64;
 
 impl CryptoEngine {
     /// Builds an engine from the TCB keys.
     pub fn new(keys: &Keys) -> Self {
+        Self::with_mode(keys, HmacMode::Midstate)
+    }
+
+    /// Builds an engine with an explicit HMAC mode (the perf bench and
+    /// equivalence tests compare the two).
+    pub fn with_mode(keys: &Keys, mode: HmacMode) -> Self {
         Self {
             otp: OtpGenerator::new(Aes128::new(&keys.aes)),
+            hmac: HmacEngine::new(&keys.hmac),
             hmac_key: keys.hmac,
+            mode,
         }
+    }
+
+    /// The active HMAC mode.
+    pub fn hmac_mode(&self) -> HmacMode {
+        self.mode
     }
 
     /// Encrypts `plain` for `line` under split counter `(major, minor)`.
@@ -51,16 +93,27 @@ impl CryptoEngine {
         self.otp.xor64(cipher, line.0, major, minor as u64)
     }
 
+    fn mac_bytes(&self, msg: &[u8]) -> Mac128 {
+        match self.mode {
+            HmacMode::Midstate => self.hmac.mac128(msg),
+            HmacMode::Rekey => {
+                let mut h = HmacSha1::new(&self.hmac_key);
+                h.update(msg);
+                truncate(h.finalize())
+            }
+        }
+    }
+
     /// Data HMAC of a line: 128-bit code over
     /// `(encrypted data ‖ address ‖ counter)` as in Figure 1.
     pub fn data_hmac(&self, cipher: &Line, line: LineAddr, major: u64, minor: u8) -> Mac128 {
-        let mut h = HmacSha1::new(&self.hmac_key);
-        h.update(b"DH");
-        h.update(cipher);
-        h.update(&line.0.to_le_bytes());
-        h.update(&major.to_le_bytes());
-        h.update(&[minor]);
-        truncate(h.finalize())
+        let mut msg = [0u8; DH_MSG_LEN];
+        msg[..2].copy_from_slice(b"DH");
+        msg[2..66].copy_from_slice(cipher);
+        msg[66..74].copy_from_slice(&line.0.to_le_bytes());
+        msg[74..82].copy_from_slice(&major.to_le_bytes());
+        msg[82] = minor;
+        self.mac_bytes(&msg)
     }
 
     /// Data HMAC computed from a decoded counter line.
@@ -81,12 +134,12 @@ impl CryptoEngine {
     /// semantic no-op.
     pub fn node_mac(&self, level: usize, position: u8, content: &Line) -> Mac128 {
         debug_assert!(position < 4, "4-ary tree positions are 0..4");
-        let mut h = HmacSha1::new(&self.hmac_key);
-        h.update(b"MT");
-        h.update(&(level as u32).to_le_bytes());
-        h.update(&[position]);
-        h.update(content);
-        truncate(h.finalize())
+        let mut msg = [0u8; MT_MSG_LEN];
+        msg[..2].copy_from_slice(b"MT");
+        msg[2..6].copy_from_slice(&(level as u32).to_le_bytes());
+        msg[6] = position;
+        msg[7..71].copy_from_slice(content);
+        self.mac_bytes(&msg)
     }
 
     /// The HMAC key (recovery re-derives engines from the TCB).
@@ -176,5 +229,53 @@ mod tests {
             a.data_hmac(&[0u8; 64], LineAddr(1), 0, 0),
             b.data_hmac(&[0u8; 64], LineAddr(1), 0, 0)
         );
+    }
+
+    /// The midstate port must be bit-identical to the original
+    /// rekey-per-MAC path for every MAC the simulator computes.
+    #[test]
+    fn midstate_and_rekey_modes_are_bit_identical() {
+        let keys = Keys::from_seed(42);
+        let fast = CryptoEngine::with_mode(&keys, HmacMode::Midstate);
+        let slow = CryptoEngine::with_mode(&keys, HmacMode::Rekey);
+        assert_eq!(fast.hmac_mode(), HmacMode::Midstate);
+        assert_eq!(slow.hmac_mode(), HmacMode::Rekey);
+        for i in 0..16u64 {
+            let ct: Line = core::array::from_fn(|j| ((j as u64 * 31) ^ i) as u8);
+            assert_eq!(
+                fast.data_hmac(&ct, LineAddr(i * 7), i, (i % 64) as u8),
+                slow.data_hmac(&ct, LineAddr(i * 7), i, (i % 64) as u8),
+                "data_hmac {i}"
+            );
+            assert_eq!(
+                fast.node_mac(i as usize % 12, (i % 4) as u8, &ct),
+                slow.node_mac(i as usize % 12, (i % 4) as u8, &ct),
+                "node_mac {i}"
+            );
+        }
+    }
+
+    /// The message framing must match the original incremental
+    /// construction byte for byte (same fields, same order).
+    #[test]
+    fn data_hmac_framing_matches_incremental_reference() {
+        let keys = Keys::from_seed(9);
+        let e = CryptoEngine::new(&keys);
+        let ct = [0xabu8; 64];
+        let (line, major, minor) = (LineAddr(123), 456u64, 7u8);
+        let mut h = HmacSha1::new(&keys.hmac);
+        h.update(b"DH");
+        h.update(&ct);
+        h.update(&line.0.to_le_bytes());
+        h.update(&major.to_le_bytes());
+        h.update(&[minor]);
+        assert_eq!(e.data_hmac(&ct, line, major, minor), truncate(h.finalize()));
+
+        let mut h = HmacSha1::new(&keys.hmac);
+        h.update(b"MT");
+        h.update(&3u32.to_le_bytes());
+        h.update(&[2]);
+        h.update(&ct);
+        assert_eq!(e.node_mac(3, 2, &ct), truncate(h.finalize()));
     }
 }

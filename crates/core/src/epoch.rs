@@ -21,6 +21,20 @@ use ccnvm_crypto::latency::HMAC_LATENCY_CYCLES;
 use ccnvm_mem::{Cycle, Line, LineAddr};
 use std::collections::HashMap;
 
+/// Reusable drain working storage, owned by [`SecureMemory`] so the
+/// steady-state drain allocates nothing: each buffer is cleared and
+/// refilled per drain, keeping its high-water capacity across epochs.
+#[derive(Debug, Default)]
+pub(crate) struct DrainScratch {
+    /// Snapshot of the dirty address queue (the queue itself is
+    /// cleared at commit while these addresses are still in use).
+    entries: Vec<LineAddr>,
+    /// Current content of every queued line, keyed by address.
+    contents: HashMap<u64, Line>,
+    /// Queued tree nodes sorted bottom-up for deferred spreading.
+    ordered: Vec<(usize, u64, LineAddr)>,
+}
+
 impl SecureMemory {
     /// Runs a complete atomic drain (stage + commit) and returns its
     /// end cycle. A no-op for designs without a drainer or when the
@@ -75,60 +89,69 @@ impl SecureMemory {
     /// is exactly the ADR `end`-signal semantics.
     pub fn stage_drain(&mut self, now: Cycle) -> Cycle {
         debug_assert!(self.staged.is_empty(), "staged drain already pending");
-        let entries: Vec<LineAddr> = self.dirty_queue.entries().to_vec();
+        // Move the scratch out of `self` for the duration so its
+        // buffers can be filled while `self` is borrowed; no early
+        // returns below, so it always goes back.
+        let mut scratch = std::mem::take(&mut self.drain_scratch);
+        scratch.entries.clear();
+        scratch
+            .entries
+            .extend_from_slice(self.dirty_queue.entries());
         let mut t = now;
 
         // Gather current contents; queued-but-uncached lines are read
         // from NVM (deferred spreading reserves nodes that were never
         // touched on-chip). The fetches are independent, so they issue
         // together and overlap across banks.
-        let mut contents: HashMap<u64, Line> = HashMap::with_capacity(entries.len());
-        for &line in &entries {
+        scratch.contents.clear();
+        for &line in &scratch.entries {
             if !self.chip_meta.contains(line) {
                 t = t.max(self.mc.read(line, now));
             }
-            contents.insert(line.0, self.meta_content(line));
+            scratch.contents.insert(line.0, self.meta_content(line));
         }
 
         if self.design().has_deferred_spreading() {
             // Recompute bottom-up: each queued line contributes one
             // child HMAC to its parent (also queued, by construction).
-            let mut ordered: Vec<(usize, u64, LineAddr)> = entries
-                .iter()
-                .map(|&l| {
-                    let (level, idx) = self.level_of(l);
-                    (level, idx, l)
-                })
-                .collect();
-            ordered.sort_unstable_by_key(|&(level, idx, _)| (level, idx));
+            scratch.ordered.clear();
+            for &l in &scratch.entries {
+                let (level, idx) = self.level_of(l);
+                scratch.ordered.push((level, idx, l));
+            }
+            scratch
+                .ordered
+                .sort_unstable_by_key(|&(level, idx, _)| (level, idx));
             let top_level = self.layout.internal_levels();
-            for &(level, idx, line) in &ordered {
+            for &(level, idx, line) in &scratch.ordered {
                 if level == top_level {
                     continue;
                 }
-                let content = contents[&line.0];
+                let content = scratch.contents[&line.0];
                 let mac = self.bmt.child_mac(level, idx, &content);
                 self.stats.hmacs += 1;
                 t += HMAC_LATENCY_CYCLES;
                 let parent = self.layout.node_line(level + 1, idx / 4);
-                let pcontent = contents
+                let pcontent = scratch
+                    .contents
                     .get_mut(&parent.0)
                     .expect("full path is reserved in the dirty queue");
                 let off = (idx % 4) as usize * 16;
                 pcontent[off..off + 16].copy_from_slice(&mac);
             }
             let top_line = self.layout.node_line(top_level, 0);
-            if let Some(top_content) = contents.get(&top_line.0) {
+            if let Some(top_content) = scratch.contents.get(&top_line.0) {
                 self.tcb.root_new = self.bmt.engine().node_mac(top_level, 0, top_content);
                 self.stats.hmacs += 1;
                 t += HMAC_LATENCY_CYCLES;
             }
         }
 
-        for &line in &entries {
-            self.staged.push((line, contents[&line.0]));
+        for &line in &scratch.entries {
+            self.staged.push((line, scratch.contents[&line.0]));
             t = self.mc.wpq_write(line, t);
         }
+        self.drain_scratch = scratch;
         // The `end` signal is sent once every line is *in* the WPQ; ADR
         // guarantees the WPQ reaches NVM even across a power failure,
         // so the drain does not wait for the array writes themselves
@@ -142,7 +165,10 @@ impl SecureMemory {
     /// and cleaned, the dirty address queue empties, and
     /// `ROOT_old ← ROOT_new`, `N_wb ← 0`.
     pub fn commit_staged(&mut self) {
-        for (line, content) in std::mem::take(&mut self.staged) {
+        // Take/clear/put back rather than `mem::take` alone so the
+        // staging buffer keeps its capacity across epochs.
+        let mut staged = std::mem::take(&mut self.staged);
+        for &(line, content) in &staged {
             self.nvm.persist_meta(line, content);
             self.stats.meta_writes += 1;
             if self.meta_cache.contains(line) {
@@ -153,7 +179,9 @@ impl SecureMemory {
                 }
             }
         }
-        self.dirty_queue.drain_all();
+        staged.clear();
+        self.staged = staged;
+        self.dirty_queue.clear();
         self.tcb.commit_drain();
         self.epoch_lengths.record(self.wbs_this_epoch);
         self.wbs_this_epoch = 0;

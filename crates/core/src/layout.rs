@@ -30,6 +30,43 @@ use ccnvm_mem::addr::{LineAddr, LINES_PER_PAGE, LINE_SIZE, PAGE_SIZE};
 /// Number of 128-bit MACs per 64-byte line (tree arity).
 pub const MACS_PER_LINE: u64 = 4;
 
+/// Upper bound on stored tree levels for any capacity. A 4-ary tree
+/// over the counter lines of a full 2^64-byte region needs 26 stored
+/// levels; 32 leaves slack while keeping [`TreePath`] small enough to
+/// live on the stack of every write-back.
+pub const MAX_TREE_LEVELS: usize = 32;
+
+/// A counter-to-top walk as `(level, node_idx)` pairs, bottom-up —
+/// returned by [`SecureLayout::path_of_counter`].
+///
+/// Tree depth is fixed at config time and tiny (11 levels for the
+/// paper's 16 GB), so the path lives in a bounded inline array instead
+/// of a heap `Vec`: the write-back hot loop walks one of these per
+/// operation without allocating. Derefs to a slice, so indexing,
+/// iteration and `len()` work as they did on the `Vec`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreePath {
+    nodes: [(usize, u64); MAX_TREE_LEVELS],
+    len: usize,
+}
+
+impl std::ops::Deref for TreePath {
+    type Target = [(usize, u64)];
+
+    fn deref(&self) -> &Self::Target {
+        &self.nodes[..self.len]
+    }
+}
+
+impl<'a> IntoIterator for &'a TreePath {
+    type Item = &'a (usize, u64);
+    type IntoIter = std::slice::Iter<'a, (usize, u64)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
 /// Region/level geometry for a given NVM capacity.
 ///
 /// # Example
@@ -91,6 +128,11 @@ impl SecureLayout {
             }
             nodes = nodes.div_ceil(MACS_PER_LINE);
         }
+        assert!(
+            level_base.len() <= MAX_TREE_LEVELS,
+            "tree depth {} exceeds MAX_TREE_LEVELS",
+            level_base.len()
+        );
 
         Self {
             capacity_bytes,
@@ -234,16 +276,19 @@ impl SecureLayout {
     /// # Panics
     ///
     /// Panics if `idx` is out of range.
-    pub fn path_of_counter(&self, idx: u64) -> Vec<(usize, u64)> {
+    pub fn path_of_counter(&self, idx: u64) -> TreePath {
         assert!(idx < self.counter_lines, "counter index {idx} out of range");
-        let mut path = Vec::with_capacity(self.internal_levels());
+        let mut nodes = [(0usize, 0u64); MAX_TREE_LEVELS];
         let mut child = idx;
         for level in 1..=self.internal_levels() {
             let node = child / MACS_PER_LINE;
-            path.push((level, node));
+            nodes[level - 1] = (level, node);
             child = node;
         }
-        path
+        TreePath {
+            nodes,
+            len: self.internal_levels(),
+        }
     }
 
     /// Total lines a write-back dirties on its tree path (counter +
@@ -339,6 +384,17 @@ mod tests {
         assert_eq!(path[3], (4, 0));
         // Neighbouring counters share their level-1 parent.
         assert_eq!(l.path_of_counter(252)[0], (1, 63));
+    }
+
+    #[test]
+    fn tree_path_is_copy_and_slice_like() {
+        let l = SecureLayout::new(1 << 20);
+        let path = l.path_of_counter(0);
+        assert_eq!(path.len(), l.internal_levels());
+        let copy = path; // Copy: stack-only, no heap path storage
+        let collected: Vec<(usize, u64)> = copy.iter().copied().collect();
+        assert_eq!(&collected[..], &*path);
+        assert!(path.iter().all(|&(lvl, idx)| idx < l.level_nodes(lvl)));
     }
 
     #[test]

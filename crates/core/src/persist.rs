@@ -11,7 +11,7 @@ use crate::bmt::Bmt;
 use crate::config::SimConfig;
 use crate::crash::{CrashImage, GroundTruth};
 use crate::drainer::DirtyAddressQueue;
-use crate::engine::CryptoEngine;
+use crate::engine::{CryptoEngine, HmacMode};
 use crate::error::{ConfigError, ResumeError};
 use crate::layout::SecureLayout;
 use crate::metacache::MetaCache;
@@ -83,7 +83,12 @@ impl SecureMemory {
             });
         }
         let keys = Keys::from_seed(config.key_seed);
-        let engine = CryptoEngine::new(&keys);
+        let mode = if config.legacy_hmac {
+            HmacMode::Rekey
+        } else {
+            HmacMode::Midstate
+        };
+        let engine = CryptoEngine::with_mode(&keys, mode);
         let bmt = Bmt::new(layout.clone(), engine);
         let tcb = Tcb::new(keys, bmt.default_root());
         Ok(Self {
@@ -98,6 +103,7 @@ impl SecureMemory {
             nvm: NvmState::new(durable),
             chip_meta: LineStore::new(),
             staged: Vec::new(),
+            drain_scratch: Default::default(),
             wbs_this_epoch: 0,
             epoch_lengths: Histogram::new(&[4, 8, 16, 32, 64, 128]),
             stats: RunStats::default(),

@@ -134,6 +134,8 @@ pub struct SecureMemory {
     pub(crate) nvm: NvmState,
     pub(crate) chip_meta: LineStore,
     pub(crate) staged: Vec<(LineAddr, Line)>,
+    /// Reusable drain working buffers (see [`crate::epoch`]).
+    pub(crate) drain_scratch: crate::epoch::DrainScratch,
     pub(crate) meta_cache: MetaCache,
     pub(crate) dirty_queue: DirtyAddressQueue,
     pub(crate) mc: MemController,

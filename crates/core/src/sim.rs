@@ -53,6 +53,8 @@ pub struct Simulator {
     instructions: u64,
     /// Sub-cycle accumulator for non-memory instructions.
     issue_carry: u64,
+    /// Reusable buffer for [`Self::flush_caches`] dirty-line sweeps.
+    flush_scratch: Vec<LineAddr>,
 }
 
 impl Simulator {
@@ -70,6 +72,7 @@ impl Simulator {
             cycles: 0,
             instructions: 0,
             issue_carry: 0,
+            flush_scratch: Vec::new(),
             config,
         })
     }
@@ -207,27 +210,35 @@ impl Simulator {
     ///
     /// Returns the first [`IntegrityError`] raised by a write-back.
     pub fn flush_caches(&mut self) -> Result<(), IntegrityError> {
-        let dirty: Vec<LineAddr> = self.l1.dirty_lines().collect();
-        for line in &dirty {
-            self.l1.mark_clean(*line);
+        // Reuse one owned buffer for both sweeps; it goes back into
+        // `self` at the end so repeated flushes allocate nothing. (An
+        // integrity error drops it — acceptable, those are terminal.)
+        let mut dirty = std::mem::take(&mut self.flush_scratch);
+        dirty.clear();
+        dirty.extend(self.l1.dirty_lines());
+        for &line in &dirty {
+            self.l1.mark_clean(line);
             // Installing the L1 victim can displace an L2 line; a dirty
             // displaced line must reach the secure engine right here —
             // it is no longer resident anywhere, so the L2 sweep below
             // would never see it and an "orderly shutdown" would lose
             // its data.
-            let r = self.l2.access(*line, true);
+            let r = self.l2.access(line, true);
             if let Some(victim) = r.evicted {
                 if victim.dirty {
                     self.write_back(victim.addr)?;
                 }
             }
         }
-        let mut dirty: Vec<LineAddr> = self.l2.dirty_lines().collect();
+        dirty.clear();
+        dirty.extend(self.l2.dirty_lines());
         dirty.sort_unstable();
-        for line in dirty {
+        for &line in &dirty {
             self.l2.mark_clean(line);
             self.write_back(line)?;
         }
+        dirty.clear();
+        self.flush_scratch = dirty;
         let now = self.cycles;
         self.mem.drain(now, crate::secmem::DrainTrigger::External);
         Ok(())

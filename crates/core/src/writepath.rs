@@ -19,6 +19,7 @@
 use crate::config::DesignKind;
 use crate::counter::CounterLine;
 use crate::error::IntegrityError;
+use crate::layout::MAX_TREE_LEVELS;
 use crate::obs;
 use crate::secmem::{pattern, DrainTrigger, SecureMemory};
 use crate::view::{MetaSource, MetaView};
@@ -50,35 +51,56 @@ impl MetaView for ChipView<'_> {
 
 /// One write-back's counter-to-root walk, computed once and shared by
 /// every phase (fetch, reservation, tree maintenance, persistence).
+///
+/// Tree depth is bounded at config time ([`MAX_TREE_LEVELS`]), so the
+/// whole walk lives inline on the write-back's stack frame — no heap
+/// allocation per operation.
 struct PathLines {
     /// The counter line (path level 0).
     ctr_line: LineAddr,
     /// Counter index within its level.
     ctr_idx: u64,
-    /// Internal tree node lines, bottom-up (excludes the counter).
-    nodes: Vec<(usize, u64, LineAddr)>,
+    /// Internal tree node descriptors, bottom-up (excludes the
+    /// counter); only the first `len` entries are meaningful.
+    nodes: [(usize, u64, LineAddr); MAX_TREE_LEVELS],
+    /// Every line of the path — counter first, then the nodes
+    /// bottom-up (`len + 1` entries) — in the shape the dirty address
+    /// queue reserves.
+    lines: [LineAddr; MAX_TREE_LEVELS + 1],
+    /// Number of internal nodes on the path.
+    len: usize,
 }
 
 impl PathLines {
     fn of(mem: &SecureMemory, line: LineAddr) -> Self {
         let ctr_line = mem.layout.counter_line_of(line);
         let ctr_idx = mem.layout.counter_index(ctr_line);
-        let nodes = mem
-            .layout
-            .path_of_counter(ctr_idx)
-            .into_iter()
-            .map(|(lvl, idx)| (lvl, idx, mem.layout.node_line(lvl, idx)))
-            .collect();
+        let mut nodes = [(0usize, 0u64, LineAddr(0)); MAX_TREE_LEVELS];
+        let mut lines = [LineAddr(0); MAX_TREE_LEVELS + 1];
+        lines[0] = ctr_line;
+        let path = mem.layout.path_of_counter(ctr_idx);
+        for (i, &(lvl, idx)) in path.iter().enumerate() {
+            let node_line = mem.layout.node_line(lvl, idx);
+            nodes[i] = (lvl, idx, node_line);
+            lines[i + 1] = node_line;
+        }
         Self {
             ctr_line,
             ctr_idx,
             nodes,
+            lines,
+            len: path.len(),
         }
     }
 
+    /// Internal tree nodes, bottom-up.
+    fn nodes(&self) -> &[(usize, u64, LineAddr)] {
+        &self.nodes[..self.len]
+    }
+
     /// Every line of the path: counter first, then the nodes bottom-up.
-    fn all_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
-        std::iter::once(self.ctr_line).chain(self.nodes.iter().map(|&(_, _, l)| l))
+    fn all_lines(&self) -> &[LineAddr] {
+        &self.lines[..self.len + 1]
     }
 }
 
@@ -122,7 +144,7 @@ impl SecureMemory {
         // fetches happen before the reservation and the counter bump.
         t = self.ensure_meta_cached(ctr_line, t, true)?;
         if self.design().updates_root_every_wb() {
-            for &(_, _, node_line) in &path.nodes {
+            for &(_, _, node_line) in path.nodes() {
                 if !self.meta_cache.contains(node_line) {
                     t = self.ensure_meta_cached(node_line, t, true)?;
                 }
@@ -143,10 +165,10 @@ impl SecureMemory {
         // (trigger 1). The counter is still clean here, so a
         // queue-full drain commits a complete epoch.
         if self.design().has_drainer() {
-            let entries: Vec<LineAddr> = path.all_lines().collect();
-            if !self.dirty_queue.try_insert_all(&entries) {
+            let entries = path.all_lines();
+            if !self.dirty_queue.try_insert_all(entries) {
                 t = self.drain(t, DrainTrigger::QueueFull);
-                let inserted = self.dirty_queue.try_insert_all(&entries);
+                let inserted = self.dirty_queue.try_insert_all(entries);
                 debug_assert!(inserted, "one path must fit an empty queue");
             }
             // The write-back data may only be forwarded once *every*
@@ -188,7 +210,9 @@ impl SecureMemory {
         let version = self.nvm.versions.get(&line.0).copied().unwrap_or(0) + 1;
         let plain = pattern(line, version);
         let (major, minor) = ctr.seed(line.page_offset());
-        let engine = self.bmt.engine().clone();
+        // Borrow the engine in place — `bmt` is a disjoint field from
+        // the stats/NVM state mutated below, so no clone is needed.
+        let engine = self.bmt.engine();
         let ct = engine.encrypt_line(&plain, line, major, minor);
         let dh = engine.data_hmac(&ct, line, major, minor);
         self.stats.aes_ops += 1;
@@ -220,7 +244,7 @@ impl SecureMemory {
                 // the write-back.
                 self.tcb.root_old = root;
             }
-            for &(_, _, node_line) in &path.nodes {
+            for &(_, _, node_line) in path.nodes() {
                 if self.meta_cache.contains(node_line) {
                     self.meta_cache.mark_dirty(node_line);
                 } else if let Some(content) = self.chip_meta.erase(node_line) {
@@ -243,7 +267,7 @@ impl SecureMemory {
         // Design-specific persistence.
         match self.design() {
             DesignKind::StrictConsistency => {
-                for l in path.all_lines() {
+                for &l in path.all_lines() {
                     let content = self.meta_content(l);
                     self.nvm.persist_meta(l, content);
                     let (at, issued) = self.post_write(l, tree_done);
@@ -341,7 +365,6 @@ impl SecureMemory {
         mut t: Cycle,
     ) -> Cycle {
         let page_first = LineAddr(written.0 / 64 * 64);
-        let engine = self.bmt.engine().clone();
         for i in 0..64usize {
             let dline = LineAddr(page_first.0 + i as u64);
             if dline == written {
@@ -350,6 +373,10 @@ impl SecureMemory {
             let Some(ct_old) = self.nvm.durable.load(dline) else {
                 continue;
             };
+            // The engine borrow ends before `post_write` re-borrows
+            // all of `self` below, so each iteration borrows afresh
+            // instead of cloning the engine for the whole page.
+            let engine = self.bmt.engine();
             let (maj_o, min_o) = old_ctr.seed(i);
             let plain = engine.decrypt_line(&ct_old, dline, maj_o, min_o);
             let (maj_n, min_n) = new_ctr.seed(i);

@@ -6,9 +6,11 @@
 //! forward cipher is therefore implemented; see [`crate::otp`] for the
 //! pad construction.
 //!
-//! This is a straightforward table-based implementation. It makes no
-//! attempt at constant-time execution — it feeds a hardware simulator,
-//! not live traffic.
+//! The cipher uses the classic T-table formulation: SubBytes,
+//! ShiftRows and MixColumns fold into four 32-bit table lookups per
+//! column per round (one shared table plus byte rotations). It makes
+//! no attempt at constant-time execution — it feeds a hardware
+//! simulator, not live traffic.
 
 /// The AES S-box.
 const SBOX: [u8; 256] = [
@@ -32,9 +34,26 @@ const SBOX: [u8; 256] = [
 
 const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x36];
 
-fn xtime(x: u8) -> u8 {
+const fn xtime(x: u8) -> u8 {
     (x << 1) ^ (((x >> 7) & 1) * 0x1b)
 }
+
+/// The merged SubBytes+MixColumns round table, little-endian packed as
+/// `(2·S[x], S[x], S[x], 3·S[x])`. The tables for the other three input
+/// rows are byte rotations of this one, applied with `rotate_left` at
+/// lookup time to keep the cache footprint at 1 KB.
+const TE0: [u32; 256] = {
+    let mut t = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let s = SBOX[i];
+        let s2 = xtime(s);
+        let s3 = s2 ^ s;
+        t[i] = (s2 as u32) | ((s as u32) << 8) | ((s as u32) << 16) | ((s3 as u32) << 24);
+        i += 1;
+    }
+    t
+};
 
 /// AES-128 forward cipher with a pre-expanded key schedule.
 ///
@@ -49,7 +68,9 @@ fn xtime(x: u8) -> u8 {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Aes128 {
-    round_keys: [[u8; 16]; 11],
+    /// Round keys as state-layout column words (little-endian packed,
+    /// `rk[round][column]`), ready to XOR against the T-table output.
+    rk: [[u32; 4]; 11],
 }
 
 impl Aes128 {
@@ -72,69 +93,152 @@ impl Aes128 {
                 w[i][j] = w[i - 4][j] ^ temp[j];
             }
         }
-        let mut round_keys = [[0u8; 16]; 11];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
+        let mut rk = [[0u32; 4]; 11];
+        for (r, round) in rk.iter_mut().enumerate() {
             for c in 0..4 {
-                rk[c * 4..c * 4 + 4].copy_from_slice(&w[r * 4 + c]);
+                round[c] = u32::from_le_bytes(w[r * 4 + c]);
             }
         }
-        Self { round_keys }
+        Self { rk }
     }
 
     /// Encrypts one 16-byte block.
+    ///
+    /// State columns live in little-endian `u32`s, so row `r` of column
+    /// `c` is byte `r` of word `c`; ShiftRows becomes picking row `r`
+    /// from column `(c + r) % 4`.
     pub fn encrypt_block(&self, block: [u8; 16]) -> [u8; 16] {
-        let mut state = block;
-        add_round_key(&mut state, &self.round_keys[0]);
+        let mut c = [0u32; 4];
+        for (j, col) in c.iter_mut().enumerate() {
+            let bytes: [u8; 4] = block[4 * j..4 * j + 4].try_into().expect("16-byte block");
+            *col = u32::from_le_bytes(bytes) ^ self.rk[0][j];
+        }
         for round in 1..10 {
-            sub_bytes(&mut state);
-            shift_rows(&mut state);
-            mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
+            let mut n = [0u32; 4];
+            for (j, out) in n.iter_mut().enumerate() {
+                let b0 = (c[j] & 0xff) as usize;
+                let b1 = ((c[(j + 1) % 4] >> 8) & 0xff) as usize;
+                let b2 = ((c[(j + 2) % 4] >> 16) & 0xff) as usize;
+                let b3 = (c[(j + 3) % 4] >> 24) as usize;
+                *out = TE0[b0]
+                    ^ TE0[b1].rotate_left(8)
+                    ^ TE0[b2].rotate_left(16)
+                    ^ TE0[b3].rotate_left(24)
+                    ^ self.rk[round][j];
+            }
+            c = n;
         }
-        sub_bytes(&mut state);
-        shift_rows(&mut state);
-        add_round_key(&mut state, &self.round_keys[10]);
-        state
-    }
-}
-
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for i in 0..16 {
-        state[i] ^= rk[i];
-    }
-}
-
-fn sub_bytes(state: &mut [u8; 16]) {
-    for b in state.iter_mut() {
-        *b = SBOX[*b as usize];
-    }
-}
-
-// State layout is column-major: state[4*c + r] holds row r of column c.
-fn shift_rows(state: &mut [u8; 16]) {
-    let s = *state;
-    for r in 1..4 {
-        for c in 0..4 {
-            state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+        // Final round: SubBytes + ShiftRows + AddRoundKey, no MixColumns.
+        let mut out = [0u8; 16];
+        for j in 0..4 {
+            let b0 = SBOX[(c[j] & 0xff) as usize] as u32;
+            let b1 = SBOX[((c[(j + 1) % 4] >> 8) & 0xff) as usize] as u32;
+            let b2 = SBOX[((c[(j + 2) % 4] >> 16) & 0xff) as usize] as u32;
+            let b3 = SBOX[(c[(j + 3) % 4] >> 24) as usize] as u32;
+            let word = (b0 | (b1 << 8) | (b2 << 16) | (b3 << 24)) ^ self.rk[10][j];
+            out[4 * j..4 * j + 4].copy_from_slice(&word.to_le_bytes());
         }
-    }
-}
-
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = &mut state[4 * c..4 * c + 4];
-        let a = [col[0], col[1], col[2], col[3]];
-        let t = a[0] ^ a[1] ^ a[2] ^ a[3];
-        col[0] = a[0] ^ t ^ xtime(a[0] ^ a[1]);
-        col[1] = a[1] ^ t ^ xtime(a[1] ^ a[2]);
-        col[2] = a[2] ^ t ^ xtime(a[2] ^ a[3]);
-        col[3] = a[3] ^ t ^ xtime(a[3] ^ a[0]);
+        out
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The textbook byte-wise round functions the T-table version
+    /// replaced, kept as an independent reference for the equivalence
+    /// test below.
+    mod reference {
+        use super::super::{xtime, Aes128, SBOX};
+
+        fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+            for i in 0..16 {
+                state[i] ^= rk[i];
+            }
+        }
+
+        fn sub_bytes(state: &mut [u8; 16]) {
+            for b in state.iter_mut() {
+                *b = SBOX[*b as usize];
+            }
+        }
+
+        // State layout is column-major: state[4*c + r] holds row r of
+        // column c.
+        fn shift_rows(state: &mut [u8; 16]) {
+            let s = *state;
+            for r in 1..4 {
+                for c in 0..4 {
+                    state[4 * c + r] = s[4 * ((c + r) % 4) + r];
+                }
+            }
+        }
+
+        fn mix_columns(state: &mut [u8; 16]) {
+            for c in 0..4 {
+                let col = &mut state[4 * c..4 * c + 4];
+                let a = [col[0], col[1], col[2], col[3]];
+                let t = a[0] ^ a[1] ^ a[2] ^ a[3];
+                col[0] = a[0] ^ t ^ xtime(a[0] ^ a[1]);
+                col[1] = a[1] ^ t ^ xtime(a[1] ^ a[2]);
+                col[2] = a[2] ^ t ^ xtime(a[2] ^ a[3]);
+                col[3] = a[3] ^ t ^ xtime(a[3] ^ a[0]);
+            }
+        }
+
+        pub fn encrypt_block(aes: &Aes128, block: [u8; 16]) -> [u8; 16] {
+            let round_keys: Vec<[u8; 16]> = aes
+                .rk
+                .iter()
+                .map(|round| {
+                    let mut k = [0u8; 16];
+                    for (c, word) in round.iter().enumerate() {
+                        k[4 * c..4 * c + 4].copy_from_slice(&word.to_le_bytes());
+                    }
+                    k
+                })
+                .collect();
+            let mut state = block;
+            add_round_key(&mut state, &round_keys[0]);
+            for rk in &round_keys[1..10] {
+                sub_bytes(&mut state);
+                shift_rows(&mut state);
+                mix_columns(&mut state);
+                add_round_key(&mut state, rk);
+            }
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            add_round_key(&mut state, &round_keys[10]);
+            state
+        }
+    }
+
+    #[test]
+    fn ttable_matches_bytewise_reference() {
+        // Deterministic pseudo-random keys/blocks via a simple LCG.
+        let mut x = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        for _ in 0..64 {
+            let mut key = [0u8; 16];
+            let mut block = [0u8; 16];
+            key[..8].copy_from_slice(&next().to_le_bytes());
+            key[8..].copy_from_slice(&next().to_le_bytes());
+            block[..8].copy_from_slice(&next().to_le_bytes());
+            block[8..].copy_from_slice(&next().to_le_bytes());
+            let aes = Aes128::new(&key);
+            assert_eq!(
+                aes.encrypt_block(block),
+                reference::encrypt_block(&aes, block),
+                "key {key:02x?}, block {block:02x?}"
+            );
+        }
+    }
 
     #[test]
     fn fips197_appendix_b() {

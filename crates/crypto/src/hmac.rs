@@ -81,6 +81,123 @@ impl HmacSha1 {
     }
 }
 
+/// Keyed HMAC-SHA1 engine with precomputed ipad/opad midstates.
+///
+/// [`HmacSha1`] redoes the RFC 2104 key schedule on every MAC: the
+/// pad XORs, one SHA-1 block compression for the ipad prefix and
+/// another for the opad prefix. A hardware HMAC engine is keyed once;
+/// this type mirrors that by capturing the post-ipad and post-opad
+/// compression states at construction, so each MAC costs only the
+/// message compressions plus a single outer compression. Tags are
+/// bit-identical to [`HmacSha1`] for every key and message.
+///
+/// # Example
+///
+/// ```
+/// use ccnvm_crypto::{HmacEngine, HmacSha1};
+///
+/// let engine = HmacEngine::new(b"secret");
+/// let mut mac = engine.begin();
+/// mac.update(b"hello ");
+/// mac.update(b"world");
+/// assert_eq!(mac.finalize(), HmacSha1::mac(b"secret", b"hello world"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct HmacEngine {
+    /// SHA-1 state after compressing `key ⊕ ipad`.
+    inner_midstate: [u32; 5],
+    /// SHA-1 state after compressing `key ⊕ opad`.
+    outer_midstate: [u32; 5],
+}
+
+impl HmacEngine {
+    /// Keys the engine, precomputing both midstates.
+    ///
+    /// Keys longer than the 64-byte SHA-1 block are hashed first, per
+    /// RFC 2104.
+    pub fn new(key: &[u8]) -> Self {
+        let mut block_key = [0u8; BLOCK_LEN];
+        if key.len() > BLOCK_LEN {
+            let digest = Sha1::digest(key);
+            block_key[..20].copy_from_slice(&digest);
+        } else {
+            block_key[..key.len()].copy_from_slice(key);
+        }
+        let mut ipad_key = [0u8; BLOCK_LEN];
+        let mut opad_key = [0u8; BLOCK_LEN];
+        for i in 0..BLOCK_LEN {
+            ipad_key[i] = block_key[i] ^ 0x36;
+            opad_key[i] = block_key[i] ^ 0x5c;
+        }
+        let mut inner = Sha1::new();
+        inner.update(&ipad_key);
+        let mut outer = Sha1::new();
+        outer.update(&opad_key);
+        Self {
+            inner_midstate: inner.midstate(),
+            outer_midstate: outer.midstate(),
+        }
+    }
+
+    /// Starts an incremental MAC from the keyed midstates.
+    pub fn begin(&self) -> HmacStream<'_> {
+        HmacStream {
+            inner: Sha1::from_midstate(self.inner_midstate, 1),
+            engine: self,
+        }
+    }
+
+    /// One-shot tag over `data` (full 20 bytes).
+    pub fn mac(&self, data: &[u8]) -> [u8; 20] {
+        let mut m = self.begin();
+        m.update(data);
+        m.finalize()
+    }
+
+    /// One-shot tag over `data`, truncated to the 128-bit codeword size
+    /// the paper uses.
+    pub fn mac128(&self, data: &[u8]) -> Mac128 {
+        let full = self.mac(data);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&full[..16]);
+        out
+    }
+}
+
+/// An in-flight MAC computation started by [`HmacEngine::begin`].
+#[derive(Debug, Clone)]
+pub struct HmacStream<'a> {
+    inner: Sha1,
+    engine: &'a HmacEngine,
+}
+
+impl HmacStream<'_> {
+    /// Absorbs message bytes.
+    pub fn update(&mut self, data: &[u8]) {
+        self.inner.update(data);
+    }
+
+    /// Finishes and returns the full 20-byte tag.
+    pub fn finalize(self) -> [u8; 20] {
+        let inner_digest = self.inner.finalize();
+        // The outer transform is always exactly one block past the opad
+        // midstate: the 20-byte inner digest, padding, and the length
+        // suffix for the 84 absorbed bytes (64 opad + 20 digest). Build
+        // that block directly and run one raw compression instead of a
+        // full hasher round-trip.
+        let mut block = [0u8; 64];
+        block[..20].copy_from_slice(&inner_digest);
+        block[20] = 0x80;
+        block[56..64].copy_from_slice(&(84u64 * 8).to_be_bytes());
+        let state = Sha1::compress_block(self.engine.outer_midstate, &block);
+        let mut out = [0u8; 20];
+        for (i, word) in state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        out
+    }
+}
+
 /// One-shot HMAC-SHA1 returning the full 20-byte tag.
 pub fn hmac_sha1(key: &[u8], data: &[u8]) -> [u8; 20] {
     HmacSha1::mac(key, data)
@@ -154,5 +271,66 @@ mod tests {
         mac.update(b"part one, ");
         mac.update(b"part two");
         assert_eq!(mac.finalize(), hmac_sha1(b"key", b"part one, part two"));
+    }
+
+    // RFC 2202 vectors through the keyed engine.
+    #[test]
+    fn engine_rfc2202_vectors() {
+        let cases: [(&[u8], &[u8], &str); 4] = [
+            (
+                &[0x0b; 20],
+                b"Hi There",
+                "b617318655057264e28bc0b6fb378c8ef146be00",
+            ),
+            (
+                b"Jefe",
+                b"what do ya want for nothing?",
+                "effcdf6ae5eb2fa2d27416d5f184df9c259a7c79",
+            ),
+            (
+                &[0xaa; 20],
+                &[0xdd; 50],
+                "125d7342b9ac11cd91a39af48aa17b4f63f175d3",
+            ),
+            (
+                &[0xaa; 80],
+                b"Test Using Larger Than Block-Size Key - Hash Key First",
+                "aa4ae5e15272d00e95705637ce8a3b55ed402112",
+            ),
+        ];
+        for (key, msg, want) in cases {
+            assert_eq!(hex(&HmacEngine::new(key).mac(msg)), want);
+        }
+    }
+
+    #[test]
+    fn engine_matches_rekeyed_hmac_for_all_key_lengths() {
+        // Every interesting key length: empty, short, block-boundary
+        // straddling, exactly one block, and the >64-byte hash-first
+        // path.
+        let msg: Vec<u8> = (0..=255u8).cycle().take(300).collect();
+        for key_len in [0usize, 1, 16, 20, 63, 64, 65, 80, 200] {
+            let key: Vec<u8> = (0..key_len as u8).collect();
+            let engine = HmacEngine::new(&key);
+            for split in [0usize, 1, 64, 150, 300] {
+                let mut m = engine.begin();
+                m.update(&msg[..split]);
+                m.update(&msg[split..]);
+                assert_eq!(
+                    m.finalize(),
+                    HmacSha1::mac(&key, &msg),
+                    "key_len {key_len}, split {split}"
+                );
+            }
+            assert_eq!(engine.mac128(&msg), hmac_sha1_128(&key, &msg));
+        }
+    }
+
+    #[test]
+    fn engine_reuse_is_stateless() {
+        let engine = HmacEngine::new(b"k");
+        let first = engine.mac(b"m1");
+        let _ = engine.mac(b"m2");
+        assert_eq!(engine.mac(b"m1"), first, "begin() must not share state");
     }
 }

@@ -44,7 +44,7 @@ pub mod otp;
 pub mod sha1;
 
 pub use aes::Aes128;
-pub use hmac::{hmac_sha1, hmac_sha1_128, HmacSha1};
+pub use hmac::{hmac_sha1, hmac_sha1_128, HmacEngine, HmacSha1, HmacStream};
 pub use sha1::Sha1;
 
 /// A 128-bit message authentication code, as used for both data HMACs

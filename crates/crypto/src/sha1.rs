@@ -68,9 +68,8 @@ impl Sha1 {
         }
         while data.len() >= 64 {
             let (block, rest) = data.split_at(64);
-            let mut b = [0u8; 64];
-            b.copy_from_slice(block);
-            self.compress(&b);
+            let block: &[u8; 64] = block.try_into().expect("split_at(64) prefix");
+            self.compress(block);
             data = rest;
         }
         if !data.is_empty() {
@@ -82,15 +81,18 @@ impl Sha1 {
     /// Finishes the hash and returns the 20-byte digest.
     pub fn finalize(mut self) -> [u8; 20] {
         let bit_len = self.len.wrapping_mul(8);
-        // Padding: 0x80, zeros, 64-bit big-endian length.
-        self.update(&[0x80]);
-        while self.buf_len != 56 {
-            self.update(&[0]);
+        // Padding: 0x80, zeros, 64-bit big-endian length — built directly
+        // in a block buffer rather than fed through `update` a byte at a
+        // time, since every HMAC pays for two finalizes.
+        let mut block = [0u8; 64];
+        block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        block[self.buf_len] = 0x80;
+        if self.buf_len >= 56 {
+            // No room for the length suffix; it goes in a second block.
+            self.compress(&block);
+            block = [0u8; 64];
         }
-        // Bypass `update` for the length so `self.len` bookkeeping stays out
-        // of the suffix.
-        self.buf[56..64].copy_from_slice(&bit_len.to_be_bytes());
-        let block = self.buf;
+        block[56..64].copy_from_slice(&bit_len.to_be_bytes());
         self.compress(&block);
         let mut out = [0u8; 20];
         for (i, word) in self.state.iter().enumerate() {
@@ -106,40 +108,84 @@ impl Sha1 {
         h.finalize()
     }
 
-    fn compress(&mut self, block: &[u8; 64]) {
-        let mut w = [0u32; 80];
-        for (i, chunk) in block.chunks_exact(4).enumerate() {
-            w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
-        }
-        for i in 16..80 {
-            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
-        }
-        let [mut a, mut b, mut c, mut d, mut e] = self.state;
-        for (i, &wi) in w.iter().enumerate() {
-            let (f, k) = match i {
-                0..=19 => ((b & c) | ((!b) & d), 0x5a82_7999),
-                20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
-                40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
-                _ => (b ^ c ^ d, 0xca62_c1d6),
-            };
-            let tmp = a
-                .rotate_left(5)
-                .wrapping_add(f)
-                .wrapping_add(e)
-                .wrapping_add(k)
-                .wrapping_add(wi);
-            e = d;
-            d = c;
-            c = b.rotate_left(30);
-            b = a;
-            a = tmp;
-        }
-        self.state[0] = self.state[0].wrapping_add(a);
-        self.state[1] = self.state[1].wrapping_add(b);
-        self.state[2] = self.state[2].wrapping_add(c);
-        self.state[3] = self.state[3].wrapping_add(d);
-        self.state[4] = self.state[4].wrapping_add(e);
+    /// Captures the compression state after an exact multiple of
+    /// 64-byte blocks — a *midstate* that [`Self::from_midstate`] can
+    /// resume from without re-compressing the absorbed prefix. The
+    /// keyed HMAC engine uses this to pay the ipad/opad block
+    /// compressions once per key instead of once per MAC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if bytes are buffered (the absorbed length is not a
+    /// multiple of 64).
+    pub fn midstate(&self) -> [u32; 5] {
+        assert_eq!(
+            self.buf_len, 0,
+            "midstate requires a block-aligned absorbed length"
+        );
+        self.state
     }
+
+    /// Resumes hashing from a midstate taken after `blocks` 64-byte
+    /// blocks were absorbed (the length suffix keeps counting them).
+    pub fn from_midstate(state: [u32; 5], blocks: u64) -> Self {
+        Self {
+            state,
+            len: blocks * 64,
+            buf: [0u8; 64],
+            buf_len: 0,
+        }
+    }
+
+    /// One compression round applied to `state`, returning the new
+    /// state. This is the raw FIPS 180-4 block function; callers are
+    /// responsible for padding. The HMAC engine uses it to finish the
+    /// outer transform — always exactly one pre-padded block past the
+    /// opad midstate — without a full hasher round-trip.
+    pub(crate) fn compress_block(mut state: [u32; 5], block: &[u8; 64]) -> [u32; 5] {
+        compress(&mut state, block);
+        state
+    }
+
+    fn compress(&mut self, block: &[u8; 64]) {
+        compress(&mut self.state, block);
+    }
+}
+
+/// The SHA-1 block compression function (FIPS 180-4 §6.1.2).
+fn compress(state: &mut [u32; 5], block: &[u8; 64]) {
+    let mut w = [0u32; 80];
+    for (i, chunk) in block.chunks_exact(4).enumerate() {
+        w[i] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..80 {
+        w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+    }
+    let [mut a, mut b, mut c, mut d, mut e] = *state;
+    for (i, &wi) in w.iter().enumerate() {
+        let (f, k) = match i {
+            0..=19 => ((b & c) | ((!b) & d), 0x5a82_7999),
+            20..=39 => (b ^ c ^ d, 0x6ed9_eba1),
+            40..=59 => ((b & c) | (b & d) | (c & d), 0x8f1b_bcdc),
+            _ => (b ^ c ^ d, 0xca62_c1d6),
+        };
+        let tmp = a
+            .rotate_left(5)
+            .wrapping_add(f)
+            .wrapping_add(e)
+            .wrapping_add(k)
+            .wrapping_add(wi);
+        e = d;
+        d = c;
+        c = b.rotate_left(30);
+        b = a;
+        a = tmp;
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
 }
 
 #[cfg(test)]
@@ -202,5 +248,25 @@ mod tests {
     #[test]
     fn distinct_inputs_distinct_digests() {
         assert_ne!(Sha1::digest(b"counter-0"), Sha1::digest(b"counter-1"));
+    }
+
+    #[test]
+    fn midstate_roundtrip_matches_oneshot() {
+        let data: Vec<u8> = (0..=255u8).cycle().take(320).collect();
+        for blocks in [1usize, 2, 5] {
+            let mut prefix = Sha1::new();
+            prefix.update(&data[..blocks * 64]);
+            let mut resumed = Sha1::from_midstate(prefix.midstate(), blocks as u64);
+            resumed.update(&data[blocks * 64..]);
+            assert_eq!(resumed.finalize(), Sha1::digest(&data), "{blocks} blocks");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn midstate_rejects_partial_blocks() {
+        let mut h = Sha1::new();
+        h.update(&[0u8; 65]);
+        h.midstate();
     }
 }

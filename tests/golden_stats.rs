@@ -1,0 +1,146 @@
+//! Golden-stats regression tests: the simulation output is pinned
+//! byte-for-byte, so any perf work on the hot paths (keyed HMAC
+//! midstates, allocation-free path walks, scratch buffers) that
+//! accidentally changes *what* is simulated — not just how fast —
+//! fails here immediately.
+//!
+//! Snapshots live in `tests/golden/`. After an *intentional* change to
+//! simulated behavior, regenerate them with:
+//!
+//! ```text
+//! CCNVM_UPDATE_GOLDEN=1 cargo test --test golden_stats
+//! ```
+//!
+//! and commit the diff alongside the change that explains it.
+
+use ccnvm::prelude::*;
+use ccnvm_bench::parallel::parallel_map;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// Instruction budget per matrix point — small enough to keep the suite
+/// fast, large enough to cross several epochs per design.
+const INSTRUCTIONS: u64 = 100_000;
+
+/// Fixed seed shared with the figure harness.
+const SEED: u64 = ccnvm_bench::SEED;
+
+/// The fig5-style matrix: a write-heavy and a read-heavy benchmark
+/// across all five designs.
+const BENCHES: [&str; 2] = ["lbm", "libquantum"];
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares `actual` against the pinned snapshot `name`, or rewrites
+/// the snapshot when `CCNVM_UPDATE_GOLDEN=1`.
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("CCNVM_UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); regenerate with CCNVM_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "simulation output diverged from {}.\n\
+         If the change is intentional, regenerate with CCNVM_UPDATE_GOLDEN=1 \
+         and commit the new snapshot.\n--- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+fn config(design: DesignKind, legacy_hmac: bool) -> SimConfig {
+    let mut c = SimConfig::paper(design);
+    c.legacy_hmac = legacy_hmac;
+    c
+}
+
+/// Runs the benchmark × design matrix on `threads` workers and renders
+/// every `RunStats` through its `Debug` form, one matrix point per
+/// paragraph.
+fn render_matrix(threads: usize, legacy_hmac: bool) -> String {
+    let points: Vec<(String, DesignKind)> = BENCHES
+        .iter()
+        .flat_map(|b| DesignKind::ALL.iter().map(|&d| (b.to_string(), d)))
+        .collect();
+    let stats = parallel_map(&points, threads, |_, (bench, design)| {
+        let profile = profiles::by_name(bench).expect("known benchmark");
+        run_profile(config(*design, legacy_hmac), &profile, INSTRUCTIONS, SEED)
+            .expect("attack-free run is clean")
+    });
+    let mut out = String::new();
+    for ((bench, design), s) in points.iter().zip(&stats) {
+        writeln!(out, "{bench}/{design:?}: {s:#?}\n").unwrap();
+    }
+    out
+}
+
+/// Records a cc-NVM run and exports the event trace as JSONL bytes.
+fn render_trace(legacy_hmac: bool) -> Vec<u8> {
+    let profile = profiles::by_name("lbm").expect("known benchmark");
+    let mut sim = Simulator::new(config(DesignKind::CcNvm, legacy_hmac)).expect("paper config");
+    sim.memory_mut().attach_recorder(RecorderConfig::default());
+    sim.run(TraceGenerator::new(profile, SEED), INSTRUCTIONS)
+        .expect("attack-free run is clean");
+    let mut jsonl = Vec::new();
+    sim.memory()
+        .recorder()
+        .expect("recorder attached")
+        .write_jsonl(&mut jsonl)
+        .expect("in-memory write");
+    jsonl
+}
+
+#[test]
+fn stats_match_pinned_snapshot() {
+    assert_matches_golden("stats.txt", &render_matrix(1, false));
+}
+
+#[test]
+fn trace_matches_pinned_snapshot() {
+    let jsonl = render_trace(false);
+    let text = String::from_utf8(jsonl).expect("JSONL is UTF-8");
+    assert_matches_golden("trace.jsonl", &text);
+}
+
+/// The keyed-midstate HMAC engine must be a pure speedup: running the
+/// same matrix with the pre-optimization rekey-per-MAC path
+/// (`legacy_hmac = true`) has to produce byte-identical stats and
+/// trace.
+#[test]
+fn legacy_hmac_mode_is_bit_identical() {
+    assert_eq!(
+        render_matrix(1, true),
+        render_matrix(1, false),
+        "rekey and midstate HMAC paths must simulate identically"
+    );
+    assert_eq!(
+        render_trace(true),
+        render_trace(false),
+        "recorded traces must not depend on the HMAC implementation"
+    );
+}
+
+/// The harness fans matrix points out across worker threads; results
+/// must not depend on the thread count.
+#[test]
+fn output_is_identical_at_any_thread_count() {
+    let single = render_matrix(1, false);
+    for threads in [2, 4] {
+        assert_eq!(
+            single,
+            render_matrix(threads, false),
+            "matrix output must be identical on {threads} threads"
+        );
+    }
+}
