@@ -180,6 +180,45 @@ fn main() {
             )
         );
     }
+    println!("\n== part 3: recovery-phase timeline (cc-NVM, deepest crash point) ==");
+    let mut sim = Simulator::new(SimConfig::paper(DesignKind::CcNvm)).expect("valid config");
+    let trace = TraceGenerator::new(profile.clone(), ccnvm_bench::SEED);
+    sim.run(trace, instructions).expect("attack-free run");
+    let report = recover(&sim.memory().crash_image());
+    println!(
+        "{}",
+        row(
+            "phase",
+            &[
+                "start".into(),
+                "end".into(),
+                "cycles".into(),
+                "ops".into(),
+                "writes".into(),
+            ]
+        )
+    );
+    for span in &report.timeline {
+        println!(
+            "{}",
+            row(
+                span.stage.name(),
+                &[
+                    format!("{}", span.start),
+                    format!("{}", span.end),
+                    format!("{}", span.cycles()),
+                    format!("{}", span.ops),
+                    format!("{}", span.nvm_writes),
+                ]
+            )
+        );
+    }
+    println!(
+        "total recovery: {} cycles ({:.1} us at 3 GHz)",
+        report.recovery_cycles,
+        report.recovery_cycles as f64 / 3_000.0
+    );
+
     println!(
         "\nLOCATED = exact tampered line identified; detected = attack known, location unknown."
     );

@@ -8,6 +8,7 @@
 //!                   [--threads T]
 //! ccnvm-sim sweep   --param {n|m} --values a,b,c [run options]
 //! ccnvm-sim recover [run options]                 # run, crash, recover, report
+//! ccnvm-sim report  --compare A.json B.json [--tolerance PCT]
 //! ccnvm-sim list    # available designs and benchmarks
 //! ```
 
@@ -23,6 +24,8 @@ pub enum Command {
     Sweep(SweepArgs),
     /// Run, crash at the end, recover and report.
     Recover(RunArgs),
+    /// Compare two saved stage profiles.
+    Report(ReportArgs),
     /// List designs and benchmarks.
     List,
     /// Print usage.
@@ -55,6 +58,8 @@ pub struct RunArgs {
     pub trace_out: Option<String>,
     /// Print the per-epoch rollup report after the run.
     pub epoch_report: bool,
+    /// Write the per-stage attribution profile (JSON) to this path.
+    pub profile_out: Option<String>,
     /// Worker threads for multi-point commands (`sweep`). `None`
     /// falls back to `CCNVM_BENCH_THREADS`, then to the machine's
     /// available parallelism.
@@ -75,9 +80,22 @@ impl Default for RunArgs {
             csv: false,
             trace_out: None,
             epoch_report: false,
+            profile_out: None,
             threads: None,
         }
     }
+}
+
+/// `report` subcommand options.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReportArgs {
+    /// Baseline profile path (the `A` in `--compare A B`).
+    pub a: String,
+    /// Candidate profile path (the `B` in `--compare A B`).
+    pub b: String,
+    /// Per-stage growth tolerance in percent before a stage is flagged
+    /// as a regression.
+    pub tolerance: f64,
 }
 
 /// `sweep` subcommand options.
@@ -120,6 +138,7 @@ USAGE:
   ccnvm-sim run     [OPTIONS]          run one simulation
   ccnvm-sim sweep   --param {n|m} --values A,B,C [OPTIONS]
   ccnvm-sim recover [OPTIONS]          run, crash, recover, report
+  ccnvm-sim report  --compare A.json B.json [--tolerance PCT]
   ccnvm-sim list                       list designs and benchmarks
 
 OPTIONS:
@@ -134,7 +153,12 @@ OPTIONS:
   --csv               machine-readable CSV output
   --trace-out FILE    write the event trace (.csv => CSV, else JSON lines)
   --epoch-report      print the per-epoch rollup report after the run
+  --profile-out FILE  write the per-stage attribution profile (JSON)
   --threads T         worker threads for sweep points          [all cores]
+
+REPORT OPTIONS:
+  --compare A B       the two profile JSON files to diff (baseline, candidate)
+  --tolerance PCT     per-stage growth allowed before flagging      [5]
 ";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -173,6 +197,7 @@ fn parse_common<'a, I: Iterator<Item = &'a str>>(
         "--csv" => args.csv = true,
         "--trace-out" => args.trace_out = Some(take_value(flag, iter)?.to_owned()),
         "--epoch-report" => args.epoch_report = true,
+        "--profile-out" => args.profile_out = Some(take_value(flag, iter)?.to_owned()),
         "--threads" => {
             let n = parse_number(flag, take_value(flag, iter)?)? as usize;
             if n == 0 {
@@ -217,6 +242,34 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
             } else {
                 Command::Recover(args)
             })
+        }
+        "report" => {
+            let mut files = None;
+            let mut tolerance = 5.0f64;
+            while let Some(flag) = iter.next() {
+                match flag {
+                    "--compare" => {
+                        let a = take_value(flag, &mut iter)?.to_owned();
+                        let b = iter.next().ok_or_else(|| {
+                            ParseArgsError("--compare needs two files: A.json B.json".into())
+                        })?;
+                        files = Some((a, b.to_owned()));
+                    }
+                    "--tolerance" => {
+                        let v = take_value(flag, &mut iter)?;
+                        tolerance = v.parse().map_err(|_| {
+                            ParseArgsError(format!("--tolerance: {v:?} is not a number"))
+                        })?;
+                        if tolerance < 0.0 {
+                            return Err(ParseArgsError("--tolerance must be >= 0".into()));
+                        }
+                    }
+                    _ => return Err(ParseArgsError(format!("unknown option {flag:?}"))),
+                }
+            }
+            let (a, b) = files
+                .ok_or_else(|| ParseArgsError("report needs --compare A.json B.json".into()))?;
+            Ok(Command::Report(ReportArgs { a, b, tolerance }))
         }
         "sweep" => {
             let mut args = RunArgs::default();
@@ -363,9 +416,61 @@ mod tests {
 
     #[test]
     fn recover_shares_run_grammar() {
-        let Command::Recover(args) = parse(&["recover", "--bench", "gcc"]).unwrap() else {
+        let Command::Recover(args) = parse(&[
+            "recover",
+            "--bench",
+            "gcc",
+            "--trace-out",
+            "t.jsonl",
+            "--profile-out",
+            "p.json",
+            "--epoch-report",
+        ])
+        .unwrap() else {
             panic!("expected recover");
         };
         assert_eq!(args.bench, "gcc");
+        assert_eq!(args.trace_out.as_deref(), Some("t.jsonl"));
+        assert_eq!(args.profile_out.as_deref(), Some("p.json"));
+        assert!(args.epoch_report);
+    }
+
+    #[test]
+    fn run_accepts_profile_out() {
+        let Command::Run(args) = parse(&["run", "--profile-out", "profile.json"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.profile_out.as_deref(), Some("profile.json"));
+    }
+
+    #[test]
+    fn report_parses_compare_and_tolerance() {
+        let Command::Report(args) = parse(&[
+            "report",
+            "--compare",
+            "a.json",
+            "b.json",
+            "--tolerance",
+            "2.5",
+        ])
+        .unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(args.a, "a.json");
+        assert_eq!(args.b, "b.json");
+        assert!((args.tolerance - 2.5).abs() < 1e-12);
+
+        let Command::Report(args) = parse(&["report", "--compare", "a", "b"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert!((args.tolerance - 5.0).abs() < 1e-12, "default tolerance");
+    }
+
+    #[test]
+    fn report_rejects_bad_grammar() {
+        assert!(parse(&["report"]).is_err(), "needs --compare");
+        assert!(parse(&["report", "--compare", "only-one"]).is_err());
+        assert!(parse(&["report", "--compare", "a", "b", "--tolerance", "-1"]).is_err());
+        assert!(parse(&["report", "--compare", "a", "b", "--bogus"]).is_err());
     }
 }

@@ -9,8 +9,9 @@
 
 mod args;
 
-use args::{Command, RunArgs, SweepArgs, SweepParam, USAGE};
+use args::{Command, ReportArgs, RunArgs, SweepArgs, SweepParam, USAGE};
 use ccnvm::metacache::MetaCacheOrg;
+use ccnvm::obs::profile::{compare, parse_profile};
 use ccnvm::prelude::*;
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
@@ -37,6 +38,7 @@ fn main() -> ExitCode {
         Command::Run(run) => cmd_run(&run),
         Command::Sweep(sweep) => cmd_sweep(&sweep),
         Command::Recover(run) => cmd_recover(&run),
+        Command::Report(report) => cmd_report(&report),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -92,6 +94,9 @@ fn simulate(run: &RunArgs) -> Result<Simulator, String> {
     if run.trace_out.is_some() || run.epoch_report {
         sim.memory_mut().attach_recorder(RecorderConfig::default());
     }
+    if run.profile_out.is_some() {
+        sim.memory_mut().attach_profiler();
+    }
     if let Some(path) = &run.trace {
         let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
         let ops = ccnvm_trace::text::read_trace(BufReader::new(file))
@@ -146,6 +151,34 @@ fn emit_observability(run: &RunArgs, sim: &Simulator) -> Result<(), String> {
     Ok(())
 }
 
+/// Writes `--profile-out` (and prints the stage table unless `--csv`),
+/// when requested. A recovery report, if given, is folded in so the
+/// profile carries the recovery-domain stages too.
+fn emit_profile(
+    run: &RunArgs,
+    sim: &Simulator,
+    recovery: Option<&RecoveryReport>,
+) -> Result<(), String> {
+    let Some(path) = &run.profile_out else {
+        return Ok(());
+    };
+    let mut prof = sim
+        .memory()
+        .profiler()
+        .cloned()
+        .expect("profiler is attached whenever --profile-out is set");
+    if let Some(report) = recovery {
+        prof.absorb_recovery(report);
+    }
+    let json = prof.to_json(cli_name(run.design), &run.bench, run.instructions);
+    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    if !run.csv {
+        println!("{}", prof.render_table());
+    }
+    eprintln!("wrote stage profile to {path}");
+    Ok(())
+}
+
 fn cmd_run(run: &RunArgs) -> Result<(), String> {
     let sim = simulate(run)?;
     let stats = sim.stats();
@@ -169,7 +202,8 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
             wear.mean_line_writes
         );
     }
-    emit_observability(run, &sim)
+    emit_observability(run, &sim)?;
+    emit_profile(run, &sim, None)
 }
 
 fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
@@ -240,6 +274,22 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
         run.bench,
         sim.instructions()
     );
+    let surface = image.surface();
+    println!(
+        "crash image: {} durable lines (data {}, hmac {}, counter {}, tree {})",
+        surface.total_lines(),
+        surface.data_lines,
+        surface.dh_lines,
+        surface.counter_lines,
+        surface.tree_lines
+    );
+    if image.staged_lines_lost > 0 {
+        println!(
+            "note: {} staged lines had not reached the end signal and were \
+             lost to the crash (replayed via counter retry)",
+            image.staged_lines_lost
+        );
+    }
     println!(
         "recovery: {} counter lines patched ({} data lines), {} retries \
          (max {} per line, N_wb {})",
@@ -255,13 +305,52 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
         report.rebuilt_root_match,
         report.located.len()
     );
+    println!("recovery timeline ({} cycles):", report.recovery_cycles);
+    for span in &report.timeline {
+        println!(
+            "  {:<22} {:>10}..{:<10} ops {:>8}  writes {:>6}",
+            span.stage.name(),
+            span.start,
+            span.end,
+            span.ops,
+            span.nvm_writes
+        );
+    }
+    // Artifacts go out in every branch so a failed recovery still
+    // leaves a trace and profile to debug with.
+    emit_observability(run, &sim)?;
+    emit_profile(run, &sim, Some(&report))?;
     if report.is_clean() {
         println!("verdict: CLEAN — memory fully recovered");
-        emit_observability(run, &sim)
+        Ok(())
     } else if run.design.is_crash_consistent() {
         Err("recovery reported attacks on an attack-free run (bug!)".into())
     } else {
         println!("verdict: UNRECOVERABLE — expected for w/o CC, the motivating deficiency");
+        Ok(())
+    }
+}
+
+fn cmd_report(args: &ReportArgs) -> Result<(), String> {
+    let read = |path: &str| {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        parse_profile(&text).map_err(|e| format!("{path}: {e}"))
+    };
+    let a = read(&args.a)?;
+    let b = read(&args.b)?;
+    let diff = compare(&a, &b, args.tolerance);
+    println!(
+        "comparing {} (baseline, {} on {}) vs {} (candidate, {} on {}):",
+        args.a, a.design, a.bench, args.b, b.design, b.bench
+    );
+    print!("{}", diff.render());
+    if diff.has_regressions() {
+        Err(format!(
+            "{} stage(s) regressed beyond {}% tolerance",
+            diff.regressions(),
+            args.tolerance
+        ))
+    } else {
         Ok(())
     }
 }

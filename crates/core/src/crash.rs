@@ -7,6 +7,7 @@
 //! registers; that pair is everything recovery (§4.4) may look at.
 
 use crate::config::DesignKind;
+use crate::layout::SecureLayout;
 use crate::tcb::Tcb;
 use ccnvm_mem::{LineAddr, LineStore};
 use std::collections::HashMap;
@@ -24,6 +25,58 @@ pub struct CrashImage {
     pub tcb: Tcb,
     /// Durable NVM contents.
     pub nvm: LineStore,
+    /// Lines that were staged in a drain which had not received its
+    /// `end` signal when power failed — dropped per the ADR protocol,
+    /// so recovery must re-derive them from the retained durable state.
+    pub staged_lines_lost: u64,
+}
+
+/// Composition of a crash image's durable lines, by address-space
+/// region. Drives the recovery phase-timing model (step 1 scans
+/// exactly the metadata lines; step 2 probes the data lines) and the
+/// CLI's crash summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashSurface {
+    /// Durable data lines.
+    pub data_lines: u64,
+    /// Durable data-HMAC lines.
+    pub dh_lines: u64,
+    /// Durable counter lines.
+    pub counter_lines: u64,
+    /// Durable BMT node lines.
+    pub tree_lines: u64,
+}
+
+impl CrashSurface {
+    /// Lines the step-1 consistency scan walks (counters + tree).
+    pub fn metadata_lines(&self) -> u64 {
+        self.counter_lines + self.tree_lines
+    }
+
+    /// All durable lines in the image.
+    pub fn total_lines(&self) -> u64 {
+        self.data_lines + self.dh_lines + self.counter_lines + self.tree_lines
+    }
+}
+
+impl CrashImage {
+    /// Classifies the image's durable lines by region.
+    pub fn surface(&self) -> CrashSurface {
+        let layout = SecureLayout::new(self.capacity_bytes);
+        let mut s = CrashSurface::default();
+        for line in self.nvm.sorted_addrs() {
+            if layout.is_data_line(line) {
+                s.data_lines += 1;
+            } else if layout.is_counter_line(line) {
+                s.counter_lines += 1;
+            } else if layout.is_tree_line(line) {
+                s.tree_lines += 1;
+            } else {
+                s.dh_lines += 1;
+            }
+        }
+        s
+    }
 }
 
 /// Simulator-side ground truth, *not* visible to recovery. Tests use

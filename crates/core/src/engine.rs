@@ -19,6 +19,7 @@ use crate::tcb::Keys;
 use ccnvm_crypto::otp::OtpGenerator;
 use ccnvm_crypto::{Aes128, HmacEngine, HmacSha1, Mac128};
 use ccnvm_mem::{Line, LineAddr};
+use std::cell::Cell;
 
 /// How [`CryptoEngine`] computes its HMACs. Both modes produce
 /// bit-identical tags; they differ only in per-MAC cost.
@@ -53,6 +54,11 @@ pub struct CryptoEngine {
     hmac: HmacEngine,
     hmac_key: [u8; 16],
     mode: HmacMode,
+    /// Pad generations performed by this instance (functional op
+    /// count; the recovery phase timeline sizes itself from deltas).
+    aes_ops: Cell<u64>,
+    /// MAC computations performed by this instance.
+    hmac_ops: Cell<u64>,
 }
 
 /// Data-HMAC message: `"DH" ‖ ciphertext ‖ address ‖ counter`.
@@ -75,6 +81,8 @@ impl CryptoEngine {
             hmac: HmacEngine::new(&keys.hmac),
             hmac_key: keys.hmac,
             mode,
+            aes_ops: Cell::new(0),
+            hmac_ops: Cell::new(0),
         }
     }
 
@@ -83,17 +91,30 @@ impl CryptoEngine {
         self.mode
     }
 
+    /// Pad generations (encrypts + decrypts) this instance performed.
+    pub fn aes_ops(&self) -> u64 {
+        self.aes_ops.get()
+    }
+
+    /// MAC computations this instance performed.
+    pub fn hmac_ops(&self) -> u64 {
+        self.hmac_ops.get()
+    }
+
     /// Encrypts `plain` for `line` under split counter `(major, minor)`.
     pub fn encrypt_line(&self, plain: &Line, line: LineAddr, major: u64, minor: u8) -> Line {
+        self.aes_ops.set(self.aes_ops.get() + 1);
         self.otp.xor64(plain, line.0, major, minor as u64)
     }
 
     /// Decrypts `cipher` (the inverse of [`Self::encrypt_line`]).
     pub fn decrypt_line(&self, cipher: &Line, line: LineAddr, major: u64, minor: u8) -> Line {
+        self.aes_ops.set(self.aes_ops.get() + 1);
         self.otp.xor64(cipher, line.0, major, minor as u64)
     }
 
     fn mac_bytes(&self, msg: &[u8]) -> Mac128 {
+        self.hmac_ops.set(self.hmac_ops.get() + 1);
         match self.mode {
             HmacMode::Midstate => self.hmac.mac128(msg),
             HmacMode::Rekey => {
@@ -218,6 +239,17 @@ mod tests {
         let mut content2 = content;
         content2[63] ^= 0x80;
         assert_ne!(e.node_mac(1, 0, &content2), base);
+    }
+
+    #[test]
+    fn op_counters_track_invocations() {
+        let e = engine();
+        assert_eq!((e.aes_ops(), e.hmac_ops()), (0, 0));
+        let ct = e.encrypt_line(&[1u8; 64], LineAddr(0), 0, 0);
+        e.decrypt_line(&ct, LineAddr(0), 0, 0);
+        e.data_hmac(&ct, LineAddr(0), 0, 0);
+        e.node_mac(1, 0, &ct);
+        assert_eq!((e.aes_ops(), e.hmac_ops()), (2, 2));
     }
 
     #[test]

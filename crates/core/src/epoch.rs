@@ -77,6 +77,13 @@ impl SecureMemory {
             DrainTrigger::External => {}
         }
         self.stats.drain_cycles += end - now;
+        if !self.in_write_back {
+            // Drains issued by a write-back are inside its engine
+            // service span and already accounted there; top-level
+            // drains (read-path dirty evictions, external flushes) are
+            // engine work of their own.
+            self.stats.engine_cycles += end - now;
+        }
         self.engine_busy_until = self.engine_busy_until.max(end);
         end
     }
@@ -147,10 +154,16 @@ impl SecureMemory {
             }
         }
 
+        // Everything up to here — content gathering and deferred
+        // spreading — is the stage's compute; the WPQ loop below only
+        // waits on ADR queue slots.
+        self.prof(obs::profile::Stage::DrainStage, t - now);
+        let wpq_start = t;
         for &line in &scratch.entries {
             self.staged.push((line, scratch.contents[&line.0]));
             t = self.mc.wpq_write(line, t);
         }
+        self.prof(obs::profile::Stage::WpqStall, t - wpq_start);
         self.drain_scratch = scratch;
         // The `end` signal is sent once every line is *in* the WPQ; ADR
         // guarantees the WPQ reaches NVM even across a power failure,
@@ -171,6 +184,7 @@ impl SecureMemory {
         for &(line, content) in &staged {
             self.nvm.persist_meta(line, content);
             self.stats.meta_writes += 1;
+            self.prof_write(obs::profile::Stage::DrainCommit);
             if self.meta_cache.contains(line) {
                 self.chip_meta.write(line, content);
                 self.meta_cache.mark_clean(line);

@@ -78,8 +78,9 @@ pub mod prelude {
     pub use crate::config::{DesignKind, SimConfig};
     pub use crate::crash::CrashImage;
     pub use crate::error::{ConfigError, IntegrityError, ResumeError};
+    pub use crate::obs::profile::SpanProfiler;
     pub use crate::obs::{Recorder, RecorderConfig};
-    pub use crate::recovery::{recover, LocatedAttack, RecoveryReport, RootMatch};
+    pub use crate::recovery::{recover, LocatedAttack, RecoveryReport, RecoverySpan, RootMatch};
     pub use crate::secmem::{DrainTrigger, SecureMemory};
     pub use crate::sim::{run_profile, Simulator};
     pub use crate::stats::RunStats;

@@ -42,6 +42,8 @@
 //! assert!(jsonl.starts_with(b"{\"event\":"));
 //! ```
 
+pub mod profile;
+
 use crate::secmem::DrainTrigger;
 use crate::stats::Histogram;
 use ccnvm_mem::{Cycle, LineAddr, QueueKind};
@@ -222,7 +224,7 @@ pub enum Event {
 impl Event {
     /// Column names for [`Event::csv_row`], in order.
     pub const CSV_HEADER: &'static str = "event,at,phase,stage,action,line,queue,occupancy,\
-stalled,trigger,lines,write_backs,duration,wpq_high_water";
+stalled,trigger,lines,write_backs,duration,wpq_high_water,dropped,epochs_dropped";
 
     /// The simulated cycle this event happened at.
     pub fn at(&self) -> Cycle {
@@ -298,10 +300,11 @@ stalled,trigger,lines,write_backs,duration,wpq_high_water";
     /// [`Event::CSV_HEADER`]; inapplicable columns are left empty.
     pub fn csv_row(&self) -> String {
         // event,at,phase,stage,action,line,queue,occupancy,stalled,
-        // trigger,lines,write_backs,duration,wpq_high_water
+        // trigger,lines,write_backs,duration,wpq_high_water,dropped,
+        // epochs_dropped (the last two only apply to the footer row)
         match *self {
             Event::WriteBack { at, phase, line } => {
-                format!("writeback,{at},{},,,{},,,,,,,,", phase.name(), line.0)
+                format!("writeback,{at},{},,,{},,,,,,,,,,", phase.name(), line.0)
             }
             Event::Drain {
                 at,
@@ -309,19 +312,22 @@ stalled,trigger,lines,write_backs,duration,wpq_high_water";
                 trigger,
                 lines,
             } => format!(
-                "drain,{at},,{},,,,,,{},{lines},,,",
+                "drain,{at},,{},,,,,,{},{lines},,,,,",
                 stage.name(),
                 trigger.map(|t| t.name()).unwrap_or("")
             ),
             Event::Meta { at, action, line } => {
-                format!("meta,{at},,,{},{},,,,,,,,", action.name(), line.0)
+                format!("meta,{at},,,{},{},,,,,,,,,,", action.name(), line.0)
             }
             Event::Queue {
                 at,
                 queue,
                 occupancy,
                 stalled,
-            } => format!("queue,{at},,,,,{},{occupancy},{stalled},,,,,", queue.name()),
+            } => format!(
+                "queue,{at},,,,,{},{occupancy},{stalled},,,,,,,",
+                queue.name()
+            ),
             Event::Epoch {
                 at,
                 index: _,
@@ -331,7 +337,7 @@ stalled,trigger,lines,write_backs,duration,wpq_high_water";
                 write_backs,
                 wpq_high_water,
             } => format!(
-                "epoch,{at},,,,,,,,{},{lines},{write_backs},{duration},{wpq_high_water}",
+                "epoch,{at},,,,,,,,{},{lines},{write_backs},{duration},{wpq_high_water},,",
                 trigger.name()
             ),
         }
@@ -576,6 +582,11 @@ impl Recorder {
         self.epoch_count
     }
 
+    /// Epoch rollups dropped because the retention window was full.
+    pub fn epochs_dropped(&self) -> u64 {
+        self.epochs_dropped
+    }
+
     /// Epochs ended by `trigger` over the whole run.
     pub fn epochs_by_trigger(&self, trigger: DrainTrigger) -> u64 {
         self.trigger_counts[trigger.index()]
@@ -611,22 +622,48 @@ impl Recorder {
         self.wpq_high_water
     }
 
+    /// Cycle of the newest buffered event (0 when the trace is empty);
+    /// used as the footer record's timestamp.
+    fn last_at(&self) -> Cycle {
+        self.trace.iter().last().map_or(0, Event::at)
+    }
+
     /// Writes the trace as JSON-lines: one object per event, oldest
-    /// first, each with at least `event` and `at` keys.
+    /// first, each with at least `event` and `at` keys, terminated by a
+    /// footer record carrying the drop counters so ring-buffer
+    /// truncation is visible in the exported artifact.
     pub fn write_jsonl<W: Write>(&self, out: &mut W) -> io::Result<()> {
         for event in self.trace.iter() {
             writeln!(out, "{}", event.to_json())?;
         }
+        writeln!(
+            out,
+            "{{\"event\":\"footer\",\"at\":{},\"events\":{},\"dropped\":{},\
+\"epochs\":{},\"epochs_dropped\":{}}}",
+            self.last_at(),
+            self.trace.len(),
+            self.trace.dropped(),
+            self.epoch_count,
+            self.epochs_dropped
+        )?;
         Ok(())
     }
 
     /// Writes the trace as CSV with a header row (see
-    /// [`Event::CSV_HEADER`]).
+    /// [`Event::CSV_HEADER`]) and the same footer record as the JSONL
+    /// export, using the two footer-only columns.
     pub fn write_csv<W: Write>(&self, out: &mut W) -> io::Result<()> {
         writeln!(out, "{}", Event::CSV_HEADER)?;
         for event in self.trace.iter() {
             writeln!(out, "{}", event.csv_row())?;
         }
+        writeln!(
+            out,
+            "footer,{},,,,,,,,,,,,,{},{}",
+            self.last_at(),
+            self.trace.dropped(),
+            self.epochs_dropped
+        )?;
         Ok(())
     }
 
@@ -643,6 +680,23 @@ impl Recorder {
             self.trace.len(),
             self.trace.dropped()
         );
+        if self.trace.dropped() > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} trace events dropped at ring capacity {}; \
+                 exports cover the most recent window only",
+                self.trace.dropped(),
+                self.trace.capacity()
+            );
+        }
+        if self.epochs_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "warning: {} epoch rollups dropped at retention capacity {}; \
+                 `last epochs` covers the most recent window only",
+                self.epochs_dropped, self.epoch_capacity
+            );
+        }
         let mut triggers = String::new();
         for t in DrainTrigger::ALL {
             let _ = write!(
@@ -875,6 +929,66 @@ mod tests {
         assert!(report.contains("epochs 3"));
         assert!(report.contains("queue-full 2"));
         assert!(report.contains("last epochs:"));
+    }
+
+    #[test]
+    fn exports_carry_a_footer_with_drop_counters() {
+        let mut rec = Recorder::new(RecorderConfig {
+            trace_capacity: 2,
+            epoch_capacity: 1,
+        });
+        for i in 0..5u64 {
+            rec.record(Event::Meta {
+                at: 10 + i,
+                action: MetaAction::Install,
+                line: LineAddr(i),
+            });
+        }
+        rec.epoch_committed(DrainTrigger::QueueFull, 100, 1, 1, 1);
+        rec.epoch_committed(DrainTrigger::QueueFull, 200, 1, 1, 1);
+
+        let mut jsonl = Vec::new();
+        rec.write_jsonl(&mut jsonl).unwrap();
+        let text = String::from_utf8(jsonl).unwrap();
+        let footer = text.lines().last().unwrap();
+        assert_eq!(
+            footer,
+            "{\"event\":\"footer\",\"at\":200,\"events\":2,\"dropped\":5,\
+\"epochs\":2,\"epochs_dropped\":1}"
+        );
+
+        let mut csv = Vec::new();
+        rec.write_csv(&mut csv).unwrap();
+        let text = String::from_utf8(csv).unwrap();
+        let header_cols = Event::CSV_HEADER.split(',').count();
+        let footer = text.lines().last().unwrap();
+        assert!(footer.starts_with("footer,200,"), "{footer}");
+        assert!(footer.ends_with(",5,1"), "{footer}");
+        assert_eq!(footer.split(',').count(), header_cols, "{footer}");
+
+        let report = rec.epoch_report();
+        assert!(
+            report.contains("warning: 5 trace events dropped"),
+            "{report}"
+        );
+        assert!(
+            report.contains("warning: 1 epoch rollups dropped"),
+            "{report}"
+        );
+    }
+
+    #[test]
+    fn empty_trace_still_exports_a_footer() {
+        let rec = Recorder::new(RecorderConfig::default());
+        let mut jsonl = Vec::new();
+        rec.write_jsonl(&mut jsonl).unwrap();
+        let text = String::from_utf8(jsonl).unwrap();
+        assert_eq!(
+            text,
+            "{\"event\":\"footer\",\"at\":0,\"events\":0,\"dropped\":0,\
+\"epochs\":0,\"epochs_dropped\":0}\n"
+        );
+        assert!(!rec.epoch_report().contains("warning:"));
     }
 
     #[test]

@@ -108,6 +108,8 @@ impl SecureMemory {
             epoch_lengths: Histogram::new(&[4, 8, 16, 32, 64, 128]),
             stats: RunStats::default(),
             recorder: None,
+            profiler: None,
+            in_write_back: false,
             config,
         })
     }
@@ -176,6 +178,7 @@ impl SecureMemory {
             update_limit: self.config.update_limit,
             tcb: self.tcb.clone(),
             nvm: self.nvm.durable.snapshot(),
+            staged_lines_lost: self.staged.len() as u64,
         }
     }
 

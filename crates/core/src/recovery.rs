@@ -26,8 +26,11 @@ use crate::counter::{CounterLine, MINOR_MAX};
 use crate::crash::CrashImage;
 use crate::engine::CryptoEngine;
 use crate::layout::SecureLayout;
+use crate::obs::profile::{SpanProfiler, Stage};
+use ccnvm_crypto::latency::HMAC_LATENCY_CYCLES;
 use ccnvm_crypto::Mac128;
-use ccnvm_mem::{LineAddr, LineStore};
+use ccnvm_mem::timing::NvmTimingConfig;
+use ccnvm_mem::{Cycle, LineAddr, LineStore};
 use std::fmt;
 
 /// An attack located at an exact place during recovery.
@@ -60,6 +63,32 @@ pub enum RootMatch {
     Neither,
 }
 
+/// One attributed phase of the recovery timeline.
+///
+/// Spans are contiguous from cycle 0 and carry the same deterministic
+/// timing model the runtime uses: NVM reads cost the configured PCM
+/// read latency and every HMAC costs [`HMAC_LATENCY_CYCLES`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoverySpan {
+    /// Which recovery stage the span charges.
+    pub stage: Stage,
+    /// First cycle of the span.
+    pub start: Cycle,
+    /// One past the last cycle of the span.
+    pub end: Cycle,
+    /// Logical operations performed (line scans, HMAC probes, nodes).
+    pub ops: u64,
+    /// NVM line writes issued during the span.
+    pub nvm_writes: u64,
+}
+
+impl RecoverySpan {
+    /// Cycles the span covers.
+    pub fn cycles(&self) -> Cycle {
+        self.end - self.start
+    }
+}
+
 /// Everything recovery produced.
 #[derive(Debug, Clone)]
 pub struct RecoveryReport {
@@ -90,6 +119,10 @@ pub struct RecoveryReport {
     /// The recovered NVM image: stored data, recovered counters and
     /// the rebuilt tree.
     pub recovered_nvm: LineStore,
+    /// Per-phase attribution of the recovery pass, contiguous from 0.
+    pub timeline: Vec<RecoverySpan>,
+    /// Total simulated cycles recovery took (end of the last span).
+    pub recovery_cycles: Cycle,
 }
 
 impl RecoveryReport {
@@ -111,6 +144,16 @@ impl RecoveryReport {
             // w/o CC guarantees nothing; "clean" just means the DH
             // retries happened to succeed.
             DesignKind::WithoutCc => true,
+        }
+    }
+}
+
+impl SpanProfiler {
+    /// Folds a recovery timeline into the profiler so its recovery
+    /// stages show up alongside the runtime attribution.
+    pub fn absorb_recovery(&mut self, report: &RecoveryReport) {
+        for span in &report.timeline {
+            self.add(span.stage, span.cycles(), span.nvm_writes, span.ops);
         }
     }
 }
@@ -155,6 +198,18 @@ impl fmt::Display for RecoveryReport {
         if self.potential_replay {
             writeln!(f, "POTENTIAL REPLAY: N_wb != N_retry")?;
         }
+        writeln!(f, "recovery timeline ({} cycles):", self.recovery_cycles)?;
+        for span in &self.timeline {
+            writeln!(
+                f,
+                "  {:<20} {:>10}..{:<10} ops {:>8}  writes {:>6}",
+                span.stage.name(),
+                span.start,
+                span.end,
+                span.ops,
+                span.nvm_writes
+            )?;
+        }
         write!(
             f,
             "verdict: {}",
@@ -175,12 +230,20 @@ pub fn recover(image: &CrashImage) -> RecoveryReport {
     let bmt = Bmt::new(layout.clone(), engine.clone());
     let budget = image.update_limit as u64;
 
+    let read_cycles = NvmTimingConfig::pcm().read_cycles;
     let mut located = Vec::new();
 
     // Step 1: stored-tree consistency scan (meaningless for Osiris
     // Plus, whose stored internal nodes are never maintained).
     let stored_root = bmt.root(&image.nvm);
     let stored_root_match = classify_root(&image.tcb, &stored_root);
+    let locate_ops = if image.design == DesignKind::OsirisPlus {
+        0
+    } else {
+        // Every stored metadata line is read and re-MACed, plus one
+        // final HMAC comparison against the TCB root.
+        image.surface().metadata_lines() + 1
+    };
     if image.design != DesignKind::OsirisPlus {
         for TreeMismatch {
             child_level,
@@ -207,6 +270,8 @@ pub fn recover(image: &CrashImage) -> RecoveryReport {
         .filter(|l| layout.is_data_line(*l))
         .collect();
     data_lines.sort_unstable();
+    let data_line_count = data_lines.len() as u64;
+    let probes_before = engine.hmac_ops();
     for line in data_lines {
         let ct = image.nvm.read(line);
         let ctr_line = layout.counter_line_of(line);
@@ -244,6 +309,8 @@ pub fn recover(image: &CrashImage) -> RecoveryReport {
         }
     }
 
+    let retry_probes = engine.hmac_ops() - probes_before;
+
     // Step 3: potential replay detection (deferred spreading only).
     let potential_replay = image.design == DesignKind::CcNvm && total_retries != image.tcb.nwb;
 
@@ -262,6 +329,37 @@ pub fn recover(image: &CrashImage) -> RecoveryReport {
         recovered_nvm.write(line, *content);
     }
 
+    // Attributed timeline — three contiguous spans with the runtime
+    // timing model (reads at PCM latency, HMACs at engine latency).
+    let locate_end = locate_ops * (read_cycles + HMAC_LATENCY_CYCLES);
+    let retry_end =
+        locate_end + data_line_count * 2 * read_cycles + retry_probes * HMAC_LATENCY_CYCLES;
+    let rebuild_ops = nodes.len() as u64 + 1;
+    let rebuild_end = retry_end + rebuild_ops * HMAC_LATENCY_CYCLES;
+    let timeline = vec![
+        RecoverySpan {
+            stage: Stage::RecoveryAttackLocate,
+            start: 0,
+            end: locate_end,
+            ops: locate_ops,
+            nvm_writes: 0,
+        },
+        RecoverySpan {
+            stage: Stage::RecoveryCounterRetry,
+            start: locate_end,
+            end: retry_end,
+            ops: retry_probes,
+            nvm_writes: touched_counters.len() as u64,
+        },
+        RecoverySpan {
+            stage: Stage::RecoveryTreeRebuild,
+            start: retry_end,
+            end: rebuild_end,
+            ops: rebuild_ops,
+            nvm_writes: nodes.len() as u64,
+        },
+    ];
+
     RecoveryReport {
         design: image.design,
         recovered_counter_lines: touched_counters.len() as u64,
@@ -275,6 +373,8 @@ pub fn recover(image: &CrashImage) -> RecoveryReport {
         rebuilt_root_match,
         rebuilt_root,
         recovered_nvm,
+        timeline,
+        recovery_cycles: rebuild_end,
     }
 }
 
@@ -381,6 +481,42 @@ mod tests {
         let text = recover(&img).to_string();
         assert!(text.contains("data tampered at L0x0"));
         assert!(text.contains("ATTACKED"));
+    }
+
+    #[test]
+    fn timeline_is_contiguous_and_folds_into_the_profiler() {
+        let mut m = mem(DesignKind::CcNvm);
+        for i in 0..8u64 {
+            m.write_back(LineAddr((i % 4) * 64), i * 300_000).unwrap();
+        }
+        let report = recover(&m.crash_image());
+        assert_eq!(report.timeline.len(), 3);
+        let mut prev_end = 0;
+        let mut total = 0;
+        for span in &report.timeline {
+            assert_eq!(span.start, prev_end, "spans must be contiguous");
+            prev_end = span.end;
+            total += span.cycles();
+        }
+        assert_eq!(prev_end, report.recovery_cycles);
+        assert_eq!(total, report.recovery_cycles);
+        // Retrying touched counters is visible as probe work.
+        assert!(report.timeline[1].ops >= report.total_retries);
+
+        let mut prof = SpanProfiler::default();
+        prof.absorb_recovery(&report);
+        assert_eq!(
+            prof.domain_cycles(crate::obs::profile::Domain::Recovery),
+            report.recovery_cycles
+        );
+        assert_eq!(
+            prof.total_writes(),
+            report.timeline.iter().map(|s| s.nvm_writes).sum::<u64>()
+        );
+
+        let text = report.to_string();
+        assert!(text.contains("recovery timeline"));
+        assert!(text.contains("recovery-counter-retry"));
     }
 
     #[test]

@@ -150,6 +150,15 @@ pub struct SecureMemory {
     /// (the default) keeps every hook down to a single branch with no
     /// allocation.
     pub(crate) recorder: Option<Box<crate::obs::Recorder>>,
+    /// Optional cycle/write attribution profiler (see
+    /// [`crate::obs::profile`]); same zero-cost-when-off contract as
+    /// the recorder.
+    pub(crate) profiler: Option<Box<crate::obs::profile::SpanProfiler>>,
+    /// True while `write_back` is on the stack: engine-domain charges
+    /// in the shared verify/drain helpers count toward
+    /// `engine_cycles` only in that scope (mirroring how
+    /// `engine_cycles` itself accrues).
+    pub(crate) in_write_back: bool,
 }
 
 impl SecureMemory {
@@ -265,6 +274,51 @@ impl SecureMemory {
                 occupancy: e.occupancy as u64,
                 stalled: e.stalled,
             });
+        }
+    }
+
+    // ----- attribution profiler ---------------------------------------
+
+    /// Attaches a fresh [`SpanProfiler`](crate::obs::profile::SpanProfiler),
+    /// replacing any existing one. From this point every simulated
+    /// cycle and NVM line-write is charged to a pipeline stage.
+    pub fn attach_profiler(&mut self) {
+        self.profiler = Some(Box::default());
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&crate::obs::profile::SpanProfiler> {
+        self.profiler.as_deref()
+    }
+
+    /// Detaches and returns the profiler.
+    pub fn take_profiler(&mut self) -> Option<Box<crate::obs::profile::SpanProfiler>> {
+        self.profiler.take()
+    }
+
+    /// Charges `cycles` to `stage` when a profiler is attached.
+    #[inline]
+    pub(crate) fn prof(&mut self, stage: crate::obs::profile::Stage, cycles: Cycle) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.charge(stage, cycles);
+        }
+    }
+
+    /// Charges `cycles` to `stage` only inside a write-back — the scope
+    /// where helper time accrues to `RunStats::engine_cycles`.
+    #[inline]
+    pub(crate) fn prof_engine(&mut self, stage: crate::obs::profile::Stage, cycles: Cycle) {
+        if self.in_write_back {
+            self.prof(stage, cycles);
+        }
+    }
+
+    /// Attributes one NVM line-write to `stage` (always in scope:
+    /// every write counts toward `RunStats::total_writes()`).
+    #[inline]
+    pub(crate) fn prof_write(&mut self, stage: crate::obs::profile::Stage) {
+        if let Some(p) = self.profiler.as_deref_mut() {
+            p.charge_write(stage);
         }
     }
 

@@ -101,7 +101,9 @@ impl Simulator {
     fn charge_instructions(&mut self, instrs: u64) {
         self.instructions += instrs;
         let total = instrs + self.issue_carry;
-        self.cycles += total / self.config.issue_width;
+        let issue = total / self.config.issue_width;
+        self.cycles += issue;
+        self.mem.prof(crate::obs::profile::Stage::CoreIssue, issue);
         self.issue_carry = total % self.config.issue_width;
     }
 
@@ -123,6 +125,10 @@ impl Simulator {
         let l1 = self.l1.access(line, is_store);
         if l1.is_hit() {
             self.cycles += self.config.l1_hit_cycles;
+            self.mem.prof(
+                crate::obs::profile::Stage::CacheHit,
+                self.config.l1_hit_cycles,
+            );
         } else {
             self.l2_fill(line)?;
             if let Some(victim) = l1.evicted {
@@ -147,6 +153,10 @@ impl Simulator {
         let l2 = self.l2.access(line, false);
         if l2.is_hit() {
             self.cycles += self.config.l2_hit_cycles;
+            self.mem.prof(
+                crate::obs::profile::Stage::CacheHit,
+                self.config.l2_hit_cycles,
+            );
             return Ok(());
         }
         if let Some(victim) = l2.evicted {
@@ -159,6 +169,8 @@ impl Simulator {
         let penalty = done.saturating_sub(now + self.config.hide_cycles);
         self.cycles += penalty;
         self.mem.stats.read_stall_cycles += penalty;
+        self.mem
+            .prof(crate::obs::profile::Stage::ReadStall, penalty);
         Ok(())
     }
 
@@ -170,6 +182,7 @@ impl Simulator {
         let stall = release.saturating_sub(now);
         self.cycles += stall;
         self.mem.stats.wb_stall_cycles += stall;
+        self.mem.prof(crate::obs::profile::Stage::WbStall, stall);
         Ok(())
     }
 

@@ -197,7 +197,9 @@ pub struct RunStats {
     pub wb_stall_cycles: u64,
     /// Cycles the core stalled on read misses (after overlap hiding).
     pub read_stall_cycles: u64,
-    /// Cycles the encryption engine spent servicing write-backs.
+    /// Cycles the encryption engine spent servicing write-backs plus
+    /// top-level epoch drains (drains nested inside a write-back are
+    /// already covered by that write-back's span).
     pub engine_cycles: u64,
 }
 

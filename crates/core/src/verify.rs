@@ -99,9 +99,11 @@ impl SecureMemory {
             DesignKind::WithoutCc | DesignKind::StrictConsistency => {
                 self.nvm.persist_meta(victim, content);
                 let (at, issued) = self.post_write(victim, t);
+                self.prof_engine(obs::profile::Stage::MetaCacheMaint, at.saturating_sub(t));
                 t = at;
                 if issued {
                     self.stats.meta_writes += 1;
+                    self.prof_write(obs::profile::Stage::MetaCacheMaint);
                 }
             }
             DesignKind::OsirisPlus => {
@@ -133,6 +135,7 @@ impl SecureMemory {
         loop {
             self.stats.hmacs += 1;
             t += HMAC_LATENCY_CYCLES;
+            self.prof_engine(obs::profile::Stage::MetaCacheMaint, HMAC_LATENCY_CYCLES);
             if level == top {
                 let root = self.bmt.engine().node_mac(top, 0, &child_content);
                 self.tcb.root_new = root;
@@ -185,6 +188,7 @@ impl SecureMemory {
         verify: bool,
     ) -> Result<Cycle, IntegrityError> {
         let mut t = now + self.config.meta_cycles;
+        self.prof_engine(obs::profile::Stage::MetaFetch, self.config.meta_cycles);
         if self.meta_cache.contains(line) {
             self.meta_cache.access(line, false);
             self.stats.meta_hits += 1;
@@ -210,7 +214,12 @@ impl SecureMemory {
             let content = self
                 .functional_nvm(l)
                 .unwrap_or_else(|| self.meta_default(l));
+            let fetch_start = t;
             t = self.mc.read(l, t);
+            self.prof_engine(
+                obs::profile::Stage::MetaFetch,
+                t.saturating_sub(fetch_start),
+            );
             if verify {
                 t = self.verify_fetched(l, &content, t)?;
             }
@@ -230,6 +239,14 @@ impl SecureMemory {
         let (level, idx) = self.level_of(line);
         self.stats.hmacs += 1;
         t += HMAC_LATENCY_CYCLES;
+        self.prof_engine(
+            if level == 0 {
+                obs::profile::Stage::CounterHmac
+            } else {
+                obs::profile::Stage::BmtPathWalk
+            },
+            HMAC_LATENCY_CYCLES,
+        );
         match self.parent_of(line) {
             Some(parent) => {
                 let mac = self.bmt.child_mac(level, idx, content);

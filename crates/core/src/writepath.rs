@@ -120,6 +120,17 @@ impl SecureMemory {
     /// Panics if `line` is outside the data region.
     pub fn write_back(&mut self, line: LineAddr, now: Cycle) -> Result<Cycle, IntegrityError> {
         assert!(self.layout.is_data_line(line), "{line} is not a data line");
+        // Scope marker for the profiler: helper time (metadata fetch,
+        // verification, cache maintenance) accrues to the engine domain
+        // exactly while a write-back is in flight, mirroring how
+        // `engine_cycles` itself is accounted.
+        self.in_write_back = true;
+        let result = self.write_back_inner(line, now);
+        self.in_write_back = false;
+        result
+    }
+
+    fn write_back_inner(&mut self, line: LineAddr, now: Cycle) -> Result<Cycle, IntegrityError> {
         self.stats.write_backs += 1;
         self.wbs_this_epoch += 1;
         let release = self.wb_buffer.accept(now);
@@ -176,7 +187,9 @@ impl SecureMemory {
             // explanation of cc-NVM's residual IPC cost). The CAM is
             // pipelined: 32-cycle lookup latency, one entry retired
             // every 8 cycles after that.
-            t += DIRTY_QUEUE_LOOKUP_CYCLES + 8 * entries.len() as u64;
+            let reserve = DIRTY_QUEUE_LOOKUP_CYCLES + 8 * entries.len() as u64;
+            t += reserve;
+            self.prof(obs::profile::Stage::DirtyQueueReserve, reserve);
             self.obs_event(|| obs::Event::WriteBack {
                 at: t,
                 phase: obs::WbPhase::Reserve,
@@ -203,7 +216,10 @@ impl SecureMemory {
 
         if overflowed {
             self.stats.counter_overflows += 1;
+            let reenc_start = t;
             t = self.reencrypt_page(line, &old_ctr, &ctr, t);
+            let reenc = t - reenc_start;
+            self.prof(obs::profile::Stage::PageReenc, reenc);
         }
 
         // Encrypt + data HMAC (parallel with tree work below).
@@ -264,16 +280,21 @@ impl SecureMemory {
             self.tcb.nwb += 1;
         }
 
-        // Design-specific persistence.
+        // Design-specific persistence. `tree_persist` tracks how many
+        // cycles of this went to the write queue, for the critical-path
+        // attribution below.
+        let mut tree_persist: Cycle = 0;
         match self.design() {
             DesignKind::StrictConsistency => {
                 for &l in path.all_lines() {
                     let content = self.meta_content(l);
                     self.nvm.persist_meta(l, content);
                     let (at, issued) = self.post_write(l, tree_done);
+                    tree_persist += at.saturating_sub(tree_done);
                     tree_done = at;
                     if issued {
                         self.stats.meta_writes += 1;
+                        self.prof_write(obs::profile::Stage::TreeEager);
                     }
                     self.meta_cache.mark_clean(l);
                 }
@@ -291,9 +312,11 @@ impl SecureMemory {
                     let content = self.meta_content(ctr_line);
                     self.nvm.persist_meta(ctr_line, content);
                     let (at, issued) = self.post_write(ctr_line, tree_done);
+                    tree_persist += at.saturating_sub(tree_done);
                     tree_done = at;
                     if issued {
                         self.stats.meta_writes += 1;
+                        self.prof_write(obs::profile::Stage::TreeEager);
                     }
                     self.meta_cache.mark_clean(ctr_line);
                     if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
@@ -312,15 +335,37 @@ impl SecureMemory {
         self.nvm.durable.store(dh_line, dh_content);
         self.nvm.versions.insert(line.0, version);
         let mut done = crypto_done.max(tree_done);
+        if self.profiler.is_some() {
+            // Attribute the parallel crypto‖tree span `[t, done)`: the
+            // AES pad + data HMAC pipeline is on the critical path up
+            // to its own latency; whatever the tree side adds beyond
+            // that is eager persistence first (it forms the tail of
+            // `tree_done`), then unhidden tree-walk HMAC time.
+            let pad = AES_LATENCY_CYCLES + HMAC_LATENCY_CYCLES;
+            self.prof(obs::profile::Stage::AesPad, AES_LATENCY_CYCLES);
+            self.prof(obs::profile::Stage::DataHmac, HMAC_LATENCY_CYCLES);
+            let excess = (done - t) - pad;
+            let persist = tree_persist.min(excess);
+            if persist > 0 {
+                self.prof(obs::profile::Stage::TreeEager, persist);
+            }
+            if excess > persist {
+                self.prof(obs::profile::Stage::BmtPathWalk, excess - persist);
+            }
+        }
         let (at, issued) = self.post_write(line, done);
+        self.prof(obs::profile::Stage::WbPersist, at.saturating_sub(done));
         done = at;
         if issued {
             self.stats.data_writes += 1;
+            self.prof_write(obs::profile::Stage::WbPersist);
         }
         let (at, issued) = self.post_write(dh_line, done);
+        self.prof(obs::profile::Stage::WbPersist, at.saturating_sub(done));
         done = at;
         if issued {
             self.stats.dh_writes += 1;
+            self.prof_write(obs::profile::Stage::WbPersist);
         }
 
         // Final drains for the epoch designs: a minor-counter overflow
@@ -395,6 +440,7 @@ impl SecureMemory {
                 t = at;
                 if issued {
                     self.stats.reenc_writes += 1;
+                    self.prof_write(obs::profile::Stage::PageReenc);
                 }
             }
             t += AES_LATENCY_CYCLES + HMAC_LATENCY_CYCLES;
@@ -417,6 +463,7 @@ impl SecureMemory {
                 t = at;
                 if issued {
                     self.stats.reenc_writes += 1;
+                    self.prof_write(obs::profile::Stage::PageReenc);
                 }
                 if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
                     p.updates = 0;

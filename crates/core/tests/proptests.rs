@@ -208,6 +208,58 @@ fn trace_export_is_deterministic() {
     assert_eq!(a, b);
 }
 
+/// Attribution conservation: for any design, benchmark and seed, the
+/// profiler's per-stage cycles sum *exactly* to the run counters —
+/// core stages to `cycles`, engine stages to `engine_cycles` — and
+/// per-stage NVM writes to `total_writes()`. The WPQ-stall stage is
+/// additionally pinned to the controller's own wait-cycle counter, so
+/// the two accounting layers cannot drift apart silently.
+#[test]
+fn profiler_conserves_cycles_and_writes() {
+    use ccnvm::obs::profile::{Domain, Stage};
+    use ccnvm::prelude::{profiles, Simulator, TraceGenerator};
+
+    let mut rng = Rng::seed_from_u64(0xc0e9);
+    let benches = ["lbm", "libquantum", "milc", "gcc", "mixed"];
+    for case in 0..12 {
+        let design = DesignKind::ALL[case % DesignKind::ALL.len()];
+        let bench = benches[rng.gen_range(0usize..benches.len())];
+        let seed = rng.next_u64();
+        let mut sim = Simulator::new(SimConfig::small(design)).expect("valid config");
+        sim.memory_mut().attach_profiler();
+        let trace = TraceGenerator::new(profiles::by_name(bench).unwrap(), seed);
+        sim.run(trace, 20_000).expect("attack-free run");
+        if case % 3 == 0 {
+            sim.flush_caches().expect("flush is attack-free");
+        }
+        let stats = sim.stats();
+        let mem_stats = sim.memory().mem_stats();
+        let prof = sim.memory().profiler().expect("attached").clone();
+        let label = format!("{design} on {bench} (seed {seed:#x})");
+        assert_eq!(
+            prof.domain_cycles(Domain::Core),
+            stats.cycles,
+            "{label}: core stages must sum to total cycles"
+        );
+        assert_eq!(
+            prof.domain_cycles(Domain::Engine),
+            stats.engine_cycles,
+            "{label}: engine stages must sum to engine cycles"
+        );
+        assert_eq!(prof.domain_cycles(Domain::Recovery), 0, "{label}");
+        assert_eq!(
+            prof.total_writes(),
+            stats.total_writes(),
+            "{label}: per-stage writes must sum to total writes"
+        );
+        assert_eq!(
+            prof.cycles_of(Stage::WpqStall),
+            mem_stats.wpq_wait_cycles,
+            "{label}: WPQ stall attribution must match the controller"
+        );
+    }
+}
+
 /// One random workload step.
 #[derive(Debug, Clone)]
 enum Step {

@@ -154,6 +154,13 @@ pub struct MemStats {
     pub write_queue_stalls: u64,
     /// Accepts that had to wait for a WPQ slot.
     pub wpq_stalls: u64,
+    /// Cycles read accepts waited for a read-queue slot.
+    pub read_wait_cycles: u64,
+    /// Cycles write accepts waited for a write-queue slot (merged
+    /// writes never wait).
+    pub write_wait_cycles: u64,
+    /// Cycles WPQ accepts waited for an ADR slot.
+    pub wpq_wait_cycles: u64,
 }
 
 impl MemStats {
@@ -275,6 +282,7 @@ impl MemController {
         let slot = self.read_queue.accept(now);
         let stalled = self.read_queue.stalled_accepts() > before;
         self.stats.read_queue_stalls += self.read_queue.stalled_accepts() - before;
+        self.stats.read_wait_cycles += slot.saturating_sub(now);
         let done = self.nvm.access(line, false, slot);
         self.read_queue.push(done);
         self.stats.reads += 1;
@@ -311,6 +319,7 @@ impl MemController {
         let slot = self.write_queue.accept(now);
         let stalled = self.write_queue.stalled_accepts() > before;
         self.stats.write_queue_stalls += self.write_queue.stalled_accepts() - before;
+        self.stats.write_wait_cycles += slot.saturating_sub(now);
         let done = self.nvm.access(line, true, slot);
         self.write_queue.push(done);
         self.pending_writes.insert(line.0, done);
@@ -334,6 +343,7 @@ impl MemController {
         let slot = self.wpq.accept(now);
         let stalled = self.wpq.stalled_accepts() > before;
         self.stats.wpq_stalls += self.wpq.stalled_accepts() - before;
+        self.stats.wpq_wait_cycles += slot.saturating_sub(now);
         let done = self.nvm.access(line, true, slot);
         self.wpq.push(done);
         *self.wear.entry(line.0).or_insert(0) += 1;
@@ -454,6 +464,8 @@ mod tests {
                                                 // Queue full: third write stalls until the first retires.
         assert_eq!(m.write(LineAddr(2), 0), 100);
         assert_eq!(m.stats().write_queue_stalls, 1);
+        assert_eq!(m.stats().write_wait_cycles, 100, "waited 0..100 for a slot");
+        assert_eq!(m.stats().read_wait_cycles, 0);
     }
 
     #[test]
@@ -622,6 +634,7 @@ mod tests {
         assert!(!wpq[0].stalled);
         assert!(!wpq[1].stalled);
         assert!(wpq[2].stalled, "third WPQ write waited for a slot");
+        assert!(m.stats().wpq_wait_cycles > 0, "stalled accept waited");
         assert_eq!(m.take_wpq_high_water(), 2);
         assert_eq!(m.take_wpq_high_water(), 0, "high-water mark resets");
         assert!(m.take_queue_events().is_empty(), "events were drained");

@@ -25,6 +25,12 @@ const INSTRUCTIONS: u64 = 100_000;
 /// Fixed seed shared with the figure harness.
 const SEED: u64 = ccnvm_bench::SEED;
 
+/// Instruction budget for the attribution-profile snapshots. Larger
+/// than [`INSTRUCTIONS`] because the L2 absorbs all stores at 100k —
+/// the engine domain only lights up once dirty lines start evicting
+/// (~150k instructions on lbm).
+const PROFILE_INSTRUCTIONS: u64 = 200_000;
+
 /// The fig5-style matrix: a write-heavy and a read-heavy benchmark
 /// across all five designs.
 const BENCHES: [&str; 2] = ["lbm", "libquantum"];
@@ -101,9 +107,76 @@ fn render_trace(legacy_hmac: bool) -> Vec<u8> {
     jsonl
 }
 
+/// Runs cc-NVM on lbm with the attribution profiler attached and
+/// serializes the stage profile. This is exactly the run the CI
+/// profile-smoke job performs, so the golden also anchors
+/// `report --compare` at zero tolerance there.
+fn render_profile(legacy_hmac: bool) -> String {
+    let profile = profiles::by_name("lbm").expect("known benchmark");
+    let mut sim = Simulator::new(config(DesignKind::CcNvm, legacy_hmac)).expect("paper config");
+    sim.memory_mut().attach_profiler();
+    sim.run(TraceGenerator::new(profile, SEED), PROFILE_INSTRUCTIONS)
+        .expect("attack-free run is clean");
+    sim.memory().profiler().expect("profiler attached").to_json(
+        "ccnvm",
+        "lbm",
+        PROFILE_INSTRUCTIONS,
+    )
+}
+
+/// Renders stage profiles for the whole matrix on `threads` workers,
+/// one JSON document per point.
+fn render_profile_matrix(threads: usize) -> String {
+    let points: Vec<(String, DesignKind)> = BENCHES
+        .iter()
+        .flat_map(|b| DesignKind::ALL.iter().map(|&d| (b.to_string(), d)))
+        .collect();
+    let profiles_json = parallel_map(&points, threads, |_, (bench, design)| {
+        let profile = profiles::by_name(bench).expect("known benchmark");
+        let mut sim = Simulator::new(config(*design, false)).expect("paper config");
+        sim.memory_mut().attach_profiler();
+        sim.run(TraceGenerator::new(profile, SEED), PROFILE_INSTRUCTIONS)
+            .expect("attack-free run is clean");
+        sim.memory().profiler().expect("profiler attached").to_json(
+            &format!("{design:?}"),
+            bench,
+            PROFILE_INSTRUCTIONS,
+        )
+    });
+    let mut out = String::new();
+    for ((bench, design), json) in points.iter().zip(&profiles_json) {
+        writeln!(out, "=== {bench}/{design:?} ===\n{json}").unwrap();
+    }
+    out
+}
+
 #[test]
 fn stats_match_pinned_snapshot() {
     assert_matches_golden("stats.txt", &render_matrix(1, false));
+}
+
+#[test]
+fn profile_matches_pinned_snapshot() {
+    assert_matches_golden("profile.json", &render_profile(false));
+}
+
+/// Attribution is driven entirely by simulated time: the profile must
+/// not depend on the HMAC implementation or the host thread count.
+#[test]
+fn profile_is_identical_across_hmac_modes_and_threads() {
+    assert_eq!(
+        render_profile(true),
+        render_profile(false),
+        "stage profile must not depend on the HMAC implementation"
+    );
+    let single = render_profile_matrix(1);
+    for threads in [2, 4] {
+        assert_eq!(
+            single,
+            render_profile_matrix(threads),
+            "stage profiles must be identical on {threads} threads"
+        );
+    }
 }
 
 #[test]
