@@ -48,8 +48,9 @@ pub fn run_design_with(
         .unwrap_or_else(|e| panic!("{}/{}: {e}", profile.name, instructions))
 }
 
-/// Prints an epoch-timeline summary for a recorded cc-NVM run of
-/// `profile` when `CCNVM_EPOCH_REPORT=1` is set in the environment.
+/// Prints an epoch-timeline summary — and a metrics time-series
+/// summary of the same recorded run — for cc-NVM on `profile` when
+/// `CCNVM_EPOCH_REPORT=1` is set in the environment.
 ///
 /// The extra recorded run is opt-in so the binaries' default output
 /// stays byte-identical with the variable unset.
@@ -63,6 +64,7 @@ pub fn maybe_epoch_timeline(profile: &WorkloadProfile, instructions: u64) {
     }
     let mut sim = Simulator::new(SimConfig::paper(DesignKind::CcNvm)).expect("paper config");
     sim.memory_mut().attach_recorder(RecorderConfig::default());
+    sim.memory_mut().attach_metrics(MetricsConfig::default());
     sim.run(TraceGenerator::new(profile.clone(), SEED), instructions)
         .unwrap_or_else(|e| panic!("{}/{instructions}: {e}", profile.name));
     println!(
@@ -75,6 +77,18 @@ pub fn maybe_epoch_timeline(profile: &WorkloadProfile, instructions: u64) {
             .recorder()
             .expect("recorder attached")
             .epoch_report()
+    );
+    let samples: Vec<_> = sim
+        .memory()
+        .metrics()
+        .expect("metrics attached")
+        .samples()
+        .copied()
+        .collect();
+    println!(
+        "=== metrics summary — {} on cc-NVM ===\n{}",
+        profile.name,
+        ccnvm::obs::metrics::render_summary(&samples)
     );
 }
 

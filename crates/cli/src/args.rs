@@ -13,6 +13,7 @@
 //! ```
 
 use ccnvm::config::DesignKind;
+use ccnvm::obs::audit::AuditMode;
 use std::fmt;
 
 /// Parsed command line.
@@ -60,6 +61,17 @@ pub struct RunArgs {
     pub epoch_report: bool,
     /// Write the per-stage attribution profile (JSON) to this path.
     pub profile_out: Option<String>,
+    /// Write the time-series metrics export to this path (`.csv`
+    /// extension selects CSV, anything else JSON lines).
+    pub metrics_out: Option<String>,
+    /// Simulated cycles between metrics samples (must be positive).
+    pub metrics_interval: u64,
+    /// Write a Chrome trace-event (Perfetto-loadable) JSON rendering
+    /// of the run to this path.
+    pub chrome_trace: Option<String>,
+    /// Attach the invariant auditor in this mode (`record` keeps
+    /// going, `strict` fails fast with a nonzero exit).
+    pub audit: Option<AuditMode>,
     /// Worker threads for multi-point commands (`sweep`). `None`
     /// falls back to `CCNVM_BENCH_THREADS`, then to the machine's
     /// available parallelism.
@@ -81,18 +93,24 @@ impl Default for RunArgs {
             trace_out: None,
             epoch_report: false,
             profile_out: None,
+            metrics_out: None,
+            metrics_interval: ccnvm::obs::metrics::DEFAULT_INTERVAL,
+            chrome_trace: None,
+            audit: None,
             threads: None,
         }
     }
 }
 
-/// `report` subcommand options.
+/// `report` subcommand options. At least one of `compare` / `metrics`
+/// is set (the parser enforces it); both at once is fine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportArgs {
-    /// Baseline profile path (the `A` in `--compare A B`).
-    pub a: String,
-    /// Candidate profile path (the `B` in `--compare A B`).
-    pub b: String,
+    /// Stage-profile diff: `(baseline, candidate)` paths from
+    /// `--compare A B`.
+    pub compare: Option<(String, String)>,
+    /// Metrics time-series export to summarize (`--metrics FILE`).
+    pub metrics: Option<String>,
     /// Per-stage growth tolerance in percent before a stage is flagged
     /// as a regression.
     pub tolerance: f64,
@@ -154,10 +172,15 @@ OPTIONS:
   --trace-out FILE    write the event trace (.csv => CSV, else JSON lines)
   --epoch-report      print the per-epoch rollup report after the run
   --profile-out FILE  write the per-stage attribution profile (JSON)
+  --metrics-out FILE  write time-series metrics (.csv => CSV, else JSON lines)
+  --metrics-interval C  simulated cycles between metrics samples     [1000]
+  --chrome-trace FILE write a Chrome trace-event JSON (load in Perfetto)
+  --audit MODE        attach the invariant auditor: record | strict
   --threads T         worker threads for sweep points          [all cores]
 
 REPORT OPTIONS:
   --compare A B       the two profile JSON files to diff (baseline, candidate)
+  --metrics FILE      summarize a metrics time-series export (min/mean/p99/max)
   --tolerance PCT     per-stage growth allowed before flagging      [5]
 ";
 
@@ -198,6 +221,28 @@ fn parse_common<'a, I: Iterator<Item = &'a str>>(
         "--trace-out" => args.trace_out = Some(take_value(flag, iter)?.to_owned()),
         "--epoch-report" => args.epoch_report = true,
         "--profile-out" => args.profile_out = Some(take_value(flag, iter)?.to_owned()),
+        "--metrics-out" => args.metrics_out = Some(take_value(flag, iter)?.to_owned()),
+        "--metrics-interval" => {
+            let n = parse_number(flag, take_value(flag, iter)?)?;
+            if n == 0 {
+                return Err(ParseArgsError(
+                    "--metrics-interval must be a positive cycle count".into(),
+                ));
+            }
+            args.metrics_interval = n;
+        }
+        "--chrome-trace" => args.chrome_trace = Some(take_value(flag, iter)?.to_owned()),
+        "--audit" => {
+            args.audit = Some(match take_value(flag, iter)? {
+                "record" => AuditMode::Record,
+                "strict" => AuditMode::Strict,
+                other => {
+                    return Err(ParseArgsError(format!(
+                        "--audit must be record or strict, got {other:?}"
+                    )))
+                }
+            });
+        }
         "--threads" => {
             let n = parse_number(flag, take_value(flag, iter)?)? as usize;
             if n == 0 {
@@ -244,7 +289,8 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
             })
         }
         "report" => {
-            let mut files = None;
+            let mut compare = None;
+            let mut metrics = None;
             let mut tolerance = 5.0f64;
             while let Some(flag) = iter.next() {
                 match flag {
@@ -253,8 +299,9 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
                         let b = iter.next().ok_or_else(|| {
                             ParseArgsError("--compare needs two files: A.json B.json".into())
                         })?;
-                        files = Some((a, b.to_owned()));
+                        compare = Some((a, b.to_owned()));
                     }
+                    "--metrics" => metrics = Some(take_value(flag, &mut iter)?.to_owned()),
                     "--tolerance" => {
                         let v = take_value(flag, &mut iter)?;
                         tolerance = v.parse().map_err(|_| {
@@ -267,9 +314,16 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
                     _ => return Err(ParseArgsError(format!("unknown option {flag:?}"))),
                 }
             }
-            let (a, b) = files
-                .ok_or_else(|| ParseArgsError("report needs --compare A.json B.json".into()))?;
-            Ok(Command::Report(ReportArgs { a, b, tolerance }))
+            if compare.is_none() && metrics.is_none() {
+                return Err(ParseArgsError(
+                    "report needs --compare A.json B.json and/or --metrics FILE".into(),
+                ));
+            }
+            Ok(Command::Report(ReportArgs {
+                compare,
+                metrics,
+                tolerance,
+            }))
         }
         "sweep" => {
             let mut args = RunArgs::default();
@@ -456,8 +510,11 @@ mod tests {
         .unwrap() else {
             panic!("expected report");
         };
-        assert_eq!(args.a, "a.json");
-        assert_eq!(args.b, "b.json");
+        assert_eq!(
+            args.compare,
+            Some(("a.json".to_owned(), "b.json".to_owned()))
+        );
+        assert_eq!(args.metrics, None);
         assert!((args.tolerance - 2.5).abs() < 1e-12);
 
         let Command::Report(args) = parse(&["report", "--compare", "a", "b"]).unwrap() else {
@@ -467,10 +524,67 @@ mod tests {
     }
 
     #[test]
+    fn report_accepts_metrics_alone_or_with_compare() {
+        let Command::Report(args) = parse(&["report", "--metrics", "m.csv"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(args.metrics.as_deref(), Some("m.csv"));
+        assert_eq!(args.compare, None);
+
+        let Command::Report(args) =
+            parse(&["report", "--compare", "a", "b", "--metrics", "m.jsonl"]).unwrap()
+        else {
+            panic!("expected report");
+        };
+        assert!(args.compare.is_some());
+        assert_eq!(args.metrics.as_deref(), Some("m.jsonl"));
+    }
+
+    #[test]
     fn report_rejects_bad_grammar() {
-        assert!(parse(&["report"]).is_err(), "needs --compare");
+        assert!(parse(&["report"]).is_err(), "needs --compare or --metrics");
         assert!(parse(&["report", "--compare", "only-one"]).is_err());
         assert!(parse(&["report", "--compare", "a", "b", "--tolerance", "-1"]).is_err());
         assert!(parse(&["report", "--compare", "a", "b", "--bogus"]).is_err());
+    }
+
+    #[test]
+    fn run_parses_observability_flags() {
+        let Command::Run(args) = parse(&[
+            "run",
+            "--metrics-out",
+            "m.csv",
+            "--metrics-interval",
+            "250",
+            "--chrome-trace",
+            "t.json",
+            "--audit",
+            "strict",
+        ])
+        .unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.metrics_out.as_deref(), Some("m.csv"));
+        assert_eq!(args.metrics_interval, 250);
+        assert_eq!(args.chrome_trace.as_deref(), Some("t.json"));
+        assert_eq!(args.audit, Some(AuditMode::Strict));
+    }
+
+    #[test]
+    fn zero_metrics_interval_is_a_typed_error() {
+        let err = parse(&["run", "--metrics-interval", "0"]).unwrap_err();
+        assert!(err.to_string().contains("--metrics-interval"));
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn bogus_audit_mode_is_rejected() {
+        let err = parse(&["run", "--audit", "paranoid"]).unwrap_err();
+        assert!(err.to_string().contains("--audit"));
+        assert!(err.to_string().contains("paranoid"));
+        let Command::Run(args) = parse(&["run", "--audit", "record"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.audit, Some(AuditMode::Record));
     }
 }

@@ -91,11 +91,30 @@ fn config_of(run: &RunArgs) -> Result<SimConfig, String> {
 fn simulate(run: &RunArgs) -> Result<Simulator, String> {
     let config = config_of(run)?;
     let mut sim = Simulator::new(config).map_err(|e| e.to_string())?;
-    if run.trace_out.is_some() || run.epoch_report {
+    if run.trace_out.is_some() || run.epoch_report || run.chrome_trace.is_some() {
         sim.memory_mut().attach_recorder(RecorderConfig::default());
     }
     if run.profile_out.is_some() {
         sim.memory_mut().attach_profiler();
+    }
+    if run.metrics_out.is_some() || run.chrome_trace.is_some() {
+        sim.memory_mut().attach_metrics(MetricsConfig {
+            interval: run.metrics_interval,
+            ..MetricsConfig::default()
+        });
+    }
+    if let Some(mode) = run.audit {
+        sim.memory_mut().attach_auditor(mode);
+        if std::env::var_os("CCNVM_AUDIT_SELFTEST").is_some() {
+            // Deliberately desynchronize the dirty address queue before
+            // the workload so the negative path (violation -> report ->
+            // nonzero exit under strict) is exercised end-to-end.
+            let t = sim
+                .memory_mut()
+                .inject_dirty_queue_desync(0)
+                .map_err(|e| e.to_string())?;
+            sim.memory_mut().audit_now(t);
+        }
     }
     if let Some(path) = &run.trace {
         let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
@@ -179,7 +198,89 @@ fn emit_profile(
     Ok(())
 }
 
+/// Creates the `--chrome-trace` output file up front, before the
+/// (potentially long) simulation, so an unwritable path fails fast.
+fn create_chrome_file(run: &RunArgs) -> Result<Option<File>, String> {
+    run.chrome_trace
+        .as_ref()
+        .map(|path| File::create(path).map_err(|e| format!("{path}: {e}")))
+        .transpose()
+}
+
+/// Writes `--metrics-out`, when requested. CSV when the path ends in
+/// `.csv`, JSON lines otherwise; status goes to stderr.
+fn emit_metrics(run: &RunArgs, sim: &Simulator) -> Result<(), String> {
+    let Some(path) = &run.metrics_out else {
+        return Ok(());
+    };
+    let m = sim
+        .memory()
+        .metrics()
+        .expect("metrics are attached whenever --metrics-out is set");
+    let file = File::create(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut out = BufWriter::new(file);
+    if path.ends_with(".csv") {
+        m.write_csv(&mut out)
+    } else {
+        m.write_jsonl(&mut out)
+    }
+    .map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "wrote {} metrics samples to {path} ({} dropped, interval {} cycles)",
+        m.len(),
+        m.dropped(),
+        m.interval()
+    );
+    Ok(())
+}
+
+/// Renders the run as a Chrome trace-event file into the handle opened
+/// by [`create_chrome_file`].
+fn emit_chrome(
+    run: &RunArgs,
+    sim: &Simulator,
+    recovery: Option<&RecoveryReport>,
+    file: Option<File>,
+) -> Result<(), String> {
+    let (Some(path), Some(file)) = (&run.chrome_trace, file) else {
+        return Ok(());
+    };
+    let mem = sim.memory();
+    let input = ChromeTraceInput {
+        recorder: mem.recorder(),
+        metrics: mem.metrics(),
+        profile: mem.profiler(),
+        recovery: recovery.map(|r| r.timeline.as_slice()),
+    };
+    let mut out = BufWriter::new(file);
+    write_chrome_trace(&mut out, &input).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("wrote Chrome trace to {path} (load it at https://ui.perfetto.dev)");
+    Ok(())
+}
+
+/// Prints the auditor's verdict; a strict-mode auditor that latched a
+/// violation turns into a nonzero exit.
+fn audit_verdict(sim: &Simulator) -> Result<(), String> {
+    let Some(aud) = sim.memory().auditor() else {
+        return Ok(());
+    };
+    if aud.violations().is_empty() {
+        eprintln!("audit: clean ({} checkpoints)", aud.checks_run());
+        return Ok(());
+    }
+    eprint!("{}", aud.report());
+    if aud.failed() {
+        Err(format!(
+            "audit: {} invariant violation(s) under strict mode",
+            aud.violations().len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 fn cmd_run(run: &RunArgs) -> Result<(), String> {
+    let chrome_file = create_chrome_file(run)?;
     let sim = simulate(run)?;
     let stats = sim.stats();
     if run.csv {
@@ -203,7 +304,10 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
         );
     }
     emit_observability(run, &sim)?;
-    emit_profile(run, &sim, None)
+    emit_metrics(run, &sim)?;
+    emit_chrome(run, &sim, None, chrome_file)?;
+    emit_profile(run, &sim, None)?;
+    audit_verdict(&sim)
 }
 
 fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
@@ -265,6 +369,7 @@ fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
 }
 
 fn cmd_recover(run: &RunArgs) -> Result<(), String> {
+    let chrome_file = create_chrome_file(run)?;
     let sim = simulate(run)?;
     let image = sim.memory().crash_image();
     let report = recover(&image);
@@ -319,7 +424,10 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
     // Artifacts go out in every branch so a failed recovery still
     // leaves a trace and profile to debug with.
     emit_observability(run, &sim)?;
+    emit_metrics(run, &sim)?;
+    emit_chrome(run, &sim, Some(&report), chrome_file)?;
     emit_profile(run, &sim, Some(&report))?;
+    audit_verdict(&sim)?;
     if report.is_clean() {
         println!("verdict: CLEAN — memory fully recovered");
         Ok(())
@@ -332,16 +440,26 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
 }
 
 fn cmd_report(args: &ReportArgs) -> Result<(), String> {
+    if let Some(path) = &args.metrics {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let samples =
+            ccnvm::obs::metrics::parse_metrics(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}:");
+        print!("{}", ccnvm::obs::metrics::render_summary(&samples));
+    }
+    let Some((path_a, path_b)) = &args.compare else {
+        return Ok(());
+    };
     let read = |path: &str| {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
         parse_profile(&text).map_err(|e| format!("{path}: {e}"))
     };
-    let a = read(&args.a)?;
-    let b = read(&args.b)?;
+    let a = read(path_a)?;
+    let b = read(path_b)?;
     let diff = compare(&a, &b, args.tolerance);
     println!(
         "comparing {} (baseline, {} on {}) vs {} (candidate, {} on {}):",
-        args.a, a.design, a.bench, args.b, b.design, b.bench
+        path_a, a.design, a.bench, path_b, b.design, b.bench
     );
     print!("{}", diff.render());
     if diff.has_regressions() {

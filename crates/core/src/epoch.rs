@@ -85,6 +85,7 @@ impl SecureMemory {
             self.stats.engine_cycles += end - now;
         }
         self.engine_busy_until = self.engine_busy_until.max(end);
+        self.audit_check(obs::audit::AuditPoint::DrainCommit, end);
         end
     }
 

@@ -78,6 +78,9 @@ pub mod prelude {
     pub use crate::config::{DesignKind, SimConfig};
     pub use crate::crash::CrashImage;
     pub use crate::error::{ConfigError, IntegrityError, ResumeError};
+    pub use crate::obs::audit::{AuditMode, Auditor};
+    pub use crate::obs::chrome::{write_chrome_trace, ChromeTraceInput};
+    pub use crate::obs::metrics::{MetricsConfig, MetricsRegistry};
     pub use crate::obs::profile::SpanProfiler;
     pub use crate::obs::{Recorder, RecorderConfig};
     pub use crate::recovery::{recover, LocatedAttack, RecoveryReport, RecoverySpan, RootMatch};

@@ -152,6 +152,12 @@ impl MetaCache {
         self.primary.len() + self.tree.as_ref().map_or(0, |t| t.len())
     }
 
+    /// Resident dirty lines across both banks (the metrics sampler's
+    /// dirtiness gauge).
+    pub fn dirty_len(&self) -> usize {
+        self.dirty_lines().count()
+    }
+
     /// Whether nothing is resident.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

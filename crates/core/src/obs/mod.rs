@@ -42,6 +42,10 @@
 //! assert!(jsonl.starts_with(b"{\"event\":"));
 //! ```
 
+pub mod audit;
+pub mod chrome;
+pub mod json;
+pub mod metrics;
 pub mod profile;
 
 use crate::secmem::DrainTrigger;
@@ -219,12 +223,22 @@ pub enum Event {
         /// Highest WPQ occupancy observed during the epoch.
         wpq_high_water: u64,
     },
+    /// An invariant auditor checkpoint recorded a violation (see
+    /// [`audit::Auditor`]).
+    Audit {
+        /// Cycle of the failing checkpoint.
+        at: Cycle,
+        /// The violated invariant.
+        check: audit::AuditCheck,
+        /// Where the checkpoint ran.
+        point: audit::AuditPoint,
+    },
 }
 
 impl Event {
     /// Column names for [`Event::csv_row`], in order.
     pub const CSV_HEADER: &'static str = "event,at,phase,stage,action,line,queue,occupancy,\
-stalled,trigger,lines,write_backs,duration,wpq_high_water,dropped,epochs_dropped";
+stalled,trigger,lines,write_backs,duration,wpq_high_water,dropped,epochs_dropped,check,point";
 
     /// The simulated cycle this event happened at.
     pub fn at(&self) -> Cycle {
@@ -233,7 +247,8 @@ stalled,trigger,lines,write_backs,duration,wpq_high_water,dropped,epochs_dropped
             | Event::Drain { at, .. }
             | Event::Meta { at, .. }
             | Event::Queue { at, .. }
-            | Event::Epoch { at, .. } => at,
+            | Event::Epoch { at, .. }
+            | Event::Audit { at, .. } => at,
         }
     }
 
@@ -293,6 +308,11 @@ stalled,trigger,lines,write_backs,duration,wpq_high_water,dropped,epochs_dropped
 \"wpq_high_water\":{wpq_high_water}}}",
                 trigger.name()
             ),
+            Event::Audit { at, check, point } => format!(
+                "{{\"event\":\"audit\",\"at\":{at},\"check\":\"{}\",\"point\":\"{}\"}}",
+                check.name(),
+                point.name()
+            ),
         }
     }
 
@@ -304,7 +324,7 @@ stalled,trigger,lines,write_backs,duration,wpq_high_water,dropped,epochs_dropped
         // epochs_dropped (the last two only apply to the footer row)
         match *self {
             Event::WriteBack { at, phase, line } => {
-                format!("writeback,{at},{},,,{},,,,,,,,,,", phase.name(), line.0)
+                format!("writeback,{at},{},,,{},,,,,,,,,,,,", phase.name(), line.0)
             }
             Event::Drain {
                 at,
@@ -312,12 +332,12 @@ stalled,trigger,lines,write_backs,duration,wpq_high_water,dropped,epochs_dropped
                 trigger,
                 lines,
             } => format!(
-                "drain,{at},,{},,,,,,{},{lines},,,,,",
+                "drain,{at},,{},,,,,,{},{lines},,,,,,,",
                 stage.name(),
                 trigger.map(|t| t.name()).unwrap_or("")
             ),
             Event::Meta { at, action, line } => {
-                format!("meta,{at},,,{},{},,,,,,,,,,", action.name(), line.0)
+                format!("meta,{at},,,{},{},,,,,,,,,,,,", action.name(), line.0)
             }
             Event::Queue {
                 at,
@@ -325,7 +345,7 @@ stalled,trigger,lines,write_backs,duration,wpq_high_water,dropped,epochs_dropped
                 occupancy,
                 stalled,
             } => format!(
-                "queue,{at},,,,,{},{occupancy},{stalled},,,,,,,",
+                "queue,{at},,,,,{},{occupancy},{stalled},,,,,,,,,",
                 queue.name()
             ),
             Event::Epoch {
@@ -337,9 +357,12 @@ stalled,trigger,lines,write_backs,duration,wpq_high_water,dropped,epochs_dropped
                 write_backs,
                 wpq_high_water,
             } => format!(
-                "epoch,{at},,,,,,,,{},{lines},{write_backs},{duration},{wpq_high_water},,",
+                "epoch,{at},,,,,,,,{},{lines},{write_backs},{duration},{wpq_high_water},,,,",
                 trigger.name()
             ),
+            Event::Audit { at, check, point } => {
+                format!("audit,{at},,,,,,,,,,,,,,,{},{}", check.name(), point.name())
+            }
         }
     }
 }
@@ -659,7 +682,7 @@ impl Recorder {
         }
         writeln!(
             out,
-            "footer,{},,,,,,,,,,,,,{},{}",
+            "footer,{},,,,,,,,,,,,,{},{},,",
             self.last_at(),
             self.trace.dropped(),
             self.epochs_dropped
@@ -886,6 +909,11 @@ mod tests {
                 write_backs: 12,
                 wpq_high_water: 5,
             },
+            Event::Audit {
+                at: 120,
+                check: audit::AuditCheck::DirtyCoverage,
+                point: audit::AuditPoint::WriteBack,
+            },
         ];
         for e in &events {
             assert_eq!(e.csv_row().split(',').count(), header_cols, "{e:?}");
@@ -963,7 +991,7 @@ mod tests {
         let header_cols = Event::CSV_HEADER.split(',').count();
         let footer = text.lines().last().unwrap();
         assert!(footer.starts_with("footer,200,"), "{footer}");
-        assert!(footer.ends_with(",5,1"), "{footer}");
+        assert!(footer.ends_with(",5,1,,"), "{footer}");
         assert_eq!(footer.split(',').count(), header_cols, "{footer}");
 
         let report = rec.epoch_report();

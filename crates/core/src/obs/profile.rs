@@ -373,172 +373,11 @@ pub struct ProfileDoc {
     pub stages: Vec<StageSample>,
 }
 
-/// Minimal JSON value for the self-contained parser below. The repo
-/// carries no external deps (PR 1), so profiles are parsed with a
-/// small recursive-descent reader covering exactly the subset
-/// [`SpanProfiler::to_json`] emits: objects, arrays, strings without
-/// escapes, and non-negative integers.
-enum Json {
-    Str(String),
-    Num(u64),
-    Arr(Vec<Json>),
-    Obj(Vec<(String, Json)>),
-}
-
-impl Json {
-    fn get<'a>(&'a self, key: &str) -> Option<&'a Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    fn str_field(&self, key: &str) -> Result<&str, String> {
-        match self.get(key) {
-            Some(Json::Str(s)) => Ok(s),
-            _ => Err(format!("missing string field {key:?}")),
-        }
-    }
-
-    fn num_field(&self, key: &str) -> Result<u64, String> {
-        match self.get(key) {
-            Some(Json::Num(n)) => Ok(*n),
-            _ => Err(format!("missing integer field {key:?}")),
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn new(text: &'a str) -> Self {
-        Parser {
-            bytes: text.as_bytes(),
-            pos: 0,
-        }
-    }
-
-    fn skip_ws(&mut self) {
-        while self
-            .bytes
-            .get(self.pos)
-            .is_some_and(|b| b.is_ascii_whitespace())
-        {
-            self.pos += 1;
-        }
-    }
-
-    fn peek(&mut self) -> Option<u8> {
-        self.skip_ws();
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn expect(&mut self, byte: u8) -> Result<(), String> {
-        match self.peek() {
-            Some(b) if b == byte => {
-                self.pos += 1;
-                Ok(())
-            }
-            other => Err(format!(
-                "expected {:?} at byte {}, found {:?}",
-                byte as char,
-                self.pos,
-                other.map(|b| b as char)
-            )),
-        }
-    }
-
-    fn string(&mut self) -> Result<String, String> {
-        self.expect(b'"')?;
-        let start = self.pos;
-        while let Some(&b) = self.bytes.get(self.pos) {
-            if b == b'\\' {
-                return Err(format!("escape sequences unsupported at byte {}", self.pos));
-            }
-            if b == b'"' {
-                let s = std::str::from_utf8(&self.bytes[start..self.pos])
-                    .map_err(|e| e.to_string())?
-                    .to_string();
-                self.pos += 1;
-                return Ok(s);
-            }
-            self.pos += 1;
-        }
-        Err("unterminated string".into())
-    }
-
-    fn number(&mut self) -> Result<u64, String> {
-        self.skip_ws();
-        let start = self.pos;
-        while self.bytes.get(self.pos).is_some_and(u8::is_ascii_digit) {
-            self.pos += 1;
-        }
-        if start == self.pos {
-            return Err(format!("expected integer at byte {start}"));
-        }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .unwrap()
-            .parse()
-            .map_err(|e| format!("integer at byte {start}: {e}"))
-    }
-
-    fn value(&mut self) -> Result<Json, String> {
-        match self.peek() {
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b'{') => {
-                self.expect(b'{')?;
-                let mut fields = Vec::new();
-                if self.peek() == Some(b'}') {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                loop {
-                    let key = self.string()?;
-                    self.expect(b':')?;
-                    fields.push((key, self.value()?));
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b'}') => {
-                            self.pos += 1;
-                            return Ok(Json::Obj(fields));
-                        }
-                        other => return Err(format!("expected ',' or '}}', found {other:?}")),
-                    }
-                }
-            }
-            Some(b'[') => {
-                self.expect(b'[')?;
-                let mut items = Vec::new();
-                if self.peek() == Some(b']') {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                loop {
-                    items.push(self.value()?);
-                    match self.peek() {
-                        Some(b',') => self.pos += 1,
-                        Some(b']') => {
-                            self.pos += 1;
-                            return Ok(Json::Arr(items));
-                        }
-                        other => return Err(format!("expected ',' or ']', found {other:?}")),
-                    }
-                }
-            }
-            Some(b) if b.is_ascii_digit() => Ok(Json::Num(self.number()?)),
-            other => Err(format!("unexpected input at byte {}: {other:?}", self.pos)),
-        }
-    }
-}
-
 /// Parses a `ccnvm-profile/1` document produced by
 /// [`SpanProfiler::to_json`].
 pub fn parse_profile(text: &str) -> Result<ProfileDoc, String> {
-    let mut parser = Parser::new(text);
-    let root = parser.value()?;
+    use crate::obs::json::Json;
+    let root = crate::obs::json::parse(text)?;
     let schema = root.str_field("schema")?;
     if schema != "ccnvm-profile/1" {
         return Err(format!("unsupported schema {schema:?}"));

@@ -109,6 +109,8 @@ impl SecureMemory {
             stats: RunStats::default(),
             recorder: None,
             profiler: None,
+            metrics: None,
+            auditor: None,
             in_write_back: false,
             config,
         })

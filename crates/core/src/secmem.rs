@@ -154,6 +154,13 @@ pub struct SecureMemory {
     /// [`crate::obs::profile`]); same zero-cost-when-off contract as
     /// the recorder.
     pub(crate) profiler: Option<Box<crate::obs::profile::SpanProfiler>>,
+    /// Optional time-series metrics sampler (see
+    /// [`crate::obs::metrics`]); same zero-cost-when-off contract as
+    /// the recorder.
+    pub(crate) metrics: Option<Box<crate::obs::metrics::MetricsRegistry>>,
+    /// Optional runtime invariant auditor (see [`crate::obs::audit`]);
+    /// same zero-cost-when-off contract as the recorder.
+    pub(crate) auditor: Option<Box<crate::obs::audit::Auditor>>,
     /// True while `write_back` is on the stack: engine-domain charges
     /// in the shared verify/drain helpers count toward
     /// `engine_cycles` only in that scope (mirroring how
@@ -320,6 +327,183 @@ impl SecureMemory {
         if let Some(p) = self.profiler.as_deref_mut() {
             p.charge_write(stage);
         }
+    }
+
+    // ----- time-series metrics ----------------------------------------
+
+    /// Attaches a fresh [`MetricsRegistry`](crate::obs::metrics::MetricsRegistry),
+    /// replacing any existing one. The simulator samples it as
+    /// simulated time crosses each interval boundary.
+    pub fn attach_metrics(&mut self, config: crate::obs::metrics::MetricsConfig) {
+        self.metrics = Some(Box::new(crate::obs::metrics::MetricsRegistry::new(config)));
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics(&self) -> Option<&crate::obs::metrics::MetricsRegistry> {
+        self.metrics.as_deref()
+    }
+
+    /// Detaches and returns the metrics registry.
+    pub fn take_metrics(&mut self) -> Option<Box<crate::obs::metrics::MetricsRegistry>> {
+        self.metrics.take()
+    }
+
+    /// Takes a [`Sample`](crate::obs::metrics::Sample) if one is due at
+    /// simulated time `now`. Detached (or between boundaries) this is
+    /// a single branch. All gauges derive from simulated state, so the
+    /// series is byte-identical across host thread counts and HMAC
+    /// modes.
+    pub(crate) fn maybe_sample_metrics(&mut self, now: Cycle) {
+        let Some(m) = self.metrics.as_deref() else {
+            return;
+        };
+        if !m.is_due(now) {
+            return;
+        }
+        let at = m.boundary(now);
+        let ppm = |n: u64, d: u64| {
+            if d == 0 {
+                0
+            } else {
+                (n as u128 * 1_000_000 / d as u128) as u64
+            }
+        };
+        let meta_lines = (self.config.meta.capacity_bytes / 64).max(1);
+        let meta_resident = self.meta_cache.len() as u64;
+        let meta_dirty = self.meta_cache.dirty_len() as u64;
+        let write_backs = self.stats.write_backs;
+        let nvm_writes = self.stats.total_writes();
+        let sample = crate::obs::metrics::Sample {
+            at,
+            meta_resident,
+            meta_dirty,
+            meta_resident_ppm: ppm(meta_resident, meta_lines),
+            meta_dirty_ppm: ppm(meta_dirty, meta_lines),
+            dirty_queue_depth: self.dirty_queue.len() as u64,
+            wpq_occupancy: self.mc.wpq_occupancy(now) as u64,
+            epochs: self.stats.drains,
+            epoch_write_backs: self.wbs_this_epoch,
+            write_backs,
+            nvm_writes,
+            write_amp_milli: if write_backs == 0 {
+                0
+            } else {
+                (nvm_writes as u128 * 1000 / write_backs as u128) as u64
+            },
+            engine_share_ppm: ppm(self.stats.engine_cycles, now),
+        };
+        self.metrics
+            .as_deref_mut()
+            .expect("checked above")
+            .record(sample);
+    }
+
+    // ----- invariant auditor ------------------------------------------
+
+    /// Attaches a fresh [`Auditor`](crate::obs::audit::Auditor) in
+    /// `mode`, replacing any existing one. From this point the
+    /// crash-consistency invariants are re-checked at every write-back
+    /// completion, drain commit and Meta Cache install.
+    pub fn attach_auditor(&mut self, mode: crate::obs::audit::AuditMode) {
+        self.auditor = Some(Box::new(crate::obs::audit::Auditor::new(mode)));
+    }
+
+    /// The attached auditor, if any.
+    pub fn auditor(&self) -> Option<&crate::obs::audit::Auditor> {
+        self.auditor.as_deref()
+    }
+
+    /// Detaches and returns the auditor.
+    pub fn take_auditor(&mut self) -> Option<Box<crate::obs::audit::Auditor>> {
+        self.auditor.take()
+    }
+
+    /// Whether a strict-mode auditor has recorded a violation — the
+    /// simulator's fail-fast condition.
+    #[inline]
+    pub fn audit_failed(&self) -> bool {
+        self.auditor
+            .as_deref()
+            .is_some_and(crate::obs::audit::Auditor::failed)
+    }
+
+    /// Runs an explicit audit checkpoint at simulated time `now`
+    /// (no-op without an attached auditor).
+    pub fn audit_now(&mut self, now: Cycle) {
+        self.audit_check(crate::obs::audit::AuditPoint::External, now);
+    }
+
+    /// One audit checkpoint: re-checks the structural invariants (see
+    /// [`crate::obs::audit`]) and records any violations, mirroring
+    /// them into the event trace when a recorder is attached.
+    pub(crate) fn audit_check(&mut self, point: crate::obs::audit::AuditPoint, now: Cycle) {
+        use crate::obs::audit::{AuditCheck, Violation};
+        if self.auditor.is_none() {
+            return;
+        }
+        let mut found: Vec<(AuditCheck, String)> = Vec::new();
+        if self.config.design.has_drainer() {
+            for line in self.meta_cache.dirty_lines() {
+                if !self.dirty_queue.contains(line) {
+                    found.push((
+                        AuditCheck::DirtyCoverage,
+                        format!("dirty {line} has no dirty-address-queue reservation"),
+                    ));
+                }
+            }
+        }
+        let wpq = self.mc.wpq_len();
+        if wpq > self.config.mem.wpq_entries {
+            found.push((
+                AuditCheck::WpqCapacity,
+                format!(
+                    "WPQ holds {wpq} entries, ADR capacity is {}",
+                    self.config.mem.wpq_entries
+                ),
+            ));
+        }
+        let (root_old, root_new, nwb) = (self.tcb.root_old, self.tcb.root_new, self.tcb.nwb);
+        self.auditor
+            .as_deref_mut()
+            .expect("checked above")
+            .observe_tcb(point, root_old, root_new, nwb, &mut found);
+        for (check, detail) in found {
+            self.obs_event(|| crate::obs::Event::Audit {
+                at: now,
+                check,
+                point,
+            });
+            if let Some(aud) = self.auditor.as_deref_mut() {
+                aud.record(Violation {
+                    at: now,
+                    point,
+                    check,
+                    detail,
+                });
+            }
+        }
+    }
+
+    /// Deliberately desynchronizes the dirty address queue from the
+    /// Meta Cache (drainer designs): performs write-backs until
+    /// on-chip metadata is dirty, then clears the queue behind the
+    /// drainer's back. Exists so the auditor's negative path can be
+    /// exercised end-to-end (tests, CI, `CCNVM_AUDIT_SELFTEST`);
+    /// returns the cycle after the last write-back.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IntegrityError`] from the underlying write-backs.
+    pub fn inject_dirty_queue_desync(&mut self, now: Cycle) -> Result<Cycle, IntegrityError> {
+        let mut t = now;
+        for i in 0..4 {
+            t = self.write_back(LineAddr(i), t)?;
+            if self.meta_cache.dirty_lines().next().is_some() {
+                break;
+            }
+        }
+        self.dirty_queue.clear();
+        Ok(t)
     }
 
     // ----- functional value resolution --------------------------------

@@ -144,6 +144,7 @@ impl Simulator {
                 }
             }
         }
+        self.mem.maybe_sample_metrics(self.cycles);
         Ok(())
     }
 
@@ -202,6 +203,12 @@ impl Simulator {
                 break;
             }
             self.step(&op)?;
+            if self.mem.audit_failed() {
+                // A strict-mode auditor latched a violation: stop at
+                // the step boundary so the caller can inspect and the
+                // CLI can exit nonzero.
+                break;
+            }
         }
         Ok(self.stats())
     }
@@ -253,7 +260,8 @@ impl Simulator {
         dirty.clear();
         self.flush_scratch = dirty;
         let now = self.cycles;
-        self.mem.drain(now, crate::secmem::DrainTrigger::External);
+        let end = self.mem.drain(now, crate::secmem::DrainTrigger::External);
+        self.mem.maybe_sample_metrics(end);
         Ok(())
     }
 }

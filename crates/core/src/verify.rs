@@ -82,6 +82,7 @@ impl SecureMemory {
             action: obs::MetaAction::Install,
             line,
         });
+        self.audit_check(obs::audit::AuditPoint::MetaInstall, t);
         t
     }
 

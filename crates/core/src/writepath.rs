@@ -395,6 +395,7 @@ impl SecureMemory {
             rec.note_wb_latency(done.saturating_sub(service_start));
         }
         self.obs_sync_queues();
+        self.audit_check(obs::audit::AuditPoint::WriteBack, done);
         Ok(release)
     }
 

@@ -182,6 +182,47 @@ fn histogram_percentile_matches_sorted_reference() {
     }
 }
 
+/// `Histogram::mean` and `Histogram::max` agree exactly with a
+/// sorted-reference computation for random bounds and samples — the
+/// metrics `report --metrics` summarizer depends on both (mean must be
+/// exact, not bucket-resolution, because the histogram tracks the raw
+/// sum alongside the bucket counts).
+#[test]
+fn histogram_mean_and_max_match_sorted_reference() {
+    use ccnvm::stats::Histogram;
+    let mut rng = Rng::seed_from_u64(0xc0e9);
+
+    // Edge: an empty histogram reports 0 for both.
+    let empty = Histogram::new(&[16]);
+    assert_eq!(empty.mean(), 0.0);
+    assert_eq!(empty.max(), 0);
+
+    for _ in 0..200 {
+        let nbounds = rng.gen_range(1usize..8);
+        let mut bounds = Vec::with_capacity(nbounds);
+        let mut b = 0u64;
+        for _ in 0..nbounds {
+            b += rng.gen_range(1u64..100);
+            bounds.push(b);
+        }
+        let mut h = Histogram::new(&bounds);
+        let n = rng.gen_range(1usize..200);
+        let mut samples: Vec<u64> = (0..n).map(|_| rng.gen_range(0u64..500)).collect();
+        for &v in &samples {
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let reference_max = *samples.last().unwrap();
+        assert_eq!(h.max(), reference_max, "bounds {bounds:?}");
+        let reference_mean = samples.iter().sum::<u64>() as f64 / n as f64;
+        assert!(
+            (h.mean() - reference_mean).abs() < 1e-9,
+            "mean {} != reference {reference_mean} (bounds {bounds:?})",
+            h.mean()
+        );
+    }
+}
+
 /// With a recorder attached, the exported trace is byte-identical
 /// across repeated runs — the determinism `--trace-out` relies on at
 /// any `--threads` count.
