@@ -76,6 +76,10 @@ pub struct RunArgs {
     /// falls back to `CCNVM_BENCH_THREADS`, then to the machine's
     /// available parallelism.
     pub threads: Option<usize>,
+    /// Independent secure-memory shards behind the request router.
+    /// `1` is the degenerate single-owner service with byte-identical
+    /// output to the pre-sharding paths.
+    pub shards: u32,
 }
 
 impl Default for RunArgs {
@@ -98,6 +102,7 @@ impl Default for RunArgs {
             chrome_trace: None,
             audit: None,
             threads: None,
+            shards: 1,
         }
     }
 }
@@ -176,7 +181,9 @@ OPTIONS:
   --metrics-interval C  simulated cycles between metrics samples     [1000]
   --chrome-trace FILE write a Chrome trace-event JSON (load in Perfetto)
   --audit MODE        attach the invariant auditor: record | strict
-  --threads T         worker threads for sweep points          [all cores]
+  --threads T         worker threads for sweep points and shards [all cores]
+  --shards N          independent secure-memory shards behind the
+                      request router (1 = single-owner service)       [1]
 
 REPORT OPTIONS:
   --compare A B       the two profile JSON files to diff (baseline, candidate)
@@ -249,6 +256,13 @@ fn parse_common<'a, I: Iterator<Item = &'a str>>(
                 return Err(ParseArgsError("--threads must be positive".into()));
             }
             args.threads = Some(n);
+        }
+        "--shards" => {
+            let n = parse_number(flag, take_value(flag, iter)?)? as u32;
+            if n == 0 {
+                return Err(ParseArgsError("--shards must be positive".into()));
+            }
+            args.shards = n;
         }
         _ => return Ok(false),
     }
@@ -431,6 +445,21 @@ mod tests {
     #[test]
     fn zero_threads_is_an_error() {
         assert!(parse(&["sweep", "--param", "n", "--values", "1", "--threads", "0"]).is_err());
+    }
+
+    #[test]
+    fn shards_parse_and_reject_zero() {
+        let Command::Run(args) = parse(&["run", "--shards", "4"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.shards, 4);
+        assert_eq!(RunArgs::default().shards, 1, "single-owner by default");
+        let err = parse(&["run", "--shards", "0"]).unwrap_err();
+        assert!(err.to_string().contains("--shards"));
+        let Command::Recover(args) = parse(&["recover", "--shards", "2"]).unwrap() else {
+            panic!("expected recover");
+        };
+        assert_eq!(args.shards, 2);
     }
 
     #[test]

@@ -5,14 +5,26 @@
 //! ccnvm-sim sweep --param n --values 4,8,16,32,64
 //! ccnvm-sim recover --bench gcc
 //! ccnvm-sim run --trace my_trace.txt --design sc
+//! ccnvm-sim run --shards 4 --bench lbm        # sharded service
 //! ```
+//!
+//! With `--shards N` (N > 1) the run goes through the
+//! [`ShardRouter`](ccnvm::shard::ShardRouter): N independent
+//! secure-memory shards behind a page-interleaving request router.
+//! Per-shard artifacts get a `.shardI` suffix before the extension,
+//! the Chrome trace carries one process per shard, and the stage
+//! profile is the stage-wise sum over shards. `--shards 1` takes the
+//! original single-owner code paths, byte for byte.
 
 mod args;
 
 use args::{Command, ReportArgs, RunArgs, SweepArgs, SweepParam, USAGE};
 use ccnvm::metacache::MetaCacheOrg;
+use ccnvm::obs::chrome::write_sharded_chrome_trace;
+use ccnvm::obs::metrics::render_shard_gauges;
 use ccnvm::obs::profile::{compare, parse_profile};
 use ccnvm::prelude::*;
+use ccnvm_bench::parallel::{parallel_for_mut, parallel_map, thread_count};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
@@ -279,7 +291,331 @@ fn audit_verdict(sim: &Simulator) -> Result<(), String> {
     }
 }
 
+/// Inserts `.shardN` before the path's extension (or appends it), so
+/// per-shard artifacts of one run sit next to each other.
+fn shard_path(path: &str, shard: usize) -> String {
+    match path.rfind('.') {
+        Some(dot) if dot > 0 && !path[dot..].contains('/') => {
+            format!("{}.shard{shard}{}", &path[..dot], &path[dot..])
+        }
+        _ => format!("{path}.shard{shard}"),
+    }
+}
+
+/// Builds, instruments and runs the sharded service for `--shards N`.
+fn simulate_sharded(run: &RunArgs) -> Result<ShardRouter, String> {
+    let config = config_of(run)?;
+    let mut router = ShardRouter::new(config, run.shards).map_err(|e| e.to_string())?;
+    if run.trace_out.is_some() || run.epoch_report || run.chrome_trace.is_some() {
+        router.attach_recorders(RecorderConfig::default());
+    }
+    if run.profile_out.is_some() {
+        router.attach_profilers();
+    }
+    if run.metrics_out.is_some() || run.chrome_trace.is_some() {
+        router.attach_metrics(MetricsConfig {
+            interval: run.metrics_interval,
+            ..MetricsConfig::default()
+        });
+    }
+    if let Some(mode) = run.audit {
+        router.attach_auditors(mode);
+        if std::env::var_os("CCNVM_AUDIT_SELFTEST").is_some() {
+            // Same negative-path exercise as the single-owner service;
+            // shard 0 takes the injected desync.
+            let mem = router.shard_mut(0).memory_mut();
+            let t = mem
+                .inject_dirty_queue_desync(0)
+                .map_err(|e| e.to_string())?;
+            router.shard_mut(0).memory_mut().audit_now(t);
+        }
+    }
+    if let Some(path) = &run.trace {
+        let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let ops = ccnvm_trace::text::read_trace(BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        if ops.is_empty() {
+            return Err(format!("{path}: trace is empty"));
+        }
+        while router.total_instructions() < run.instructions && !router.audit_failed() {
+            router
+                .run(
+                    ops.iter().copied(),
+                    run.instructions - router.total_instructions(),
+                )
+                .map_err(|e| e.to_string())?;
+        }
+    } else {
+        let profile = profiles::by_name(&run.bench)
+            .ok_or_else(|| format!("unknown benchmark {:?} (try `list`)", run.bench))?;
+        let trace = TraceGenerator::new(profile, run.seed);
+        router
+            .run(trace, run.instructions)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(router)
+}
+
+/// Per-shard `--trace-out` files and `--epoch-report` sections.
+fn emit_observability_sharded(run: &RunArgs, router: &ShardRouter) -> Result<(), String> {
+    for (i, sim) in router.shards().iter().enumerate() {
+        let Some(rec) = sim.memory().recorder() else {
+            continue;
+        };
+        if let Some(path) = &run.trace_out {
+            let path = shard_path(path, i);
+            let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+            let mut out = BufWriter::new(file);
+            if path.ends_with(".csv") {
+                rec.write_csv(&mut out)
+            } else {
+                rec.write_jsonl(&mut out)
+            }
+            .map_err(|e| format!("{path}: {e}"))?;
+            eprintln!(
+                "wrote {} events to {path} ({} dropped at capacity {})",
+                rec.trace().len(),
+                rec.trace().dropped(),
+                rec.trace().capacity()
+            );
+        }
+        if run.epoch_report {
+            println!("=== shard {i} epoch report ===");
+            println!("{}", rec.epoch_report());
+        }
+    }
+    Ok(())
+}
+
+/// Per-shard `--metrics-out` files.
+fn emit_metrics_sharded(run: &RunArgs, router: &ShardRouter) -> Result<(), String> {
+    let Some(path) = &run.metrics_out else {
+        return Ok(());
+    };
+    for (i, sim) in router.shards().iter().enumerate() {
+        let m = sim
+            .memory()
+            .metrics()
+            .expect("metrics are attached whenever --metrics-out is set");
+        let path = shard_path(path, i);
+        let file = File::create(&path).map_err(|e| format!("{path}: {e}"))?;
+        let mut out = BufWriter::new(file);
+        if path.ends_with(".csv") {
+            m.write_csv(&mut out)
+        } else {
+            m.write_jsonl(&mut out)
+        }
+        .map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "wrote {} metrics samples to {path} ({} dropped, interval {} cycles)",
+            m.len(),
+            m.dropped(),
+            m.interval()
+        );
+    }
+    Ok(())
+}
+
+/// One Chrome trace for the whole service: shard `i` renders as
+/// process `i + 1` with the standard eight tracks.
+fn emit_chrome_sharded(
+    run: &RunArgs,
+    router: &ShardRouter,
+    recoveries: Option<&[RecoveryReport]>,
+    file: Option<File>,
+) -> Result<(), String> {
+    let (Some(path), Some(file)) = (&run.chrome_trace, file) else {
+        return Ok(());
+    };
+    let inputs: Vec<ChromeTraceInput<'_>> = router
+        .shards()
+        .iter()
+        .enumerate()
+        .map(|(i, sim)| {
+            let mem = sim.memory();
+            ChromeTraceInput {
+                recorder: mem.recorder(),
+                metrics: mem.metrics(),
+                profile: mem.profiler(),
+                recovery: recoveries.map(|r| r[i].timeline.as_slice()),
+            }
+        })
+        .collect();
+    let mut out = BufWriter::new(file);
+    write_sharded_chrome_trace(&mut out, &inputs).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!(
+        "wrote Chrome trace ({} shard processes) to {path} (load it at https://ui.perfetto.dev)",
+        inputs.len()
+    );
+    Ok(())
+}
+
+/// `--profile-out` for the service: the stage-wise sum over every
+/// shard profiler, with each shard's recovery (if any) folded in.
+fn emit_profile_sharded(
+    run: &RunArgs,
+    router: &ShardRouter,
+    recoveries: Option<&[RecoveryReport]>,
+) -> Result<(), String> {
+    let Some(path) = &run.profile_out else {
+        return Ok(());
+    };
+    let mut prof = router
+        .merged_profile()
+        .expect("profilers are attached whenever --profile-out is set");
+    if let Some(reports) = recoveries {
+        for report in reports {
+            prof.absorb_recovery(report);
+        }
+    }
+    let json = prof.to_json(cli_name(run.design), &run.bench, run.instructions);
+    std::fs::write(path, &json).map_err(|e| format!("{path}: {e}"))?;
+    if !run.csv {
+        println!("{}", prof.render_table());
+    }
+    eprintln!(
+        "wrote merged stage profile ({} shards) to {path}",
+        router.shard_count()
+    );
+    Ok(())
+}
+
+/// Aggregated audit verdict: every shard's auditor must be clean.
+fn audit_verdict_sharded(router: &ShardRouter) -> Result<(), String> {
+    let mut failing = 0usize;
+    for (i, sim) in router.shards().iter().enumerate() {
+        let Some(aud) = sim.memory().auditor() else {
+            continue;
+        };
+        if aud.violations().is_empty() {
+            eprintln!("audit shard {i}: clean ({} checkpoints)", aud.checks_run());
+        } else {
+            eprintln!("audit shard {i}:");
+            eprint!("{}", aud.report());
+            if aud.failed() {
+                failing += 1;
+            }
+        }
+    }
+    if failing > 0 {
+        Err(format!(
+            "audit: invariant violations on {failing} shard(s) under strict mode"
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn cmd_run_sharded(run: &RunArgs) -> Result<(), String> {
+    let chrome_file = create_chrome_file(run)?;
+    let router = simulate_sharded(run)?;
+    let stats = router.stats();
+    if run.csv {
+        println!("design,bench,{}", RunStats::csv_header());
+        println!("{},{},{}", cli_name(run.design), run.bench, stats.csv_row());
+    } else {
+        println!(
+            "{} on {} ({} instructions, seed {}, {} shards):",
+            run.design,
+            run.bench,
+            run.instructions,
+            run.seed,
+            router.shard_count()
+        );
+        println!("{stats}");
+    }
+    // The load-balance view; status-stream under --csv so stdout stays
+    // machine-parseable.
+    let gauges = render_shard_gauges(&router.shard_gauges());
+    if run.csv {
+        eprint!("{gauges}");
+    } else {
+        print!("{gauges}");
+    }
+    emit_observability_sharded(run, &router)?;
+    emit_metrics_sharded(run, &router)?;
+    emit_chrome_sharded(run, &router, None, chrome_file)?;
+    emit_profile_sharded(run, &router, None)?;
+    audit_verdict_sharded(&router)
+}
+
+fn cmd_recover_sharded(run: &RunArgs) -> Result<(), String> {
+    let chrome_file = create_chrome_file(run)?;
+    let mut router = simulate_sharded(run)?;
+    let threads = thread_count(run.threads);
+    // Crash scenario: quiesce every shard except the one with the
+    // deepest dirty queue, then power-fail with that one mid-drain —
+    // staged to the WPQ but never committed.
+    let victim = router
+        .shard_gauges()
+        .iter()
+        .max_by_key(|g| g.dirty_queue_depth)
+        .map(|g| g.shard as usize)
+        .unwrap_or(0);
+    let flushed = parallel_for_mut(router.shards_mut(), threads, |i, sim| {
+        if i == victim {
+            Ok(())
+        } else {
+            sim.flush_caches().map_err(|e| e.to_string())
+        }
+    });
+    for r in flushed {
+        r?;
+    }
+    router.inject_mid_drain_crash(victim);
+    let images = router.crash_images();
+    println!(
+        "{} on {}: service crashed after {} instructions across {} shards \
+         (shard {victim} caught mid-drain)",
+        run.design,
+        run.bench,
+        router.total_instructions(),
+        router.shard_count()
+    );
+    // Shards recover independently — fan the rebuilds out on the same
+    // worker pool that quiesced them.
+    let reports = parallel_map(&images, threads, |_, image| recover(image));
+    for (i, (image, report)) in images.iter().zip(&reports).enumerate() {
+        let surface = image.surface();
+        println!(
+            "shard {i}: {} durable lines, {} staged lines lost, {} counter lines \
+             patched ({} retries), roots stored {:?} rebuilt {:?} — {}",
+            surface.total_lines(),
+            image.staged_lines_lost,
+            report.recovered_counter_lines,
+            report.total_retries,
+            report.stored_root_match,
+            report.rebuilt_root_match,
+            if report.is_clean() {
+                "clean"
+            } else {
+                "NOT CLEAN"
+            }
+        );
+    }
+    emit_observability_sharded(run, &router)?;
+    emit_metrics_sharded(run, &router)?;
+    emit_chrome_sharded(run, &router, Some(&reports), chrome_file)?;
+    emit_profile_sharded(run, &router, Some(&reports))?;
+    audit_verdict_sharded(&router)?;
+    if reports.iter().all(RecoveryReport::is_clean) {
+        println!(
+            "verdict: CLEAN — all {} shards fully recovered",
+            router.shard_count()
+        );
+        Ok(())
+    } else if run.design.is_crash_consistent() {
+        Err("recovery reported attacks on an attack-free run (bug!)".into())
+    } else {
+        println!("verdict: UNRECOVERABLE — expected for w/o CC, the motivating deficiency");
+        Ok(())
+    }
+}
+
 fn cmd_run(run: &RunArgs) -> Result<(), String> {
+    if run.shards > 1 {
+        return cmd_run_sharded(run);
+    }
     let chrome_file = create_chrome_file(run)?;
     let sim = simulate(run)?;
     let stats = sim.stats();
@@ -339,9 +675,13 @@ fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
             (name, value, run)
         })
         .collect();
-    let threads = ccnvm_bench::parallel::thread_count(sweep.run.threads);
-    let results = ccnvm_bench::parallel::parallel_map(&points, threads, |_, (_, _, run)| {
-        simulate(run).map(|sim| sim.stats())
+    let threads = thread_count(sweep.run.threads);
+    let results = parallel_map(&points, threads, |_, (_, _, run)| {
+        if run.shards > 1 {
+            simulate_sharded(run).map(|router| router.stats())
+        } else {
+            simulate(run).map(|sim| sim.stats())
+        }
     });
     for ((name, value, run), stats) in points.iter().zip(results) {
         let stats = stats?;
@@ -369,6 +709,9 @@ fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
 }
 
 fn cmd_recover(run: &RunArgs) -> Result<(), String> {
+    if run.shards > 1 {
+        return cmd_recover_sharded(run);
+    }
     let chrome_file = create_chrome_file(run)?;
     let sim = simulate(run)?;
     let image = sim.memory().crash_image();

@@ -18,7 +18,6 @@ use crate::layout::{SecureLayout, MACS_PER_LINE};
 use crate::view::{MetaSource, MetaView};
 use ccnvm_crypto::Mac128;
 use ccnvm_mem::{Line, LineStore};
-use std::collections::BTreeMap;
 
 /// A parent/child HMAC mismatch found while verifying the tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -246,29 +245,40 @@ impl Bmt {
         I: IntoIterator<Item = (u64, Line)>,
     {
         let mut nodes = LineStore::new();
-        // level -> (node idx -> content); only non-default nodes appear.
-        let mut current: BTreeMap<u64, Line> = counters.into_iter().collect();
+        // Sorted `(node idx, content)` level slices, ping-ponged
+        // between two Vec buffers so every tree level reuses the same
+        // two allocations (a per-level BTreeMap here dominated the
+        // recovery bench's allocation count). Only non-default nodes
+        // appear; indices are unique per level, so ascending order
+        // reproduces the previous BTreeMap iteration exactly.
+        let mut current: Vec<(u64, Line)> = counters.into_iter().collect();
+        current.sort_unstable_by_key(|&(idx, _)| idx);
+        let mut parents: Vec<(u64, Line)> = Vec::with_capacity(current.len());
         let mut child_level = 0usize;
         let mut top_content = self.default_node(self.layout.internal_levels());
         for level in 1..=self.layout.internal_levels() {
-            let mut parents: BTreeMap<u64, Line> = BTreeMap::new();
-            for (&child_idx, content) in &current {
+            parents.clear();
+            for &(child_idx, ref content) in &current {
                 let parent_idx = child_idx / MACS_PER_LINE;
-                let parent = parents
-                    .entry(parent_idx)
-                    .or_insert_with(|| self.default_node(level));
+                // `current` is sorted, so parent indices arrive in
+                // non-decreasing order and grouping is a last-entry
+                // check — `parents` stays sorted for the next level.
+                if parents.last().map(|&(idx, _)| idx) != Some(parent_idx) {
+                    parents.push((parent_idx, self.default_node(level)));
+                }
+                let parent = &mut parents.last_mut().expect("just pushed").1;
                 let mac = self.child_mac(child_level, child_idx, content);
                 Self::patch_slot(parent, child_idx, &mac);
             }
-            for (&idx, content) in &parents {
+            for &(idx, ref content) in &parents {
                 nodes.write(self.layout.node_line(level, idx), *content);
             }
             if level == self.layout.internal_levels() {
-                if let Some(content) = parents.get(&0) {
-                    top_content = *content;
+                if let Some(&(0, content)) = parents.first() {
+                    top_content = content;
                 }
             }
-            current = parents;
+            std::mem::swap(&mut current, &mut parents);
             child_level = level;
         }
         let root = self

@@ -165,6 +165,13 @@ pub struct SimConfig {
     /// this exists so the perf bench and the golden-stats tests can
     /// compare against the original hot-path cost.
     pub legacy_hmac: bool,
+    /// This instance's shard index when it runs as one epoch domain of
+    /// a [`crate::shard::ShardRouter`] (0 for the single-owner case).
+    pub shard_index: u32,
+    /// Total shards in the router this instance belongs to. `1` is the
+    /// degenerate single-owner configuration and must behave exactly
+    /// like the pre-sharding code paths.
+    pub shard_count: u32,
 }
 
 impl SimConfig {
@@ -189,6 +196,8 @@ impl SimConfig {
             key_seed: 0xcc_17,
             check_plaintext: true,
             legacy_hmac: false,
+            shard_index: 0,
+            shard_count: 1,
         }
     }
 
@@ -227,6 +236,12 @@ impl SimConfig {
         }
         if self.issue_width == 0 {
             return Err(ConfigError::IssueWidthZero);
+        }
+        if self.shard_count == 0 || self.shard_index >= self.shard_count {
+            return Err(ConfigError::ShardTopologyInvalid {
+                index: self.shard_index,
+                count: self.shard_count,
+            });
         }
         Ok(())
     }
@@ -284,5 +299,18 @@ mod tests {
         let mut c = SimConfig::paper(DesignKind::CcNvm);
         c.dirty_queue_entries = 128;
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_shard_topology() {
+        let mut c = SimConfig::paper(DesignKind::CcNvm);
+        assert_eq!((c.shard_index, c.shard_count), (0, 1));
+        c.shard_count = 0;
+        assert!(c.validate().is_err());
+        c.shard_count = 4;
+        c.shard_index = 4;
+        assert!(c.validate().is_err());
+        c.shard_index = 3;
+        assert!(c.validate().is_ok());
     }
 }

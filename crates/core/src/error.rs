@@ -89,6 +89,14 @@ pub enum ConfigError {
     UpdateLimitZero,
     /// The core issue width is zero.
     IssueWidthZero,
+    /// The shard topology is inconsistent: zero shards, or a shard
+    /// index outside `0..shard_count`.
+    ShardTopologyInvalid {
+        /// Configured shard index.
+        index: u32,
+        /// Configured shard count.
+        count: u32,
+    },
 }
 
 impl fmt::Display for ConfigError {
@@ -110,6 +118,10 @@ impl fmt::Display for ConfigError {
             ),
             ConfigError::UpdateLimitZero => write!(f, "update limit N must be positive"),
             ConfigError::IssueWidthZero => write!(f, "issue width must be positive"),
+            ConfigError::ShardTopologyInvalid { index, count } => write!(
+                f,
+                "shard index {index} is not valid for a {count}-shard topology"
+            ),
         }
     }
 }

@@ -104,6 +104,7 @@ impl SecureMemory {
             chip_meta: LineStore::new(),
             staged: Vec::new(),
             drain_scratch: Default::default(),
+            meta_chain_scratch: Vec::new(),
             wbs_this_epoch: 0,
             epoch_lengths: Histogram::new(&[4, 8, 16, 32, 64, 128]),
             stats: RunStats::default(),

@@ -136,6 +136,9 @@ pub struct SecureMemory {
     pub(crate) staged: Vec<(LineAddr, Line)>,
     /// Reusable drain working buffers (see [`crate::epoch`]).
     pub(crate) drain_scratch: crate::epoch::DrainScratch,
+    /// Reusable missing-ancestor chain buffer for
+    /// [`Self::ensure_meta_cached`] (bounded by one tree path).
+    pub(crate) meta_chain_scratch: Vec<LineAddr>,
     pub(crate) meta_cache: MetaCache,
     pub(crate) dirty_queue: DirtyAddressQueue,
     pub(crate) mc: MemController,
@@ -178,6 +181,20 @@ impl SecureMemory {
     /// inconsistent (see [`SimConfig::validate`]), or when the dirty
     /// address queue cannot hold one full tree path.
     pub fn new(config: SimConfig) -> Result<Self, ConfigError> {
+        if config.shard_count > 1 {
+            // One epoch domain of a ShardRouter: durable state goes
+            // through a page-ownership-asserting view, proving the
+            // shards never write each other's slice of the data
+            // region. The single-owner case keeps the plain store so
+            // `--shards 1` stays byte-identical at the seam too.
+            let data_lines = SecureLayout::new(config.capacity_bytes).data_lines();
+            let backend = ccnvm_mem::ShardedBackend::new(
+                config.shard_index as u64,
+                config.shard_count as u64,
+                data_lines,
+            );
+            return Self::with_backend(config, Box::new(backend));
+        }
         Self::with_backend(config, Box::new(LineStore::new()))
     }
 

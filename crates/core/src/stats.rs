@@ -248,6 +248,38 @@ impl RunStats {
         }
     }
 
+    /// Folds another shard's counters into this one: every event
+    /// counter is summed, while `cycles` takes the maximum — shards
+    /// run concurrently on independent epoch clocks, so wall time for
+    /// the merged run is the slowest shard, not the sum.
+    pub fn accumulate(&mut self, other: &RunStats) {
+        self.instructions += other.instructions;
+        self.cycles = self.cycles.max(other.cycles);
+        self.l1_hits += other.l1_hits;
+        self.l1_misses += other.l1_misses;
+        self.l2_hits += other.l2_hits;
+        self.l2_misses += other.l2_misses;
+        self.meta_hits += other.meta_hits;
+        self.meta_misses += other.meta_misses;
+        self.write_backs += other.write_backs;
+        self.nvm_reads += other.nvm_reads;
+        self.data_writes += other.data_writes;
+        self.dh_writes += other.dh_writes;
+        self.meta_writes += other.meta_writes;
+        self.reenc_writes += other.reenc_writes;
+        self.drains += other.drains;
+        self.drains_queue_full += other.drains_queue_full;
+        self.drains_evict += other.drains_evict;
+        self.drains_update_limit += other.drains_update_limit;
+        self.drain_cycles += other.drain_cycles;
+        self.hmacs += other.hmacs;
+        self.aes_ops += other.aes_ops;
+        self.counter_overflows += other.counter_overflows;
+        self.wb_stall_cycles += other.wb_stall_cycles;
+        self.read_stall_cycles += other.read_stall_cycles;
+        self.engine_cycles += other.engine_cycles;
+    }
+
     /// Column names for [`Self::csv_row`], in order.
     pub fn csv_header() -> &'static str {
         "instructions,cycles,ipc,l1_hits,l1_misses,l2_hits,l2_misses,\
@@ -361,6 +393,35 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.total_writes(), 10);
+    }
+
+    #[test]
+    fn accumulate_sums_counters_and_maxes_cycles() {
+        let mut a = RunStats {
+            instructions: 10,
+            cycles: 100,
+            write_backs: 3,
+            data_writes: 2,
+            drains: 1,
+            ..Default::default()
+        };
+        let b = RunStats {
+            instructions: 5,
+            cycles: 250,
+            write_backs: 4,
+            meta_writes: 6,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.instructions, 15);
+        assert_eq!(a.cycles, 250, "merged wall time is the slowest shard");
+        assert_eq!(a.write_backs, 7);
+        assert_eq!(a.total_writes(), 8);
+        assert_eq!(a.drains, 1);
+        // Accumulating a default is the identity.
+        let before = a;
+        a.accumulate(&RunStats::default());
+        assert_eq!(a, before);
     }
 
     #[test]

@@ -195,8 +195,15 @@ impl SecureMemory {
             self.stats.meta_hits += 1;
             return Ok(t);
         }
-        // Collect the missing chain bottom-up until a cached ancestor.
-        let mut chain = vec![line];
+        // Collect the missing chain bottom-up until a cached ancestor,
+        // in the reusable scratch buffer (bounded by one tree path, so
+        // it reaches steady-state capacity after the first deep miss
+        // and the hot path stays allocation-free). Taken out of `self`
+        // for the borrow and put back below; the integrity-error exit
+        // drops it, which only costs the capacity on a terminal path.
+        let mut chain = std::mem::take(&mut self.meta_chain_scratch);
+        chain.clear();
+        chain.push(line);
         let mut cur = line;
         while let Some(parent) = self.parent_of(cur) {
             if self.meta_cache.contains(parent) {
@@ -211,7 +218,8 @@ impl SecureMemory {
         // update the NVM copy of a not-yet-installed chain member but
         // never installs one; reading the content fresh per iteration
         // picks any such repair up.
-        for &l in chain.iter().rev() {
+        for i in (0..chain.len()).rev() {
+            let l = chain[i];
             let content = self
                 .functional_nvm(l)
                 .unwrap_or_else(|| self.meta_default(l));
@@ -226,6 +234,8 @@ impl SecureMemory {
             }
             t = self.install_meta(l, t);
         }
+        chain.clear();
+        self.meta_chain_scratch = chain;
         Ok(t)
     }
 

@@ -7,6 +7,7 @@
 //! flow exclusively through this interface (no hidden side channels to
 //! the durable state).
 
+use crate::addr::LINES_PER_PAGE;
 use crate::store::{Line, LineStore, ZERO_LINE};
 use crate::LineAddr;
 
@@ -58,6 +59,91 @@ pub trait DurableBackend: std::fmt::Debug + Send {
     }
 }
 
+/// A [`DurableBackend`] view belonging to one shard of a partitioned
+/// address space.
+///
+/// The data region (`line < data_lines`) is partitioned page-granular
+/// and round-robin: page `p` belongs to shard `p % shard_count`.
+/// Every store to a data line asserts ownership — a cross-shard write
+/// is a router bug, and catching it at the durability seam proves the
+/// shards really are isolated epoch domains. Metadata lines (at or
+/// above `data_lines`) pass through unchecked: each shard keeps a
+/// private metadata plane for the pages it owns, so those address
+/// ranges never overlap between shard instances by construction.
+#[derive(Debug, Default)]
+pub struct ShardedBackend {
+    inner: LineStore,
+    shard_index: u64,
+    shard_count: u64,
+    data_lines: u64,
+}
+
+impl ShardedBackend {
+    /// Creates the view for shard `shard_index` of `shard_count` over
+    /// a data region of `data_lines` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shard_count` is zero or `shard_index` is out of
+    /// range.
+    pub fn new(shard_index: u64, shard_count: u64, data_lines: u64) -> Self {
+        assert!(shard_count > 0, "a shard topology needs at least 1 shard");
+        assert!(
+            shard_index < shard_count,
+            "shard index {shard_index} out of range for {shard_count} shards"
+        );
+        Self {
+            inner: LineStore::new(),
+            shard_index,
+            shard_count,
+            data_lines,
+        }
+    }
+
+    /// Whether `line` is inside this shard's slice of the address
+    /// space (metadata lines always are — see the type docs).
+    pub fn owns(&self, line: LineAddr) -> bool {
+        line.0 >= self.data_lines
+            || (line.0 / LINES_PER_PAGE) % self.shard_count == self.shard_index
+    }
+}
+
+impl DurableBackend for ShardedBackend {
+    fn load(&self, line: LineAddr) -> Option<Line> {
+        self.inner.get(line).copied()
+    }
+
+    fn store(&mut self, line: LineAddr, content: Line) {
+        assert!(
+            self.owns(line),
+            "shard {}/{} asked to persist foreign line {line}",
+            self.shard_index,
+            self.shard_count
+        );
+        self.inner.write(line, content);
+    }
+
+    fn erase(&mut self, line: LineAddr) -> Option<Line> {
+        self.inner.erase(line)
+    }
+
+    fn len(&self) -> usize {
+        LineStore::len(&self.inner)
+    }
+
+    fn addrs(&self) -> Vec<LineAddr> {
+        self.inner.iter().map(|(l, _)| l).collect()
+    }
+
+    fn snapshot(&self) -> LineStore {
+        self.inner.clone()
+    }
+
+    fn restore(&mut self, image: &LineStore) {
+        self.inner = image.clone();
+    }
+}
+
 impl DurableBackend for LineStore {
     fn load(&self, line: LineAddr) -> Option<Line> {
         self.get(line).copied()
@@ -91,6 +177,32 @@ impl DurableBackend for LineStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sharded_backend_enforces_page_ownership() {
+        // 4 pages of data (256 lines), 2 shards: shard 0 owns pages
+        // 0 and 2, shard 1 owns pages 1 and 3.
+        let mut s0 = ShardedBackend::new(0, 2, 256);
+        assert!(s0.owns(LineAddr(0)));
+        assert!(!s0.owns(LineAddr(64)));
+        assert!(s0.owns(LineAddr(128)));
+        assert!(s0.owns(LineAddr(256)), "metadata lines pass through");
+        s0.store(LineAddr(130), [1u8; 64]);
+        s0.store(LineAddr(300), [2u8; 64]);
+        assert_eq!(s0.load(LineAddr(130)), Some([1u8; 64]));
+        assert_eq!(s0.len(), 2);
+        let snap = s0.snapshot();
+        assert_eq!(s0.erase(LineAddr(130)), Some([1u8; 64]));
+        s0.restore(&snap);
+        assert_eq!(s0.read(LineAddr(130)), [1u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreign line")]
+    fn sharded_backend_rejects_foreign_data_stores() {
+        let mut s1 = ShardedBackend::new(1, 2, 256);
+        s1.store(LineAddr(0), [1u8; 64]); // page 0 belongs to shard 0
+    }
 
     #[test]
     fn line_store_implements_the_contract() {
