@@ -14,6 +14,7 @@
 
 use ccnvm::config::DesignKind;
 use ccnvm::obs::audit::AuditMode;
+use ccnvm_mem::FsyncStrategy;
 use std::fmt;
 
 /// Parsed command line.
@@ -80,6 +81,20 @@ pub struct RunArgs {
     /// `1` is the degenerate single-owner service with byte-identical
     /// output to the pre-sharding paths.
     pub shards: u32,
+    /// Where durable lines live (`--backend mem | file:<dir>`).
+    pub backend: BackendChoice,
+    /// Flush/fsync policy for the file backend (`--fsync always |
+    /// batch:<n> | interval:<cycles>`). Ignored for `mem`.
+    pub fsync: FsyncStrategy,
+}
+
+/// The durable store behind the secure memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BackendChoice {
+    /// The in-memory line store (the default; byte-identical goldens).
+    Mem,
+    /// The file-backed commit log + manifest rooted at this directory.
+    File(String),
 }
 
 impl Default for RunArgs {
@@ -103,6 +118,8 @@ impl Default for RunArgs {
             audit: None,
             threads: None,
             shards: 1,
+            backend: BackendChoice::Mem,
+            fsync: FsyncStrategy::Always,
         }
     }
 }
@@ -184,6 +201,12 @@ OPTIONS:
   --threads T         worker threads for sweep points and shards [all cores]
   --shards N          independent secure-memory shards behind the
                       request router (1 = single-owner service)       [1]
+  --backend B         durable store: mem | file:<dir>                 [mem]
+                      (file: persists through a commit log + manifest in
+                      <dir>; recover reopens it from disk; not combinable
+                      with --shards > 1)
+  --fsync S           file-backend flush policy:
+                      always | batch:<n> | interval:<cycles>          [always]
 
 REPORT OPTIONS:
   --compare A B       the two profile JSON files to diff (baseline, candidate)
@@ -263,6 +286,28 @@ fn parse_common<'a, I: Iterator<Item = &'a str>>(
                 return Err(ParseArgsError("--shards must be positive".into()));
             }
             args.shards = n;
+        }
+        "--backend" => {
+            let v = take_value(flag, iter)?;
+            args.backend = if v == "mem" {
+                BackendChoice::Mem
+            } else if let Some(dir) = v.strip_prefix("file:") {
+                if dir.is_empty() {
+                    return Err(ParseArgsError(
+                        "--backend file: needs a directory, e.g. file:/tmp/ccnvm".into(),
+                    ));
+                }
+                BackendChoice::File(dir.to_owned())
+            } else {
+                return Err(ParseArgsError(format!(
+                    "--backend must be mem or file:<dir>, got {v:?}"
+                )));
+            };
+        }
+        "--fsync" => {
+            args.fsync = take_value(flag, iter)?
+                .parse()
+                .map_err(|e| ParseArgsError(format!("--fsync: {e}")))?;
         }
         _ => return Ok(false),
     }
@@ -460,6 +505,49 @@ mod tests {
             panic!("expected recover");
         };
         assert_eq!(args.shards, 2);
+    }
+
+    #[test]
+    fn backend_and_fsync_parse() {
+        let Command::Run(args) =
+            parse(&["run", "--backend", "file:/tmp/x", "--fsync", "batch:8"]).unwrap()
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(args.backend, BackendChoice::File("/tmp/x".to_owned()));
+        assert_eq!(args.fsync, FsyncStrategy::Batch(8));
+        assert_eq!(RunArgs::default().backend, BackendChoice::Mem);
+        assert_eq!(RunArgs::default().fsync, FsyncStrategy::Always);
+
+        let Command::Run(args) = parse(&["run", "--backend", "mem"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.backend, BackendChoice::Mem);
+
+        let Command::Recover(args) = parse(&[
+            "recover",
+            "--backend",
+            "file:d",
+            "--fsync",
+            "interval:50000",
+        ])
+        .unwrap() else {
+            panic!("expected recover");
+        };
+        assert_eq!(args.backend, BackendChoice::File("d".to_owned()));
+        assert_eq!(args.fsync, FsyncStrategy::Interval(50_000));
+    }
+
+    #[test]
+    fn bad_backend_and_fsync_are_rejected() {
+        let err = parse(&["run", "--backend", "floppy"]).unwrap_err();
+        assert!(err.to_string().contains("--backend"));
+        let err = parse(&["run", "--backend", "file:"]).unwrap_err();
+        assert!(err.to_string().contains("directory"));
+        let err = parse(&["run", "--fsync", "sometimes"]).unwrap_err();
+        assert!(err.to_string().contains("--fsync"));
+        let err = parse(&["run", "--fsync", "batch:0"]).unwrap_err();
+        assert!(err.to_string().contains("positive"));
     }
 
     #[test]

@@ -18,16 +18,18 @@
 
 mod args;
 
-use args::{Command, ReportArgs, RunArgs, SweepArgs, SweepParam, USAGE};
+use args::{BackendChoice, Command, ReportArgs, RunArgs, SweepArgs, SweepParam, USAGE};
 use ccnvm::metacache::MetaCacheOrg;
 use ccnvm::obs::chrome::write_sharded_chrome_trace;
 use ccnvm::obs::metrics::render_shard_gauges;
 use ccnvm::obs::profile::{compare, parse_profile};
 use ccnvm::prelude::*;
 use ccnvm_bench::parallel::{parallel_for_mut, parallel_map, thread_count};
+use ccnvm_mem::{DurableBackend, FileBackend, FileBackendConfig, FileIoCounters};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -100,9 +102,46 @@ fn config_of(run: &RunArgs) -> Result<SimConfig, String> {
     Ok(config)
 }
 
-fn simulate(run: &RunArgs) -> Result<Simulator, String> {
+fn backend_cfg(run: &RunArgs) -> FileBackendConfig {
+    FileBackendConfig {
+        fsync: run.fsync,
+        ..FileBackendConfig::default()
+    }
+}
+
+/// Builds the simulator over the chosen durable backend. The second
+/// return is the file backend's I/O counter handle (usable after the
+/// backend is boxed away), `None` for the in-memory store.
+fn simulate(run: &RunArgs) -> Result<(Simulator, Option<Arc<FileIoCounters>>), String> {
     let config = config_of(run)?;
-    let mut sim = Simulator::new(config).map_err(|e| e.to_string())?;
+    let (mut sim, io) = match &run.backend {
+        BackendChoice::Mem => (Simulator::new(config).map_err(|e| e.to_string())?, None),
+        BackendChoice::File(dir) => {
+            let backend = FileBackend::open(dir, backend_cfg(run)).map_err(|e| e.to_string())?;
+            if !backend.is_empty() {
+                // A fresh simulation starts from an all-zero image and
+                // a default TCB root; layering it over a previous
+                // run's lines would trip the integrity checks.
+                return Err(format!(
+                    "file store {dir} already holds {} lines from a previous run; \
+                     the simulator starts from a fresh image — point --backend \
+                     file: at a new (or emptied) directory",
+                    backend.len()
+                ));
+            }
+            let io = backend.io_counters();
+            let replay = io.stats();
+            if replay.discarded_bytes > 0 {
+                eprintln!(
+                    "file backend {dir}: discarded {} torn bytes from the log tail",
+                    replay.discarded_bytes
+                );
+            }
+            let sim =
+                Simulator::with_backend(config, Box::new(backend)).map_err(|e| e.to_string())?;
+            (sim, Some(io))
+        }
+    };
     if run.trace_out.is_some() || run.epoch_report || run.chrome_trace.is_some() {
         sim.memory_mut().attach_recorder(RecorderConfig::default());
     }
@@ -148,7 +187,21 @@ fn simulate(run: &RunArgs) -> Result<Simulator, String> {
         sim.run(trace, run.instructions)
             .map_err(|e| e.to_string())?;
     }
-    Ok(sim)
+    Ok((sim, io))
+}
+
+/// Prints the file backend's I/O tallies (status stream, so stdout
+/// stays machine-parseable under `--csv`).
+fn report_file_io(run: &RunArgs, io: Option<&Arc<FileIoCounters>>) {
+    let (BackendChoice::File(dir), Some(io)) = (&run.backend, io) else {
+        return;
+    };
+    let s = io.stats();
+    eprintln!(
+        "file backend {dir} ({}): {} records appended, {} fsyncs, \
+         {} compactions, {} bytes written",
+        run.fsync, s.appends, s.fsyncs, s.compactions, s.bytes_written
+    );
 }
 
 /// Writes `--trace-out` and prints `--epoch-report`, when requested.
@@ -304,6 +357,15 @@ fn shard_path(path: &str, shard: usize) -> String {
 
 /// Builds, instruments and runs the sharded service for `--shards N`.
 fn simulate_sharded(run: &RunArgs) -> Result<ShardRouter, String> {
+    if let BackendChoice::File(dir) = &run.backend {
+        return Err(format!(
+            "--backend file:{dir} is a single-owner store; it cannot be \
+             combined with --shards {} (each shard owns a slice of one \
+             durable image — run the shards against separate directories \
+             or use --backend mem)",
+            run.shards
+        ));
+    }
     let config = config_of(run)?;
     let mut router = ShardRouter::new(config, run.shards).map_err(|e| e.to_string())?;
     if run.trace_out.is_some() || run.epoch_report || run.chrome_trace.is_some() {
@@ -617,7 +679,11 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
         return cmd_run_sharded(run);
     }
     let chrome_file = create_chrome_file(run)?;
-    let sim = simulate(run)?;
+    let (mut sim, io) = simulate(run)?;
+    // A clean shutdown pushes buffered commit-log records to disk so
+    // the directory reopens to exactly this run's end state.
+    sim.memory_mut().sync_durable();
+    report_file_io(run, io.as_ref());
     let stats = sim.stats();
     if run.csv {
         println!("design,bench,{}", RunStats::csv_header());
@@ -672,6 +738,11 @@ fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
                     "m"
                 }
             };
+            // Sweep points are independent stores: each gets its own
+            // subdirectory so their logs never interleave.
+            if let BackendChoice::File(dir) = &run.backend {
+                run.backend = BackendChoice::File(format!("{dir}/{name}{value}"));
+            }
             (name, value, run)
         })
         .collect();
@@ -680,7 +751,10 @@ fn cmd_sweep(sweep: &SweepArgs) -> Result<(), String> {
         if run.shards > 1 {
             simulate_sharded(run).map(|router| router.stats())
         } else {
-            simulate(run).map(|sim| sim.stats())
+            simulate(run).map(|(mut sim, _)| {
+                sim.memory_mut().sync_durable();
+                sim.stats()
+            })
         }
     });
     for ((name, value, run), stats) in points.iter().zip(results) {
@@ -713,8 +787,34 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
         return cmd_recover_sharded(run);
     }
     let chrome_file = create_chrome_file(run)?;
-    let sim = simulate(run)?;
-    let image = sim.memory().crash_image();
+    // The re-simulation only reconstructs the pre-crash machine state
+    // (TCB registers are battery-backed hardware and survive a crash);
+    // it always runs in memory. The durable image under recovery is
+    // the file store reopened below, never the re-simulation's writes.
+    let mem_run = match &run.backend {
+        BackendChoice::File(_) => {
+            let mut r = run.clone();
+            r.backend = BackendChoice::Mem;
+            std::borrow::Cow::Owned(r)
+        }
+        BackendChoice::Mem => std::borrow::Cow::Borrowed(run),
+    };
+    let (sim, _io) = simulate(&mem_run)?;
+    let mut image = sim.memory().crash_image();
+    if let BackendChoice::File(dir) = &run.backend {
+        // A real crash recovery: reopen the directory from disk and
+        // recover from what the filesystem actually preserved —
+        // records the fsync strategy had not flushed are gone, exactly
+        // as after a power cut.
+        let reopened = FileBackend::open(dir, backend_cfg(run)).map_err(|e| e.to_string())?;
+        let s = reopened.io_counters().stats();
+        println!(
+            "reopened file store {dir}: {} log records replayed, {} torn/unsynced \
+             bytes discarded",
+            s.replayed_records, s.discarded_bytes
+        );
+        image.nvm = reopened.snapshot();
+    }
     let report = recover(&image);
     println!(
         "{} on {}: crashed after {} instructions",
@@ -724,12 +824,13 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
     );
     let surface = image.surface();
     println!(
-        "crash image: {} durable lines (data {}, hmac {}, counter {}, tree {})",
+        "crash image: {} durable lines (data {}, hmac {}, counter {}, tree {}, unknown {})",
         surface.total_lines(),
         surface.data_lines,
         surface.dh_lines,
         surface.counter_lines,
-        surface.tree_lines
+        surface.tree_lines,
+        surface.unknown_lines
     );
     if image.staged_lines_lost > 0 {
         println!(
@@ -773,6 +874,17 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
     audit_verdict(&sim)?;
     if report.is_clean() {
         println!("verdict: CLEAN — memory fully recovered");
+        Ok(())
+    } else if matches!(&run.backend, BackendChoice::File(_))
+        && run.fsync != ccnvm_mem::FsyncStrategy::Always
+    {
+        println!(
+            "verdict: DURABILITY LOSS — records buffered under fsync={} never \
+             reached disk before the crash; recovery detected the loss instead \
+             of silently serving stale state (use --fsync always for the \
+             ADR-faithful zero-loss mode)",
+            run.fsync
+        );
         Ok(())
     } else if run.design.is_crash_consistent() {
         Err("recovery reported attacks on an attack-free run (bug!)".into())
@@ -844,10 +956,10 @@ mod sweep_tests {
             .collect();
         let serial: Vec<RunStats> = points
             .iter()
-            .map(|r| simulate(r).unwrap().stats())
+            .map(|r| simulate(r).unwrap().0.stats())
             .collect();
         let parallel =
-            ccnvm_bench::parallel::parallel_map(&points, 3, |_, r| simulate(r).unwrap().stats());
+            ccnvm_bench::parallel::parallel_map(&points, 3, |_, r| simulate(r).unwrap().0.stats());
         for (s, p) in serial.iter().zip(&parallel) {
             assert_eq!(s.csv_row(), p.csv_row());
         }

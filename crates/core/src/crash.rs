@@ -6,11 +6,22 @@
 //! What remains is the durable NVM image plus the persistent TCB
 //! registers; that pair is everything recovery (§4.4) may look at.
 
-use crate::config::DesignKind;
+use crate::config::{DesignKind, SimConfig};
+use crate::error::ConfigError;
 use crate::layout::SecureLayout;
+use crate::recovery::recover;
+use crate::secmem::SecureMemory;
 use crate::tcb::Tcb;
-use ccnvm_mem::{LineAddr, LineStore};
+use ccnvm_mem::crashpoint;
+use ccnvm_mem::file::LOG_FILE;
+use ccnvm_mem::{
+    DurableBackend, FileBackend, FileBackendConfig, FileBackendError, FsyncStrategy, LineAddr,
+    LineStore,
+};
 use std::collections::HashMap;
+use std::fmt;
+use std::io::Write as _;
+use std::path::Path;
 
 /// The durable state recovery starts from.
 #[derive(Debug, Clone)]
@@ -45,6 +56,11 @@ pub struct CrashSurface {
     pub counter_lines: u64,
     /// Durable BMT node lines.
     pub tree_lines: u64,
+    /// Lines outside every layout region — impossible through the
+    /// simulator, but a corrupted file-backed image can carry
+    /// arbitrary addresses, and they must not masquerade as data
+    /// HMACs in the crash summary.
+    pub unknown_lines: u64,
 }
 
 impl CrashSurface {
@@ -55,7 +71,7 @@ impl CrashSurface {
 
     /// All durable lines in the image.
     pub fn total_lines(&self) -> u64 {
-        self.data_lines + self.dh_lines + self.counter_lines + self.tree_lines
+        self.data_lines + self.dh_lines + self.counter_lines + self.tree_lines + self.unknown_lines
     }
 }
 
@@ -71,8 +87,10 @@ impl CrashImage {
                 s.counter_lines += 1;
             } else if layout.is_tree_line(line) {
                 s.tree_lines += 1;
-            } else {
+            } else if layout.is_dh_line(line) {
                 s.dh_lines += 1;
+            } else {
+                s.unknown_lines += 1;
             }
         }
         s
@@ -98,5 +116,334 @@ impl GroundTruth {
     /// Version of `line` (0 = never written back).
     pub fn version_of(&self, line: LineAddr) -> u64 {
         self.data_versions.get(&line.0).copied().unwrap_or(0)
+    }
+}
+
+/// Why a crash-point sweep could not run (distinct from an *unclean*
+/// sweep, which is reported through [`CrashSweepReport`]).
+#[derive(Debug)]
+pub enum CrashSweepError {
+    /// The simulation configuration is invalid.
+    Config(ConfigError),
+    /// The file backend could not be opened.
+    Backend(FileBackendError),
+}
+
+impl fmt::Display for CrashSweepError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Config(e) => write!(f, "crash sweep config error: {e}"),
+            Self::Backend(e) => write!(f, "crash sweep backend error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CrashSweepError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Config(e) => Some(e),
+            Self::Backend(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for CrashSweepError {
+    fn from(e: ConfigError) -> Self {
+        Self::Config(e)
+    }
+}
+
+impl From<FileBackendError> for CrashSweepError {
+    fn from(e: FileBackendError) -> Self {
+        Self::Backend(e)
+    }
+}
+
+/// What recovery found after a simulated kill at one persist boundary.
+#[derive(Debug, Clone)]
+pub struct BoundaryOutcome {
+    /// 1-based index of the boundary in program order.
+    pub boundary: u64,
+    /// The boundary's label (`wpq-retire`, `drain-stage`,
+    /// `root-alternate`, `nwb-update`, `manifest-swap` — or
+    /// `run-completed` if the workload finished before this index,
+    /// which the sweep treats as a bug in itself).
+    pub label: String,
+    /// `recover()` came back clean on the state the filesystem
+    /// preserved at the kill.
+    pub clean: bool,
+    /// Still clean after a torn (partially written) record was
+    /// appended to the log tail before reopening — the
+    /// power-failed-mid-write case.
+    pub clean_after_tear: bool,
+}
+
+/// Result of [`sweep_crash_points`]: one outcome per persist boundary
+/// the workload crossed.
+#[derive(Debug, Clone)]
+pub struct CrashSweepReport {
+    /// The design swept.
+    pub design: DesignKind,
+    /// Total persist boundaries the workload crossed.
+    pub boundaries: u64,
+    /// Distinct boundary labels, in first-crossing order.
+    pub labels_seen: Vec<String>,
+    /// Per-boundary kill outcomes.
+    pub outcomes: Vec<BoundaryOutcome>,
+    /// The uncrashed run's durable image recovered clean *and* its
+    /// rebuilt root equals the simulator's ground-truth root.
+    pub ground_truth_match: bool,
+}
+
+impl CrashSweepReport {
+    /// Every boundary recovered clean (both straight and torn-tail),
+    /// and the uncrashed run matched ground truth.
+    pub fn all_clean(&self) -> bool {
+        self.ground_truth_match
+            && self
+                .outcomes
+                .iter()
+                .all(|o| o.clean && o.clean_after_tear && o.label != "run-completed")
+    }
+
+    /// The boundaries that did not recover clean.
+    pub fn unclean(&self) -> Vec<&BoundaryOutcome> {
+        self.outcomes
+            .iter()
+            .filter(|o| !(o.clean && o.clean_after_tear))
+            .collect()
+    }
+}
+
+impl fmt::Display for CrashSweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "crash sweep of {}: {} boundaries ({}), ground truth {}",
+            self.design,
+            self.boundaries,
+            self.labels_seen.join(", "),
+            if self.ground_truth_match {
+                "matched"
+            } else {
+                "MISMATCHED"
+            }
+        )?;
+        let unclean = self.unclean();
+        if unclean.is_empty() {
+            write!(f, "all boundaries recovered clean (incl. torn tails)")?;
+        } else {
+            writeln!(f, "{} boundaries did NOT recover clean:", unclean.len())?;
+            for o in unclean {
+                writeln!(
+                    f,
+                    "  #{} {} — clean {}, after tear {}",
+                    o.boundary, o.label, o.clean, o.clean_after_tear
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A half-written `STORE` frame — what a power failure mid-`write(2)`
+/// leaves at the log tail.
+const TORN_TAIL: [u8; 11] = [
+    1, 0xAB, 0xCD, 0xEF, 0x01, 0x23, 0x45, 0x67, 0x89, 0xAB, 0xCD,
+];
+
+/// Exhaustive crash-point injection over a file-backed run.
+///
+/// Runs `workload` once on a [`FileBackend`] under `fsync=always` (the
+/// ADR-faithful mode) to *record* every persist boundary it crosses —
+/// WPQ retirements, drain stagings, `ROOT_old`/`ROOT_new` alternations,
+/// `N_wb` updates, manifest swaps. Then, for each boundary `k`, reruns
+/// the workload in a fresh directory, kills it at exactly boundary `k`
+/// (a panic that unwinds out of the engine, dropping whatever the
+/// backend had not fsynced — the file-level power cut), reopens the
+/// directory from disk and asserts [`recover`] comes back clean on the
+/// preserved image — once as-is, and once after appending a torn
+/// record to the log tail.
+///
+/// The workload must be deterministic: the kill pass replays it and
+/// relies on boundary `k` meaning the same event as in the recording.
+/// Everything is created under `dir`; per-kill subdirectories are
+/// removed as the sweep advances.
+///
+/// # Errors
+///
+/// Returns [`CrashSweepError`] when the config is invalid or the
+/// backend directory cannot be opened; unclean *recoveries* are not
+/// errors — they are what [`CrashSweepReport::unclean`] reports.
+///
+/// # Panics
+///
+/// Panics the way the engine panics: on filesystem write failures
+/// inside the run, or if the workload itself panics.
+pub fn sweep_crash_points(
+    config: &SimConfig,
+    dir: &Path,
+    workload: &dyn Fn(&mut SecureMemory),
+) -> Result<CrashSweepReport, CrashSweepError> {
+    let backend_cfg = FileBackendConfig {
+        fsync: FsyncStrategy::Always,
+        // Low threshold so the sweep exercises manifest-swap points.
+        compact_threshold: 32,
+    };
+
+    // Recording pass: enumerate the boundaries and capture ground
+    // truth of the completed run.
+    let record_dir = dir.join("record");
+    let backend = FileBackend::open(&record_dir, backend_cfg)?;
+    let mut mem = SecureMemory::with_backend(config.clone(), Box::new(backend))?;
+    let ((), labels) = crashpoint::record(|| {
+        workload(&mut mem);
+        mem.sync_durable();
+    });
+    let truth = mem.ground_truth();
+    let tcb = mem.tcb().clone();
+    drop(mem);
+    let reopened = FileBackend::open(&record_dir, backend_cfg)?;
+    let image = CrashImage {
+        design: config.design,
+        capacity_bytes: config.capacity_bytes,
+        update_limit: config.update_limit,
+        tcb,
+        nvm: reopened.snapshot(),
+        staged_lines_lost: 0,
+    };
+    drop(reopened);
+    let report = recover(&image);
+    let ground_truth_match = report.is_clean() && report.rebuilt_root == truth.current_root;
+    std::fs::remove_dir_all(&record_dir).ok();
+
+    let mut labels_seen: Vec<String> = Vec::new();
+    for l in &labels {
+        if !labels_seen.iter().any(|s| s == l) {
+            labels_seen.push(l.clone());
+        }
+    }
+
+    // Kill pass: one fresh directory per boundary.
+    let mut outcomes = Vec::with_capacity(labels.len());
+    for k in 1..=labels.len() as u64 {
+        let kill_dir = dir.join(format!("kill-{k}"));
+        let backend = FileBackend::open(&kill_dir, backend_cfg)?;
+        let mut mem = SecureMemory::with_backend(config.clone(), Box::new(backend))?;
+        let killed = crashpoint::kill_at(k, || {
+            workload(&mut mem);
+            mem.sync_durable();
+        });
+        let label = match killed {
+            Err(sig) => sig.label,
+            // The workload finished before boundary `k` — it was not
+            // deterministic. all_clean() flags this.
+            Ok(()) => "run-completed".to_owned(),
+        };
+        // The TCB registers are battery-backed hardware state: they
+        // survive the crash exactly as they were at the kill instant.
+        let tcb = mem.tcb().clone();
+        // Dropping the memory drops the backend: unsynced bytes are
+        // lost, open file handles close — the power cut.
+        drop(mem);
+
+        let clean = reopen_and_recover(&kill_dir, backend_cfg, config, &tcb)?;
+        // Power failures tear records mid-write: append a partial
+        // frame to the log and make sure reopen discards it.
+        let log = kill_dir.join(LOG_FILE);
+        let torn = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log)
+            .and_then(|mut f| f.write_all(&TORN_TAIL))
+            .map_err(|source| FileBackendError::Io { path: log, source });
+        torn?;
+        let clean_after_tear = reopen_and_recover(&kill_dir, backend_cfg, config, &tcb)?;
+        std::fs::remove_dir_all(&kill_dir).ok();
+
+        outcomes.push(BoundaryOutcome {
+            boundary: k,
+            label,
+            clean,
+            clean_after_tear,
+        });
+    }
+
+    Ok(CrashSweepReport {
+        design: config.design,
+        boundaries: labels.len() as u64,
+        labels_seen,
+        outcomes,
+        ground_truth_match,
+    })
+}
+
+fn reopen_and_recover(
+    dir: &Path,
+    backend_cfg: FileBackendConfig,
+    config: &SimConfig,
+    tcb: &Tcb,
+) -> Result<bool, CrashSweepError> {
+    let reopened = FileBackend::open(dir, backend_cfg)?;
+    let image = CrashImage {
+        design: config.design,
+        capacity_bytes: config.capacity_bytes,
+        update_limit: config.update_limit,
+        tcb: tcb.clone(),
+        nvm: reopened.snapshot(),
+        staged_lines_lost: 0,
+    };
+    Ok(recover(&image).is_clean())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::secmem::DrainTrigger;
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ccnvm-sweep-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn small_workload(mem: &mut SecureMemory) {
+        for i in 0..4u64 {
+            mem.write_back(LineAddr(i * 64), i * 100_000).expect("wb");
+        }
+        mem.drain(1_000_000, DrainTrigger::External);
+        mem.write_back(LineAddr(0), 2_000_000).expect("wb");
+    }
+
+    #[test]
+    fn ccnvm_sweep_is_clean_at_every_boundary() {
+        let dir = temp_dir("ccnvm");
+        let config = SimConfig::small(DesignKind::CcNvm);
+        let report = sweep_crash_points(&config, &dir, &small_workload).expect("sweep");
+        assert!(report.boundaries > 0);
+        assert!(
+            report.labels_seen.iter().any(|l| l == "wpq-retire"),
+            "{:?}",
+            report.labels_seen
+        );
+        assert!(report.all_clean(), "{report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unknown_lines_do_not_masquerade_as_hmacs() {
+        let mut m = SecureMemory::new(SimConfig::small(DesignKind::CcNvm)).expect("config");
+        m.write_back(LineAddr(0), 0).expect("wb");
+        let mut image = m.crash_image();
+        let before = image.surface();
+        assert_eq!(before.unknown_lines, 0);
+        // An address far outside every layout region.
+        image.nvm.write(LineAddr(u64::MAX / 2), [0xEE; 64]);
+        let after = image.surface();
+        assert_eq!(after.unknown_lines, 1);
+        assert_eq!(after.dh_lines, before.dh_lines, "not classified as dh");
+        assert_eq!(after.total_lines(), before.total_lines() + 1);
     }
 }

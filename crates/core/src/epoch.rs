@@ -52,6 +52,9 @@ impl SecureMemory {
             lines: queued,
         });
         let end = self.stage_drain(now);
+        // Staged-but-uncommitted: killing here models a crash before
+        // the `end` signal — nothing of this epoch is durable yet.
+        ccnvm_mem::crashpoint::fire("drain-stage");
         self.commit_staged();
         if self.recorder.is_some() {
             // Fold the stage's WPQ accepts in first so the trace stays
@@ -84,6 +87,7 @@ impl SecureMemory {
             // engine work of their own.
             self.stats.engine_cycles += end - now;
         }
+        self.nvm.durable.tick(end);
         self.engine_busy_until = self.engine_busy_until.max(end);
         self.audit_check(obs::audit::AuditPoint::DrainCommit, end);
         end
@@ -180,8 +184,14 @@ impl SecureMemory {
     /// `ROOT_old ← ROOT_new`, `N_wb ← 0`.
     pub fn commit_staged(&mut self) {
         // Take/clear/put back rather than `mem::take` alone so the
-        // staging buffer keeps its capacity across epochs.
+        // staging buffer keeps its capacity across epochs. The staged
+        // lines retire as one atomic group — the `end` signal means
+        // ADR persists all of them even across a power failure — and
+        // the TCB flip belongs to the same indivisible step (a crash
+        // between the two would leave `N_wb` counting write-backs
+        // whose counters are already durable).
         let mut staged = std::mem::take(&mut self.staged);
+        self.nvm.begin_atomic();
         for &(line, content) in &staged {
             self.nvm.persist_meta(line, content);
             self.stats.meta_writes += 1;
@@ -194,10 +204,12 @@ impl SecureMemory {
                 }
             }
         }
+        self.nvm.commit_atomic();
         staged.clear();
         self.staged = staged;
         self.dirty_queue.clear();
         self.tcb.commit_drain();
+        ccnvm_mem::crashpoint::fire("root-alternate");
         self.epoch_lengths.record(self.wbs_this_epoch);
         self.wbs_this_epoch = 0;
     }

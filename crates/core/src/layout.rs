@@ -187,6 +187,11 @@ impl SecureLayout {
         (self.counter_base..self.counter_base + self.counter_lines).contains(&line.0)
     }
 
+    /// Whether `line` lies in the packed data-HMAC region.
+    pub fn is_dh_line(&self, line: LineAddr) -> bool {
+        (self.dh_base..self.dh_base + self.dh_lines).contains(&line.0)
+    }
+
     /// Whether `line` lies in the Merkle-tree node region.
     pub fn is_tree_line(&self, line: LineAddr) -> bool {
         let tree_base = self.level_base[0];

@@ -81,7 +81,9 @@ pub mod writepath;
 /// One-stop imports for examples and the benchmark harness.
 pub mod prelude {
     pub use crate::config::{DesignKind, SimConfig};
-    pub use crate::crash::CrashImage;
+    pub use crate::crash::{
+        sweep_crash_points, BoundaryOutcome, CrashImage, CrashSweepError, CrashSweepReport,
+    };
     pub use crate::error::{ConfigError, IntegrityError, ResumeError};
     pub use crate::obs::audit::{AuditMode, Auditor};
     pub use crate::obs::chrome::{write_chrome_trace, ChromeTraceInput};

@@ -58,6 +58,25 @@ impl NvmState {
     pub(crate) fn persist_meta(&mut self, line: LineAddr, content: Line) {
         self.durable.store(line, content);
         self.overlay.erase(line);
+        ccnvm_mem::crashpoint::fire("wpq-retire");
+    }
+
+    /// Persists a data or data-HMAC line (no overlay interaction —
+    /// those regions never shadow).
+    pub(crate) fn persist_data(&mut self, line: LineAddr, content: Line) {
+        self.durable.store(line, content);
+        ccnvm_mem::crashpoint::fire("wpq-retire");
+    }
+
+    /// Opens an atomic persist group on the backend (one write-back's
+    /// data + HMAC pair, one drain's staged lines).
+    pub(crate) fn begin_atomic(&mut self) {
+        self.durable.begin_atomic();
+    }
+
+    /// Closes the atomic persist group.
+    pub(crate) fn commit_atomic(&mut self) {
+        self.durable.commit_atomic();
     }
 }
 
@@ -183,6 +202,14 @@ impl SecureMemory {
             nvm: self.nvm.durable.snapshot(),
             staged_lines_lost: self.staged.len() as u64,
         }
+    }
+
+    /// Forces any writes the durable backend buffered down to storage
+    /// (a no-op for the in-memory backends; the file backend flushes
+    /// and fsyncs its commit log). A clean shutdown calls this before
+    /// dropping the subsystem.
+    pub fn sync_durable(&mut self) {
+        self.nvm.durable.sync();
     }
 
     /// Simulator-side ground truth (never visible to recovery).

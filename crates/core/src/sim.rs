@@ -77,6 +77,30 @@ impl Simulator {
         })
     }
 
+    /// Builds a simulator whose secure memory persists through the
+    /// supplied durable backend (e.g. a file-backed store) instead of
+    /// the default in-memory one.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration validation failures from
+    /// [`SecureMemory::with_backend`].
+    pub fn with_backend(
+        config: SimConfig,
+        durable: Box<dyn ccnvm_mem::DurableBackend>,
+    ) -> Result<Self, crate::error::ConfigError> {
+        Ok(Self {
+            l1: SetAssocCache::new(config.l1),
+            l2: SetAssocCache::new(config.l2),
+            mem: SecureMemory::with_backend(config.clone(), durable)?,
+            cycles: 0,
+            instructions: 0,
+            issue_carry: 0,
+            flush_scratch: Vec::new(),
+            config,
+        })
+    }
+
     /// The secure memory subsystem (crash images, ground truth, …).
     pub fn memory(&self) -> &SecureMemory {
         &self.mem

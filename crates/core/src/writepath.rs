@@ -241,8 +241,13 @@ impl SecureMemory {
         });
 
         // Phase 4 — design-specific tree maintenance (the path is
-        // already cached from phase 1).
+        // already cached from phase 1). The root register itself is
+        // only assigned after the persist group below commits: the
+        // hardware retires the write-back's NVM lines and its TCB
+        // update as one ADR-atomic step, so no crash boundary may
+        // separate them.
         let mut tree_done = t;
+        let mut eager_root = None;
         if self.design().updates_root_every_wb() {
             let (root, hmacs) = {
                 let mut view = ChipView {
@@ -254,12 +259,7 @@ impl SecureMemory {
             };
             self.stats.hmacs += hmacs as u64;
             tree_done += hmacs as u64 * HMAC_LATENCY_CYCLES;
-            self.tcb.root_new = root;
-            if !self.design().has_drainer() {
-                // SC and Osiris Plus persist the root atomically with
-                // the write-back.
-                self.tcb.root_old = root;
-            }
+            eager_root = Some(root);
             for &(_, _, node_line) in path.nodes() {
                 if self.meta_cache.contains(node_line) {
                     self.meta_cache.mark_dirty(node_line);
@@ -273,17 +273,18 @@ impl SecureMemory {
                     self.nvm.overlay.write(node_line, content);
                 }
             }
-        } else {
-            // w/o CC and cc-NVM: the dirtied counter *is* the trust
-            // frontier; all tree work is deferred (to eviction time or
-            // to the drain, respectively).
-            self.tcb.nwb += 1;
         }
+        // (w/o CC and cc-NVM: the dirtied counter *is* the trust
+        // frontier; all tree work is deferred — to eviction time or to
+        // the drain, respectively — and `N_wb` is bumped with the
+        // persist-group commit below.)
 
         // Design-specific persistence. `tree_persist` tracks how many
         // cycles of this went to the write queue, for the critical-path
-        // attribution below.
+        // attribution below. The whole section — eager tree lines plus
+        // the data/HMAC pair — retires as one ADR-atomic group.
         let mut tree_persist: Cycle = 0;
+        self.nvm.begin_atomic();
         match self.design() {
             DesignKind::StrictConsistency => {
                 for &l in path.all_lines() {
@@ -328,11 +329,11 @@ impl SecureMemory {
         }
 
         // Data + data HMAC reach NVM atomically (ADR).
-        self.nvm.durable.store(line, ct);
+        self.nvm.persist_data(line, ct);
         let (dh_line, dh_off) = self.layout.dh_slot_of(line);
         let mut dh_content = self.nvm.durable.read(dh_line);
         dh_content[dh_off..dh_off + 16].copy_from_slice(&dh);
-        self.nvm.durable.store(dh_line, dh_content);
+        self.nvm.persist_data(dh_line, dh_content);
         self.nvm.versions.insert(line.0, version);
         let mut done = crypto_done.max(tree_done);
         if self.profiler.is_some() {
@@ -367,6 +368,27 @@ impl SecureMemory {
             self.stats.dh_writes += 1;
             self.prof_write(obs::profile::Stage::WbPersist);
         }
+        self.nvm.commit_atomic();
+        // The persistent TCB registers update in the same atomic step
+        // as the group commit: a crash either sees the whole
+        // write-back with its register update, or neither — otherwise
+        // `N_retry` (derived from durable data HMACs at recovery)
+        // would disagree with `N_wb` after a legal power failure.
+        match eager_root {
+            Some(root) => {
+                self.tcb.root_new = root;
+                if !self.design().has_drainer() {
+                    // SC and Osiris Plus persist the root atomically
+                    // with the write-back.
+                    self.tcb.root_old = root;
+                }
+                ccnvm_mem::crashpoint::fire("root-alternate");
+            }
+            None => {
+                self.tcb.nwb += 1;
+                ccnvm_mem::crashpoint::fire("nwb-update");
+            }
+        }
 
         // Final drains for the epoch designs: a minor-counter overflow
         // commits the re-encrypted page's counter atomically
@@ -383,6 +405,9 @@ impl SecureMemory {
             }
         }
 
+        // Feed the simulated clock to backends with time-based flush
+        // policies (no-op for the in-memory stores).
+        self.nvm.durable.tick(done);
         self.stats.engine_cycles += done.saturating_sub(service_start);
         self.engine_busy_until = self.engine_busy_until.max(done);
         self.wb_buffer.push(done);
@@ -410,6 +435,9 @@ impl SecureMemory {
         new_ctr: &CounterLine,
         mut t: Cycle,
     ) -> Cycle {
+        // The rewritten page (data + HMACs + the eager designs'
+        // counter persist) reaches NVM as one atomic unit.
+        self.nvm.begin_atomic();
         let page_first = LineAddr(written.0 / 64 * 64);
         for i in 0..64usize {
             let dline = LineAddr(page_first.0 + i as u64);
@@ -430,11 +458,11 @@ impl SecureMemory {
             let dh = engine.data_hmac(&ct_new, dline, maj_n, min_n);
             self.stats.aes_ops += 2;
             self.stats.hmacs += 1;
-            self.nvm.durable.store(dline, ct_new);
+            self.nvm.persist_data(dline, ct_new);
             let (dh_line, dh_off) = self.layout.dh_slot_of(dline);
             let mut dh_content = self.nvm.durable.read(dh_line);
             dh_content[dh_off..dh_off + 16].copy_from_slice(&dh);
-            self.nvm.durable.store(dh_line, dh_content);
+            self.nvm.persist_data(dh_line, dh_content);
             t = self.mc.read(dline, t);
             for l in [dline, dh_line] {
                 let (at, issued) = self.post_write(l, t);
@@ -471,6 +499,7 @@ impl SecureMemory {
                 }
             }
         }
+        self.nvm.commit_atomic();
         t
     }
 }

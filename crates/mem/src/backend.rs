@@ -9,6 +9,7 @@
 
 use crate::addr::LINES_PER_PAGE;
 use crate::store::{Line, LineStore, ZERO_LINE};
+use crate::timing::Cycle;
 use crate::LineAddr;
 
 /// Crash-survivable line-granular storage.
@@ -20,6 +21,14 @@ use crate::LineAddr;
 ///   (callers model ADR/WPQ ordering above this trait);
 /// * [`snapshot`](Self::snapshot) captures exactly the stored lines —
 ///   it is what a power failure preserves.
+///
+/// The atomic-group methods ([`begin_atomic`](Self::begin_atomic) /
+/// [`commit_atomic`](Self::commit_atomic)) bracket multi-line persist
+/// sequences that hardware retires indivisibly — one write-back's
+/// data + data-HMAC pair, one epoch drain's staged lines. In-memory
+/// backends are trivially atomic and keep the default no-ops; the
+/// file backend turns the brackets into log markers so a reopen
+/// applies a group all-or-nothing.
 pub trait DurableBackend: std::fmt::Debug + Send {
     /// The stored content of `line`, if any.
     fn load(&self, line: LineAddr) -> Option<Line>;
@@ -57,6 +66,24 @@ pub trait DurableBackend: std::fmt::Debug + Send {
     fn read(&self, line: LineAddr) -> Line {
         self.load(line).unwrap_or(ZERO_LINE)
     }
+
+    /// Opens an atomic persist group: subsequent stores/erases up to
+    /// [`commit_atomic`](Self::commit_atomic) must survive a crash
+    /// all-or-nothing. Groups do not nest. No-op by default (in-memory
+    /// stores are trivially atomic).
+    fn begin_atomic(&mut self) {}
+
+    /// Closes the atomic group opened by
+    /// [`begin_atomic`](Self::begin_atomic). No-op by default.
+    fn commit_atomic(&mut self) {}
+
+    /// Forces any buffered writes down to durable storage. No-op for
+    /// backends that persist synchronously.
+    fn sync(&mut self) {}
+
+    /// Feeds the simulated clock, for backends with time-based flush
+    /// policies. No-op by default.
+    fn tick(&mut self, _now: Cycle) {}
 }
 
 /// A [`DurableBackend`] view belonging to one shard of a partitioned
@@ -124,6 +151,15 @@ impl DurableBackend for ShardedBackend {
     }
 
     fn erase(&mut self, line: LineAddr) -> Option<Line> {
+        // Deleting durable state is as destructive as overwriting it:
+        // the same ownership invariant `store` enforces applies, or a
+        // router bug could silently drop another shard's line.
+        assert!(
+            self.owns(line),
+            "shard {}/{} asked to erase foreign line {line}",
+            self.shard_index,
+            self.shard_count
+        );
         self.inner.erase(line)
     }
 
@@ -140,7 +176,18 @@ impl DurableBackend for ShardedBackend {
     }
 
     fn restore(&mut self, image: &LineStore) {
-        self.inner = image.clone();
+        // A service-wide recovery hands every shard the same merged
+        // image; each shard takes exactly its slice of the data region
+        // (plus the metadata plane, disjoint between shards by
+        // construction). Installing foreign data lines here would
+        // double-materialize pages into two epoch domains.
+        let mut filtered = LineStore::new();
+        for (line, content) in image.iter() {
+            if self.owns(line) {
+                filtered.write(line, *content);
+            }
+        }
+        self.inner = filtered;
     }
 }
 
@@ -202,6 +249,44 @@ mod tests {
     fn sharded_backend_rejects_foreign_data_stores() {
         let mut s1 = ShardedBackend::new(1, 2, 256);
         s1.store(LineAddr(0), [1u8; 64]); // page 0 belongs to shard 0
+    }
+
+    #[test]
+    #[should_panic(expected = "erase foreign line")]
+    fn sharded_backend_rejects_foreign_data_erases() {
+        // Regression: erase used to skip the ownership check store
+        // performs, so a router bug could delete another shard's line.
+        let mut s1 = ShardedBackend::new(1, 2, 256);
+        s1.erase(LineAddr(0)); // page 0 belongs to shard 0
+    }
+
+    #[test]
+    fn sharded_backend_restore_filters_foreign_lines() {
+        // Regression: restore used to install a merged service-wide
+        // image wholesale, double-materializing pages into two shards.
+        let mut adversarial = LineStore::new();
+        adversarial.write(LineAddr(0), [10u8; 64]); // page 0 → shard 0
+        adversarial.write(LineAddr(64), [11u8; 64]); // page 1 → shard 1
+        adversarial.write(LineAddr(128), [12u8; 64]); // page 2 → shard 0
+        adversarial.write(LineAddr(300), [13u8; 64]); // metadata: both
+
+        let mut s0 = ShardedBackend::new(0, 2, 256);
+        s0.restore(&adversarial);
+        assert_eq!(s0.load(LineAddr(0)), Some([10u8; 64]));
+        assert_eq!(s0.load(LineAddr(128)), Some([12u8; 64]));
+        assert_eq!(s0.load(LineAddr(300)), Some([13u8; 64]));
+        assert_eq!(
+            s0.load(LineAddr(64)),
+            None,
+            "shard 0 must not materialize shard 1's page"
+        );
+        assert_eq!(s0.len(), 3);
+
+        let mut s1 = ShardedBackend::new(1, 2, 256);
+        s1.restore(&adversarial);
+        assert_eq!(s1.load(LineAddr(64)), Some([11u8; 64]));
+        assert_eq!(s1.load(LineAddr(0)), None);
+        assert_eq!(s1.len(), 2);
     }
 
     #[test]

@@ -1,0 +1,1003 @@
+//! A file-backed [`DurableBackend`]: an append-only commit log plus a
+//! periodically compacted, atomically swapped manifest.
+//!
+//! On-disk layout inside the backend's directory:
+//!
+//! * `commit.log` — CRC32-framed line records, appended in write
+//!   order. Atomic groups (one write-back's data + HMAC pair, one
+//!   epoch drain's staged lines) are bracketed by `BEGIN`/`COMMIT`
+//!   marker records; reopening applies a group only when its `COMMIT`
+//!   made it to disk, which is the file-level analogue of the ADR
+//!   `end`-signal protocol. A torn or truncated tail record stops
+//!   replay and is discarded, together with any group left open.
+//! * `manifest` — a compacted snapshot of every stored line, replaced
+//!   atomically (write `manifest.tmp`, fsync, rename, fsync the
+//!   directory). Reopen loads the manifest first, then replays the
+//!   log over it; replaying a log the manifest already absorbed is
+//!   idempotent, so a crash between the swap and the log truncation is
+//!   harmless.
+//!
+//! Durability is governed by [`FsyncStrategy`]: `always` flushes and
+//! fsyncs at every record boundary outside a group and at every group
+//! commit (the faithful ADR model — the crash-point harness asserts
+//! clean recovery at *every* boundary in this mode); `batch(n)` and
+//! `interval(cycles)` defer the flush, trading crash-window durability
+//! for throughput exactly like a write-ahead log's group commit. A
+//! kill between fsyncs loses the buffered tail; cc-NVM's recovery then
+//! reports the loss (`N_retry != N_wb`) rather than silently serving
+//! stale state.
+//!
+//! Reads are served from an in-memory mirror, so the simulator's hot
+//! path never touches the filesystem; only persists append to the log.
+//!
+//! Runtime I/O failures inside trait methods (which cannot return
+//! errors) panic with the failing path — a durable store that cannot
+//! store is not allowed to limp along.
+
+use crate::backend::DurableBackend;
+use crate::crashpoint;
+use crate::store::{Line, LineStore};
+use crate::timing::Cycle;
+use crate::LineAddr;
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Commit-log file name inside the backend directory.
+pub const LOG_FILE: &str = "commit.log";
+/// Manifest file name inside the backend directory.
+pub const MANIFEST_FILE: &str = "manifest";
+/// Temporary manifest written before the atomic rename.
+pub const MANIFEST_TMP_FILE: &str = "manifest.tmp";
+
+const MANIFEST_MAGIC: [u8; 8] = *b"CCNVMMF1";
+
+const KIND_STORE: u8 = 1;
+const KIND_ERASE: u8 = 2;
+const KIND_BEGIN: u8 = 3;
+const KIND_COMMIT: u8 = 4;
+
+/// `kind + u64 + crc32` — the frame of every non-`STORE` record.
+const SHORT_RECORD: usize = 1 + 8 + 4;
+/// `kind + addr + 64-byte payload + crc32`.
+const STORE_RECORD: usize = 1 + 8 + 64 + 4;
+
+/// When the backend flushes its buffered records and calls fsync.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsyncStrategy {
+    /// Flush + fsync at every record boundary / group commit.
+    Always,
+    /// Flush + fsync once at least this many records are buffered.
+    Batch(u32),
+    /// Flush + fsync when this many simulated cycles passed since the
+    /// last sync (fed through [`DurableBackend::tick`]).
+    Interval(Cycle),
+}
+
+impl fmt::Display for FsyncStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Always => write!(f, "always"),
+            Self::Batch(n) => write!(f, "batch:{n}"),
+            Self::Interval(c) => write!(f, "interval:{c}"),
+        }
+    }
+}
+
+impl std::str::FromStr for FsyncStrategy {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "always" {
+            return Ok(Self::Always);
+        }
+        if let Some(n) = s.strip_prefix("batch:") {
+            let n: u32 = n
+                .parse()
+                .map_err(|_| format!("batch size {n:?} is not a number"))?;
+            if n == 0 {
+                return Err("batch size must be positive".into());
+            }
+            return Ok(Self::Batch(n));
+        }
+        if let Some(c) = s.strip_prefix("interval:") {
+            let c: Cycle = c
+                .parse()
+                .map_err(|_| format!("interval cycles {c:?} is not a number"))?;
+            if c == 0 {
+                return Err("interval must be a positive cycle count".into());
+            }
+            return Ok(Self::Interval(c));
+        }
+        Err(format!(
+            "unknown fsync strategy {s:?} (expected always, batch:<n> or interval:<cycles>)"
+        ))
+    }
+}
+
+/// Construction options for [`FileBackend`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileBackendConfig {
+    /// Flush/fsync policy.
+    pub fsync: FsyncStrategy,
+    /// Compact the log into the manifest once this many records were
+    /// appended since the last compaction.
+    pub compact_threshold: u64,
+}
+
+impl Default for FileBackendConfig {
+    fn default() -> Self {
+        Self {
+            fsync: FsyncStrategy::Always,
+            compact_threshold: 4096,
+        }
+    }
+}
+
+/// Why a [`FileBackend`] could not be opened.
+#[derive(Debug)]
+pub enum FileBackendError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// The path the operation targeted.
+        path: PathBuf,
+        /// The OS error.
+        source: std::io::Error,
+    },
+    /// The manifest exists but is not a valid snapshot. The manifest
+    /// is only ever replaced atomically, so this is real corruption,
+    /// not a crash artifact.
+    CorruptManifest {
+        /// The manifest path.
+        path: PathBuf,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for FileBackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Io { path, source } => {
+                write!(f, "file backend I/O error at {}: {source}", path.display())
+            }
+            Self::CorruptManifest { path, detail } => {
+                write!(f, "corrupt manifest {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for FileBackendError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io { source, .. } => Some(source),
+            Self::CorruptManifest { .. } => None,
+        }
+    }
+}
+
+/// Shared I/O counters, cloned out via [`FileBackend::io_counters`] so
+/// callers can read them after the backend was boxed behind the trait.
+#[derive(Debug, Default)]
+pub struct FileIoCounters {
+    appends: AtomicU64,
+    fsyncs: AtomicU64,
+    compactions: AtomicU64,
+    bytes_written: AtomicU64,
+    replayed_records: AtomicU64,
+    discarded_bytes: AtomicU64,
+}
+
+/// A point-in-time copy of the I/O counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FileIoStats {
+    /// Records appended to the commit log (including group markers).
+    pub appends: u64,
+    /// fsync calls issued on the log.
+    pub fsyncs: u64,
+    /// Manifest compactions performed.
+    pub compactions: u64,
+    /// Bytes written to the log.
+    pub bytes_written: u64,
+    /// Log records replayed at the last open.
+    pub replayed_records: u64,
+    /// Torn/uncommitted tail bytes discarded at the last open.
+    pub discarded_bytes: u64,
+}
+
+impl FileIoCounters {
+    /// Snapshots the counters.
+    pub fn stats(&self) -> FileIoStats {
+        FileIoStats {
+            appends: self.appends.load(Ordering::Relaxed),
+            fsyncs: self.fsyncs.load(Ordering::Relaxed),
+            compactions: self.compactions.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            replayed_records: self.replayed_records.load(Ordering::Relaxed),
+            discarded_bytes: self.discarded_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    fn add(&self, which: &AtomicU64, n: u64) {
+        which.fetch_add(n, Ordering::Relaxed);
+    }
+}
+
+/// CRC-32 (ISO-HDLC polynomial, the zlib/`crc32fast` flavour),
+/// bit-reflected, init and xorout `0xFFFF_FFFF`.
+fn crc32(data: &[u8]) -> u32 {
+    const POLY: u32 = 0xEDB8_8320;
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let lsb = crc & 1;
+            crc >>= 1;
+            if lsb != 0 {
+                crc ^= POLY;
+            }
+        }
+    }
+    !crc
+}
+
+/// The file-backed durable store. See the module docs for the on-disk
+/// format and durability model.
+///
+/// [`DurableBackend::snapshot`] returns the in-memory mirror — the
+/// functional view, i.e. what ADR-backed hardware would preserve.
+/// What the *host filesystem* preserved is observed by dropping the
+/// backend and calling [`FileBackend::open`] on the directory again;
+/// that is what the crash-point harness does.
+#[derive(Debug)]
+pub struct FileBackend {
+    dir: PathBuf,
+    log: File,
+    mirror: LineStore,
+    config: FileBackendConfig,
+    /// Encoded records not yet written + fsynced. A kill loses these.
+    pending: Vec<u8>,
+    pending_records: u64,
+    /// Sequence number of the open atomic group, if any.
+    group: Option<u64>,
+    next_seq: u64,
+    records_since_compact: u64,
+    now: Cycle,
+    last_sync: Cycle,
+    counters: Arc<FileIoCounters>,
+}
+
+impl FileBackend {
+    /// Opens (or creates) the backend rooted at `dir`: loads the
+    /// manifest, replays the commit log over it (discarding a torn
+    /// tail record and any group without its `COMMIT` marker), and
+    /// truncates the log back to its last durably-applied byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FileBackendError`] on filesystem failures or a
+    /// corrupt manifest.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: FileBackendConfig,
+    ) -> Result<Self, FileBackendError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|source| FileBackendError::Io {
+            path: dir.clone(),
+            source,
+        })?;
+        // A leftover manifest.tmp is a crash artifact from before the
+        // atomic rename; the real manifest is still authoritative.
+        let tmp = dir.join(MANIFEST_TMP_FILE);
+        if tmp.exists() {
+            std::fs::remove_file(&tmp)
+                .map_err(|source| FileBackendError::Io { path: tmp, source })?;
+        }
+
+        let counters = Arc::new(FileIoCounters::default());
+        let mut mirror = load_manifest(&dir.join(MANIFEST_FILE))?;
+
+        let log_path = dir.join(LOG_FILE);
+        let bytes = match std::fs::read(&log_path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(source) => {
+                return Err(FileBackendError::Io {
+                    path: log_path,
+                    source,
+                })
+            }
+        };
+        let replay = replay_log(&bytes, &mut mirror);
+        counters.add(&counters.replayed_records, replay.applied_records);
+        counters.add(
+            &counters.discarded_bytes,
+            (bytes.len() - replay.applied_end) as u64,
+        );
+        if replay.applied_end < bytes.len() {
+            // Cut the torn/uncommitted tail off so new appends extend
+            // a well-formed log.
+            let f = OpenOptions::new()
+                .write(true)
+                .create(true)
+                .truncate(false)
+                .open(&log_path)
+                .map_err(|source| FileBackendError::Io {
+                    path: log_path.clone(),
+                    source,
+                })?;
+            f.set_len(replay.applied_end as u64)
+                .and_then(|()| f.sync_data())
+                .map_err(|source| FileBackendError::Io {
+                    path: log_path.clone(),
+                    source,
+                })?;
+        }
+        let log = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&log_path)
+            .map_err(|source| FileBackendError::Io {
+                path: log_path,
+                source,
+            })?;
+        Ok(Self {
+            dir,
+            log,
+            mirror,
+            config,
+            pending: Vec::new(),
+            pending_records: 0,
+            group: None,
+            next_seq: replay.next_seq,
+            records_since_compact: replay.applied_records,
+            now: 0,
+            last_sync: 0,
+            counters,
+        })
+    }
+
+    /// Handle to the shared I/O counters (usable after the backend is
+    /// boxed behind [`DurableBackend`]).
+    pub fn io_counters(&self) -> Arc<FileIoCounters> {
+        Arc::clone(&self.counters)
+    }
+
+    /// The backend's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn io_panic(&self, what: &str, e: std::io::Error) -> ! {
+        panic!(
+            "file backend cannot {what} in {}: {e} — a durable store that cannot store must stop",
+            self.dir.display()
+        );
+    }
+
+    fn append_record(&mut self, encode: impl FnOnce(&mut Vec<u8>)) {
+        let start = self.pending.len();
+        encode(&mut self.pending);
+        let crc = crc32(&self.pending[start..]);
+        self.pending.extend_from_slice(&crc.to_le_bytes());
+        self.pending_records += 1;
+        self.records_since_compact += 1;
+        self.counters.add(&self.counters.appends, 1);
+    }
+
+    /// Writes + fsyncs everything buffered. The durability frontier of
+    /// a reopen moves to this point.
+    fn flush(&mut self) {
+        if !self.pending.is_empty() {
+            let n = self.pending.len() as u64;
+            if let Err(e) = self.log.write_all(&self.pending) {
+                self.io_panic("append to the commit log", e);
+            }
+            if let Err(e) = self.log.sync_data() {
+                self.io_panic("fsync the commit log", e);
+            }
+            self.counters.add(&self.counters.bytes_written, n);
+            self.counters.add(&self.counters.fsyncs, 1);
+            self.pending.clear();
+            self.pending_records = 0;
+        }
+        self.last_sync = self.now;
+    }
+
+    /// Applies the fsync strategy at a safe point (never inside an
+    /// atomic group). Compaction is *not* triggered here: a record
+    /// boundary or group commit can sit between a durable store and
+    /// the TCB register update that hardware retires in the same ADR
+    /// step, so maintenance waits for [`DurableBackend::tick`] /
+    /// [`DurableBackend::sync`], which the engine only calls at
+    /// register-consistent instants.
+    fn safe_point(&mut self) {
+        debug_assert!(self.group.is_none(), "safe point inside an atomic group");
+        let due = match self.config.fsync {
+            FsyncStrategy::Always => true,
+            FsyncStrategy::Batch(n) => self.pending_records >= u64::from(n),
+            FsyncStrategy::Interval(c) => self.now.saturating_sub(self.last_sync) >= c,
+        };
+        if due {
+            self.flush();
+        }
+    }
+
+    /// Triggers compaction when the threshold was crossed (called from
+    /// `tick`/`sync`, the register-consistent maintenance points).
+    fn maybe_compact(&mut self) {
+        if self.group.is_none() && self.records_since_compact >= self.config.compact_threshold {
+            self.compact();
+        }
+    }
+
+    /// Folds the log into a freshly swapped manifest and truncates the
+    /// log. Forces a flush first (compaction is a sync point under
+    /// every strategy). Fires the `manifest-swap` crash point at each
+    /// of its three persist boundaries.
+    pub fn compact(&mut self) {
+        assert!(
+            self.group.is_none(),
+            "cannot compact inside an atomic group"
+        );
+        self.flush();
+        if let Err(e) = self.write_manifest() {
+            self.io_panic("swap the manifest", e);
+        }
+        if let Err(e) = self.log.set_len(0).and_then(|()| self.log.sync_data()) {
+            self.io_panic("truncate the compacted log", e);
+        }
+        crashpoint::fire("manifest-swap");
+        self.records_since_compact = 0;
+        self.counters.add(&self.counters.compactions, 1);
+    }
+
+    /// Writes `manifest.tmp`, fsyncs it, renames it over `manifest`
+    /// and fsyncs the directory — the atomic-replace idiom.
+    fn write_manifest(&mut self) -> std::io::Result<()> {
+        let mut addrs: Vec<LineAddr> = self.mirror.iter().map(|(l, _)| l).collect();
+        addrs.sort_unstable();
+        let mut bytes = Vec::with_capacity(8 + 8 + addrs.len() * 72 + 4);
+        bytes.extend_from_slice(&MANIFEST_MAGIC);
+        bytes.extend_from_slice(&(addrs.len() as u64).to_le_bytes());
+        for &addr in &addrs {
+            bytes.extend_from_slice(&addr.0.to_le_bytes());
+            bytes.extend_from_slice(self.mirror.get(addr).expect("addr just listed"));
+        }
+        let crc = crc32(&bytes[8..]);
+        bytes.extend_from_slice(&crc.to_le_bytes());
+
+        let tmp = self.dir.join(MANIFEST_TMP_FILE);
+        let mut f = File::create(&tmp)?;
+        f.write_all(&bytes)?;
+        f.sync_all()?;
+        drop(f);
+        crashpoint::fire("manifest-swap");
+        std::fs::rename(&tmp, self.dir.join(MANIFEST_FILE))?;
+        // Make the rename itself durable; best effort where directory
+        // fds cannot be fsynced.
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+        crashpoint::fire("manifest-swap");
+        Ok(())
+    }
+}
+
+struct Replay {
+    /// Byte offset just past the last applied record (standalone, or
+    /// the `COMMIT` of a complete group).
+    applied_end: usize,
+    applied_records: u64,
+    next_seq: u64,
+}
+
+enum Op {
+    Store(LineAddr, Line),
+    Erase(LineAddr),
+}
+
+/// Replays a commit log over `mirror`. Stops at the first torn record
+/// (truncated frame or CRC mismatch); a group whose `COMMIT` never
+/// made it to disk is discarded wholesale — the ADR `end` signal was
+/// never sent.
+fn replay_log(bytes: &[u8], mirror: &mut LineStore) -> Replay {
+    let mut pos = 0usize;
+    let mut applied_end = 0usize;
+    let mut applied_records = 0u64;
+    let mut next_seq = 0u64;
+    let mut group: Option<(u64, Vec<Op>)> = None;
+
+    let apply = |mirror: &mut LineStore, op: &Op| match op {
+        Op::Store(addr, content) => mirror.write(*addr, *content),
+        Op::Erase(addr) => {
+            mirror.erase(*addr);
+        }
+    };
+
+    while pos < bytes.len() {
+        let kind = bytes[pos];
+        let frame = match kind {
+            KIND_STORE => STORE_RECORD,
+            KIND_ERASE | KIND_BEGIN | KIND_COMMIT => SHORT_RECORD,
+            _ => break, // unknown kind: torn/corrupt tail
+        };
+        if pos + frame > bytes.len() {
+            break; // truncated tail record
+        }
+        let body = &bytes[pos..pos + frame - 4];
+        let crc = u32::from_le_bytes(bytes[pos + frame - 4..pos + frame].try_into().expect("4"));
+        if crc32(body) != crc {
+            break; // torn tail record
+        }
+        let arg = u64::from_le_bytes(body[1..9].try_into().expect("8"));
+        match kind {
+            KIND_STORE => {
+                let content: Line = body[9..73].try_into().expect("64");
+                let op = Op::Store(LineAddr(arg), content);
+                match &mut group {
+                    Some((_, ops)) => ops.push(op),
+                    None => {
+                        apply(mirror, &op);
+                        applied_records += 1;
+                        applied_end = pos + frame;
+                    }
+                }
+            }
+            KIND_ERASE => {
+                let op = Op::Erase(LineAddr(arg));
+                match &mut group {
+                    Some((_, ops)) => ops.push(op),
+                    None => {
+                        apply(mirror, &op);
+                        applied_records += 1;
+                        applied_end = pos + frame;
+                    }
+                }
+            }
+            KIND_BEGIN => {
+                if group.is_some() {
+                    break; // nested BEGIN: corrupt tail
+                }
+                group = Some((arg, Vec::new()));
+                next_seq = next_seq.max(arg + 1);
+            }
+            KIND_COMMIT => match group.take() {
+                Some((seq, ops)) if seq == arg => {
+                    for op in &ops {
+                        apply(mirror, op);
+                    }
+                    // markers + members all count as applied records.
+                    applied_records += ops.len() as u64 + 2;
+                    applied_end = pos + frame;
+                }
+                _ => break, // COMMIT without matching BEGIN: corrupt
+            },
+            _ => unreachable!("frame lookup rejected unknown kinds"),
+        }
+        pos += frame;
+    }
+    Replay {
+        applied_end,
+        applied_records,
+        next_seq,
+    }
+}
+
+fn load_manifest(path: &Path) -> Result<LineStore, FileBackendError> {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(LineStore::new()),
+        Err(source) => {
+            return Err(FileBackendError::Io {
+                path: path.to_path_buf(),
+                source,
+            })
+        }
+    };
+    let corrupt = |detail: &str| FileBackendError::CorruptManifest {
+        path: path.to_path_buf(),
+        detail: detail.to_owned(),
+    };
+    if bytes.len() < 8 + 8 + 4 || bytes[..8] != MANIFEST_MAGIC {
+        return Err(corrupt("missing or bad magic"));
+    }
+    let count = u64::from_le_bytes(bytes[8..16].try_into().expect("8")) as usize;
+    let expected = 8 + 8 + count * 72 + 4;
+    if bytes.len() != expected {
+        return Err(corrupt(&format!(
+            "length {} does not match {count} entries",
+            bytes.len()
+        )));
+    }
+    let crc = u32::from_le_bytes(bytes[expected - 4..].try_into().expect("4"));
+    if crc32(&bytes[8..expected - 4]) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut store = LineStore::new();
+    for i in 0..count {
+        let off = 16 + i * 72;
+        let addr = u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8"));
+        let content: Line = bytes[off + 8..off + 72].try_into().expect("64");
+        store.write(LineAddr(addr), content);
+    }
+    Ok(store)
+}
+
+impl DurableBackend for FileBackend {
+    fn load(&self, line: LineAddr) -> Option<Line> {
+        self.mirror.get(line).copied()
+    }
+
+    fn store(&mut self, line: LineAddr, content: Line) {
+        self.mirror.write(line, content);
+        self.append_record(|buf| {
+            buf.push(KIND_STORE);
+            buf.extend_from_slice(&line.0.to_le_bytes());
+            buf.extend_from_slice(&content);
+        });
+        if self.group.is_none() {
+            self.safe_point();
+        }
+    }
+
+    fn erase(&mut self, line: LineAddr) -> Option<Line> {
+        let prev = self.mirror.erase(line);
+        if prev.is_some() {
+            self.append_record(|buf| {
+                buf.push(KIND_ERASE);
+                buf.extend_from_slice(&line.0.to_le_bytes());
+            });
+            if self.group.is_none() {
+                self.safe_point();
+            }
+        }
+        prev
+    }
+
+    fn len(&self) -> usize {
+        self.mirror.len()
+    }
+
+    fn addrs(&self) -> Vec<LineAddr> {
+        self.mirror.iter().map(|(l, _)| l).collect()
+    }
+
+    fn snapshot(&self) -> LineStore {
+        self.mirror.clone()
+    }
+
+    fn restore(&mut self, image: &LineStore) {
+        // Wholesale replacement: drop anything buffered, install the
+        // image as the new manifest and start from an empty log.
+        self.pending.clear();
+        self.pending_records = 0;
+        self.group = None;
+        self.mirror = image.clone();
+        if let Err(e) = self.write_manifest() {
+            self.io_panic("swap the manifest during restore", e);
+        }
+        if let Err(e) = self.log.set_len(0).and_then(|()| self.log.sync_data()) {
+            self.io_panic("truncate the log during restore", e);
+        }
+        self.records_since_compact = 0;
+    }
+
+    fn begin_atomic(&mut self) {
+        assert!(self.group.is_none(), "atomic groups do not nest");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.append_record(|buf| {
+            buf.push(KIND_BEGIN);
+            buf.extend_from_slice(&seq.to_le_bytes());
+        });
+        self.group = Some(seq);
+    }
+
+    fn commit_atomic(&mut self) {
+        let seq = self
+            .group
+            .take()
+            .expect("commit_atomic without begin_atomic");
+        self.append_record(|buf| {
+            buf.push(KIND_COMMIT);
+            buf.extend_from_slice(&seq.to_le_bytes());
+        });
+        self.safe_point();
+    }
+
+    fn sync(&mut self) {
+        self.flush();
+        self.maybe_compact();
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        self.now = now;
+        if let FsyncStrategy::Interval(c) = self.config.fsync {
+            if self.group.is_none() && now.saturating_sub(self.last_sync) >= c {
+                self.flush();
+            }
+        }
+        self.maybe_compact();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static NEXT: AtomicU32 = AtomicU32::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("ccnvm-file-{tag}-{}-{n}", std::process::id()))
+    }
+
+    fn open(dir: &Path) -> FileBackend {
+        FileBackend::open(dir, FileBackendConfig::default()).expect("open")
+    }
+
+    #[test]
+    fn crc32_matches_the_iso_hdlc_check_value() {
+        // The canonical CRC-32/ISO-HDLC check: crc32(b"123456789").
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn store_survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut b = open(&dir);
+            b.store(LineAddr(3), [7u8; 64]);
+            b.store(LineAddr(9), [9u8; 64]);
+            assert_eq!(b.erase(LineAddr(9)), Some([9u8; 64]));
+        }
+        let b = open(&dir);
+        assert_eq!(b.load(LineAddr(3)), Some([7u8; 64]));
+        assert_eq!(b.load(LineAddr(9)), None);
+        assert_eq!(b.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn uncommitted_group_rolls_back_on_reopen() {
+        let dir = temp_dir("group");
+        {
+            let mut b = open(&dir);
+            b.store(LineAddr(1), [1u8; 64]);
+            b.begin_atomic();
+            b.store(LineAddr(2), [2u8; 64]);
+            b.store(LineAddr(3), [3u8; 64]);
+            b.commit_atomic();
+            b.begin_atomic();
+            b.store(LineAddr(4), [4u8; 64]);
+            // Force the half-open group onto disk, then "crash" with
+            // the COMMIT marker never written.
+            b.flush();
+            assert_eq!(b.load(LineAddr(4)), Some([4u8; 64]), "mirror is functional");
+        }
+        let b = open(&dir);
+        assert_eq!(b.load(LineAddr(1)), Some([1u8; 64]));
+        assert_eq!(b.load(LineAddr(2)), Some([2u8; 64]));
+        assert_eq!(b.load(LineAddr(3)), Some([3u8; 64]));
+        assert_eq!(b.load(LineAddr(4)), None, "group without COMMIT rolls back");
+        let discarded = b.io_counters().stats().discarded_bytes;
+        assert!(discarded > 0, "open BEGIN bytes must be cut off");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn torn_tail_record_is_discarded() {
+        let dir = temp_dir("torn");
+        {
+            let mut b = open(&dir);
+            b.store(LineAddr(1), [1u8; 64]);
+            b.store(LineAddr(2), [2u8; 64]);
+        }
+        // A write was in flight when power failed: a partial STORE
+        // frame after the last good record.
+        let log = dir.join(LOG_FILE);
+        let mut f = OpenOptions::new().append(true).open(&log).unwrap();
+        f.write_all(&[KIND_STORE, 9, 9, 9]).unwrap();
+        drop(f);
+        let b = open(&dir);
+        assert_eq!(b.len(), 2, "good prefix intact");
+        assert_eq!(b.io_counters().stats().discarded_bytes, 4);
+        // The log was truncated back, so appending keeps working.
+        drop(b);
+        let mut b = open(&dir);
+        assert_eq!(b.io_counters().stats().discarded_bytes, 0);
+        b.store(LineAddr(3), [3u8; 64]);
+        drop(b);
+        assert_eq!(open(&dir).len(), 3);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupted_tail_crc_is_discarded() {
+        let dir = temp_dir("crc");
+        {
+            let mut b = open(&dir);
+            b.store(LineAddr(1), [1u8; 64]);
+            b.store(LineAddr(2), [2u8; 64]);
+        }
+        let log = dir.join(LOG_FILE);
+        let mut bytes = std::fs::read(&log).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF; // flip a CRC byte of the final record
+        std::fs::write(&log, &bytes).unwrap();
+        let b = open(&dir);
+        assert_eq!(b.load(LineAddr(1)), Some([1u8; 64]));
+        assert_eq!(b.load(LineAddr(2)), None, "bad CRC drops the record");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_swaps_manifest_and_truncates_log() {
+        let dir = temp_dir("compact");
+        let cfg = FileBackendConfig {
+            fsync: FsyncStrategy::Always,
+            compact_threshold: 8,
+        };
+        let mut b = FileBackend::open(&dir, cfg).expect("open");
+        for i in 0..20u64 {
+            b.store(LineAddr(i), [i as u8; 64]);
+            b.tick(i); // maintenance point: compaction may trigger here
+        }
+        let stats = b.io_counters().stats();
+        assert!(stats.compactions >= 1, "threshold crossed: {stats:?}");
+        assert!(dir.join(MANIFEST_FILE).exists());
+        drop(b);
+        let b = FileBackend::open(&dir, cfg).expect("reopen");
+        for i in 0..20u64 {
+            assert_eq!(b.load(LineAddr(i)), Some([i as u8; 64]), "line {i}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stale_log_replay_over_manifest_is_idempotent() {
+        // Crash between the manifest rename and the log truncation:
+        // the manifest already absorbed the log, which is still there.
+        let dir = temp_dir("stale");
+        let log_copy;
+        {
+            let mut b = open(&dir);
+            b.store(LineAddr(1), [1u8; 64]);
+            b.store(LineAddr(2), [2u8; 64]);
+            b.erase(LineAddr(2));
+            log_copy = std::fs::read(dir.join(LOG_FILE)).unwrap();
+            b.compact();
+        }
+        // Resurrect the pre-compaction log next to the new manifest.
+        std::fs::write(dir.join(LOG_FILE), &log_copy).unwrap();
+        let b = open(&dir);
+        assert_eq!(b.load(LineAddr(1)), Some([1u8; 64]));
+        assert_eq!(b.load(LineAddr(2)), None);
+        assert_eq!(b.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stray_manifest_tmp_is_ignored() {
+        let dir = temp_dir("tmp");
+        {
+            let mut b = open(&dir);
+            b.store(LineAddr(5), [5u8; 64]);
+        }
+        std::fs::write(dir.join(MANIFEST_TMP_FILE), b"half-written garbage").unwrap();
+        let b = open(&dir);
+        assert_eq!(b.load(LineAddr(5)), Some([5u8; 64]));
+        assert!(
+            !dir.join(MANIFEST_TMP_FILE).exists(),
+            "crash artifact removed"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_manifest_is_a_typed_error() {
+        let dir = temp_dir("badmanifest");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join(MANIFEST_FILE), b"not a manifest at all").unwrap();
+        let err = FileBackend::open(&dir, FileBackendConfig::default()).unwrap_err();
+        assert!(matches!(err, FileBackendError::CorruptManifest { .. }));
+        assert!(err.to_string().contains("manifest"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_strategy_loses_unsynced_tail_on_kill() {
+        let dir = temp_dir("batch");
+        let cfg = FileBackendConfig {
+            fsync: FsyncStrategy::Batch(100),
+            compact_threshold: u64::MAX,
+        };
+        {
+            let mut b = FileBackend::open(&dir, cfg).expect("open");
+            b.store(LineAddr(1), [1u8; 64]);
+            b.store(LineAddr(2), [2u8; 64]);
+            // Dropped without sync: both records were only buffered.
+        }
+        let b = FileBackend::open(&dir, cfg).expect("reopen");
+        assert!(b.is_empty(), "unsynced records are lost by design");
+        drop(b);
+        {
+            let mut b = FileBackend::open(&dir, cfg).expect("open");
+            b.store(LineAddr(1), [1u8; 64]);
+            b.sync();
+            b.store(LineAddr(2), [2u8; 64]);
+        }
+        let b = FileBackend::open(&dir, cfg).expect("reopen");
+        assert_eq!(b.load(LineAddr(1)), Some([1u8; 64]), "synced survives");
+        assert_eq!(b.load(LineAddr(2)), None, "post-sync tail lost");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn interval_strategy_flushes_on_tick() {
+        let dir = temp_dir("interval");
+        let cfg = FileBackendConfig {
+            fsync: FsyncStrategy::Interval(1_000),
+            compact_threshold: u64::MAX,
+        };
+        {
+            let mut b = FileBackend::open(&dir, cfg).expect("open");
+            b.store(LineAddr(1), [1u8; 64]);
+            b.tick(500);
+            b.store(LineAddr(2), [2u8; 64]);
+            b.tick(1_500); // interval elapsed: both records flush
+            b.store(LineAddr(3), [3u8; 64]); // never flushed
+        }
+        let b = FileBackend::open(&dir, cfg).expect("reopen");
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.load(LineAddr(3)), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn restore_replaces_contents_durably() {
+        let dir = temp_dir("restore");
+        {
+            let mut b = open(&dir);
+            b.store(LineAddr(1), [1u8; 64]);
+            let mut image = LineStore::new();
+            image.write(LineAddr(7), [7u8; 64]);
+            image.write(LineAddr(8), [8u8; 64]);
+            b.restore(&image);
+            assert_eq!(b.len(), 2);
+        }
+        let b = open(&dir);
+        assert_eq!(b.load(LineAddr(1)), None);
+        assert_eq!(b.load(LineAddr(7)), Some([7u8; 64]));
+        assert_eq!(b.load(LineAddr(8)), Some([8u8; 64]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsync_strategy_parses_and_displays() {
+        assert_eq!("always".parse::<FsyncStrategy>(), Ok(FsyncStrategy::Always));
+        assert_eq!(
+            "batch:16".parse::<FsyncStrategy>(),
+            Ok(FsyncStrategy::Batch(16))
+        );
+        assert_eq!(
+            "interval:50000".parse::<FsyncStrategy>(),
+            Ok(FsyncStrategy::Interval(50_000))
+        );
+        for bad in ["", "sometimes", "batch:0", "batch:x", "interval:0"] {
+            assert!(bad.parse::<FsyncStrategy>().is_err(), "{bad:?}");
+        }
+        assert_eq!(FsyncStrategy::Batch(8).to_string(), "batch:8");
+        assert_eq!(
+            FsyncStrategy::Batch(8).to_string().parse::<FsyncStrategy>(),
+            Ok(FsyncStrategy::Batch(8)),
+            "display round-trips through parse"
+        );
+    }
+}

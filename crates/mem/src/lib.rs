@@ -39,6 +39,8 @@ pub mod addr;
 pub mod backend;
 pub mod cache;
 pub mod controller;
+pub mod crashpoint;
+pub mod file;
 pub mod store;
 pub mod timing;
 
@@ -47,6 +49,9 @@ pub use backend::{DurableBackend, ShardedBackend};
 pub use cache::{CacheConfig, SetAssocCache};
 pub use controller::{
     MemController, MemControllerConfig, MemStats, QueueEvent, QueueKind, QueueRecorder, WearStats,
+};
+pub use file::{
+    FileBackend, FileBackendConfig, FileBackendError, FileIoCounters, FileIoStats, FsyncStrategy,
 };
 pub use store::{Line, LineStore};
 pub use timing::{Cycle, NvmTiming, NvmTimingConfig};

@@ -1,0 +1,117 @@
+//! Exhaustive crash-point injection on the file-backed store: every
+//! persist boundary a workload crosses — WPQ retirements, drain
+//! stagings, root alternations, `N_wb` updates, manifest swaps — is
+//! killed once, the directory is reopened from disk, and recovery must
+//! come back clean (with and without a torn tail record).
+
+use ccnvm::prelude::*;
+use ccnvm::secmem::SecureMemory;
+use ccnvm_mem::LineAddr;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static NEXT: AtomicU32 = AtomicU32::new(0);
+    let n = NEXT.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("ccnvm-it-sweep-{tag}-{}-{n}", std::process::id()))
+}
+
+/// A deterministic workload that exercises write-backs, repeated
+/// updates to the same line, an explicit epoch drain and post-drain
+/// traffic — enough to cross every boundary class a design has.
+fn workload(mem: &mut SecureMemory) {
+    for i in 0..5u64 {
+        mem.write_back(LineAddr(i * 64), i * 100_000).expect("wb");
+    }
+    mem.write_back(LineAddr(0), 700_000).expect("wb");
+    mem.drain(1_000_000, DrainTrigger::External);
+    mem.write_back(LineAddr(64), 2_000_000).expect("wb");
+    mem.write_back(LineAddr(0), 2_100_000).expect("wb");
+}
+
+#[test]
+fn every_design_recovers_clean_at_every_file_backed_boundary() {
+    for design in DesignKind::ALL {
+        let dir = temp_dir(&design.to_string().replace([' ', '/'], "-"));
+        let config = SimConfig::small(design);
+        let report = sweep_crash_points(&config, &dir, &workload).expect("sweep runs");
+        assert!(report.boundaries > 0, "{design}: no boundaries crossed");
+        assert!(report.all_clean(), "{design}: {report}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn boundary_classes_match_each_design_consistency_mechanism() {
+    let has =
+        |report: &CrashSweepReport, label: &str| report.labels_seen.iter().any(|l| l == label);
+    for design in DesignKind::ALL {
+        let dir = temp_dir("classes");
+        let config = SimConfig::small(design);
+        let report = sweep_crash_points(&config, &dir, &workload).expect("sweep runs");
+        std::fs::remove_dir_all(&dir).ok();
+
+        assert!(
+            has(&report, "wpq-retire"),
+            "{design}: {:?}",
+            report.labels_seen
+        );
+        if design.updates_root_every_wb() {
+            assert!(
+                has(&report, "root-alternate"),
+                "{design}: eager-root designs flip the root every write-back: {:?}",
+                report.labels_seen
+            );
+            assert!(
+                !has(&report, "nwb-update"),
+                "{design}: {:?}",
+                report.labels_seen
+            );
+        } else {
+            assert!(
+                has(&report, "nwb-update"),
+                "{design}: N_wb designs bump the register every write-back: {:?}",
+                report.labels_seen
+            );
+        }
+        if design.has_drainer() {
+            assert!(
+                has(&report, "drain-stage") && has(&report, "root-alternate"),
+                "{design}: drainer designs stage and then alternate roots: {:?}",
+                report.labels_seen
+            );
+        } else {
+            assert!(
+                !has(&report, "drain-stage"),
+                "{design}: {:?}",
+                report.labels_seen
+            );
+        }
+    }
+}
+
+#[test]
+fn sweep_crosses_a_manifest_swap_when_compaction_triggers() {
+    // The harness opens its backends with a low compaction threshold;
+    // a workload with enough persists must cross the three
+    // manifest-swap sub-boundaries (tmp synced, renamed, log cut).
+    let dir = temp_dir("manifest");
+    let config = SimConfig::small(DesignKind::CcNvm);
+    let heavy = |mem: &mut SecureMemory| {
+        for round in 0..4u64 {
+            for i in 0..6u64 {
+                mem.write_back(LineAddr(i * 64), round * 1_000_000 + i * 100_000)
+                    .expect("wb");
+            }
+            mem.drain((round + 1) * 1_000_000, DrainTrigger::External);
+        }
+    };
+    let report = sweep_crash_points(&config, &dir, &heavy).expect("sweep runs");
+    std::fs::remove_dir_all(&dir).ok();
+    assert!(
+        report.labels_seen.iter().any(|l| l == "manifest-swap"),
+        "compaction never triggered: {:?}",
+        report.labels_seen
+    );
+    assert!(report.all_clean(), "{report}");
+}
