@@ -9,20 +9,28 @@
 //! Unlike the figure binaries (which reproduce the *simulated*
 //! evaluation), this one measures how fast the simulator itself runs
 //! the secure-memory hot paths, so every future change has a perf
-//! trajectory to compare against. Each workload runs twice:
+//! trajectory to compare against. Each workload runs three times:
 //!
 //! * `legacy`   — `SimConfig::legacy_hmac = true`: the pre-optimization
 //!   rekey-per-MAC HMAC path (bit-identical output, original cost);
-//! * `midstate` — the keyed [`ccnvm_crypto::HmacEngine`] fast path.
+//! * `midstate` — the keyed [`ccnvm_crypto::HmacEngine`] fast path,
+//!   pinned to the portable crypto tier;
+//! * `simd`     — the same fast path under `--crypto auto`: multi-lane
+//!   SHA-1 batches, SHA-NI single-block compression and AES-NI where
+//!   the host has them (the `tier` column records what actually ran).
 //!
-//! The `speedup` map reports `legacy / midstate` time per operation.
+//! The `speedup` map reports `legacy / midstate` and
+//! `midstate / simd` (as `<name>_simd`) time per operation.
 //! A counting global allocator tracks heap allocations inside the
 //! timed regions (`allocs_per_op`), making hot-path allocation
 //! regressions visible. Recovery rebuilds its engine from the crash
-//! image and is unaffected by the config flag, so it is reported once
-//! without a speedup entry.
+//! image and ignores `legacy_hmac`, so it is reported per crypto tier
+//! only, with a reused [`ccnvm::recovery::RecoveryScratch`] and an
+//! asserted allocation ceiling.
 
 use ccnvm::prelude::*;
+use ccnvm::recovery::{recover_with, RecoveryScratch};
+use ccnvm_crypto::{CryptoSelect, CryptoTier};
 use ccnvm_mem::LineAddr;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
@@ -56,6 +64,8 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 struct Sample {
     name: &'static str,
     variant: &'static str,
+    /// Crypto tier that actually ran ("portable" or "simd").
+    tier: &'static str,
     ops: u64,
     ns_per_op: f64,
     hmacs_per_op: f64,
@@ -87,6 +97,7 @@ impl Sample {
 fn run_sample<St>(
     name: &'static str,
     variant: &'static str,
+    tier: &'static str,
     target_ns: u128,
     ops_per_batch: u64,
     mut setup: impl FnMut() -> St,
@@ -119,6 +130,7 @@ fn run_sample<St>(
     Sample {
         name,
         variant,
+        tier,
         ops,
         ns_per_op: best_ns as f64 / ops_per_batch as f64,
         hmacs_per_op: per(hmacs),
@@ -128,10 +140,26 @@ fn run_sample<St>(
     }
 }
 
-fn config(design: DesignKind, legacy: bool) -> SimConfig {
+fn config(design: DesignKind, legacy: bool, crypto: CryptoSelect) -> SimConfig {
     let mut c = SimConfig::paper(design);
     c.legacy_hmac = legacy;
+    // `Auto` defers to CCNVM_CRYPTO, so CI can force a whole bench run
+    // onto one tier; explicit selections (the pinned portable
+    // baselines) always win.
+    c.crypto = crypto.from_env_or();
     c
+}
+
+/// The tier a selection actually runs on this host/build.
+fn tier_name(crypto: CryptoSelect) -> &'static str {
+    match crypto
+        .from_env_or()
+        .resolve()
+        .expect("auto/portable always resolve")
+    {
+        CryptoTier::Portable => "portable",
+        CryptoTier::Simd => "simd",
+    }
 }
 
 /// Working set of the write-back stream: 64 pages, small enough that
@@ -155,24 +183,38 @@ fn stat_delta(m: &SecureMemory, before: &RunStats) -> (u64, u64) {
     (s.hmacs - before.hmacs, s.aes_ops - before.aes_ops)
 }
 
+/// `(legacy_hmac, crypto tier selection)` for one variant row.
+type Variant = (bool, CryptoSelect);
+
+/// The three variants every workload runs: the rekey-per-MAC legacy
+/// path, the portable midstate path, and whatever `auto` picks on
+/// this host (SIMD lanes + SHA-NI/AES-NI where present).
+const VARIANTS: [(&str, Variant); 3] = [
+    ("legacy", (true, CryptoSelect::Portable)),
+    ("midstate", (false, CryptoSelect::Portable)),
+    ("simd", (false, CryptoSelect::Auto)),
+];
+
 fn bench_write_back(
     name: &'static str,
     design: DesignKind,
-    legacy: bool,
+    variant: &'static str,
+    sel: Variant,
     target_ns: u128,
     ops: u64,
 ) -> Sample {
-    let variant = if legacy { "legacy" } else { "midstate" };
+    let (legacy, crypto) = sel;
     run_sample(
         name,
         variant,
+        tier_name(crypto),
         target_ns,
         ops,
         || {
             // Warm up untimed: first-touch growth of the backing maps
             // and caches happens here, so the timed region measures the
             // steady-state hot path.
-            let mut m = SecureMemory::new(config(design, legacy)).expect("paper config");
+            let mut m = SecureMemory::new(config(design, legacy, crypto)).expect("paper config");
             for i in 0..ops {
                 m.write_back(addr(i, WB_PAGES), i * 400)
                     .expect("attack-free run");
@@ -192,15 +234,17 @@ fn bench_write_back(
     )
 }
 
-fn bench_read(legacy: bool, target_ns: u128, ops: u64) -> Sample {
-    let variant = if legacy { "legacy" } else { "midstate" };
+fn bench_read(variant: &'static str, sel: Variant, target_ns: u128, ops: u64) -> Sample {
+    let (legacy, crypto) = sel;
     run_sample(
         "read",
         variant,
+        tier_name(crypto),
         target_ns,
         ops,
         || {
-            let mut m = SecureMemory::new(config(DesignKind::CcNvm, legacy)).expect("paper config");
+            let mut m =
+                SecureMemory::new(config(DesignKind::CcNvm, legacy, crypto)).expect("paper config");
             for i in 0..256u64 {
                 m.write_back(addr(i, 64), i * 400).expect("attack-free run");
             }
@@ -219,8 +263,8 @@ fn bench_read(legacy: bool, target_ns: u128, ops: u64) -> Sample {
     )
 }
 
-fn bench_drain(legacy: bool, target_ns: u128, epochs: u64) -> Sample {
-    let variant = if legacy { "legacy" } else { "midstate" };
+fn bench_drain(variant: &'static str, sel: Variant, target_ns: u128, epochs: u64) -> Sample {
+    let (legacy, crypto) = sel;
     let epoch = |m: &mut SecureMemory, e: u64, now: &mut u64| {
         // One epoch: a handful of write-backs, then the external
         // end-signal drain that stages and commits the dirty metadata.
@@ -235,6 +279,7 @@ fn bench_drain(legacy: bool, target_ns: u128, epochs: u64) -> Sample {
     run_sample(
         "drain",
         variant,
+        tier_name(crypto),
         target_ns,
         epochs,
         || {
@@ -244,7 +289,8 @@ fn bench_drain(legacy: bool, target_ns: u128, epochs: u64) -> Sample {
             // period 64, so the timed epochs below revisit exactly
             // this working set and the timed region is the pure
             // steady-state drain path.
-            let mut m = SecureMemory::new(config(DesignKind::CcNvm, legacy)).expect("paper config");
+            let mut m =
+                SecureMemory::new(config(DesignKind::CcNvm, legacy, crypto)).expect("paper config");
             let mut now = 0u64;
             for e in 0..epochs {
                 epoch(&mut m, e, &mut now);
@@ -261,30 +307,65 @@ fn bench_drain(legacy: bool, target_ns: u128, epochs: u64) -> Sample {
     )
 }
 
-fn bench_recovery(target_ns: u128, ops: u64) -> Sample {
+/// Recovery's allocation ceiling with a reused scratch: the working
+/// line-store clone (which becomes the recovered image), the layout's
+/// two level tables, the per-level default nodes and the three-span
+/// timeline remain — everything else (address walks, retry
+/// bookkeeping, rebuild levels, MAC batches) comes from the scratch.
+/// The seed measured 32 allocs/op (~50 KB/op); the scratch pass
+/// measures 5. The ceiling leaves headroom for map-growth jitter only.
+const RECOVERY_ALLOC_CEILING: f64 = 8.0;
+
+fn bench_recovery(
+    variant: &'static str,
+    crypto: CryptoSelect,
+    target_ns: u128,
+    ops: u64,
+) -> Sample {
+    let tier = crypto
+        .from_env_or()
+        .resolve()
+        .expect("auto/portable always resolve");
     let image = {
-        let mut m = SecureMemory::new(config(DesignKind::CcNvm, false)).expect("paper config");
+        let mut m =
+            SecureMemory::new(config(DesignKind::CcNvm, false, crypto)).expect("paper config");
         for i in 0..128u64 {
             m.write_back(addr(i, 64), i * 400).expect("attack-free run");
         }
         m.drain(1_000_000_000, DrainTrigger::External);
         m.crash_image()
     };
-    run_sample(
+    let sample = run_sample(
         "recovery",
-        "midstate",
+        variant,
+        tier_name(crypto),
         target_ns,
         ops,
-        || image.clone(),
-        |img| {
+        || {
+            // Warm the scratch untimed so its buffers reach their
+            // high-water capacity before the timed recoveries.
+            let mut scratch = RecoveryScratch::default();
+            black_box(recover_with(&image, tier, &mut scratch));
+            (image.clone(), scratch)
+        },
+        |(img, scratch)| {
             for _ in 0..ops {
-                let report = recover(black_box(img));
+                let report = recover_with(black_box(img), tier, scratch);
                 assert!(report.is_clean(), "clean image must recover");
                 black_box(&report);
             }
             (0, 0)
         },
-    )
+    );
+    assert!(
+        sample.allocs_per_op <= RECOVERY_ALLOC_CEILING,
+        "recovery/{}: {:.2} allocs/op ({:.0} B/op) exceeds the scratch-reuse ceiling of {}",
+        sample.variant,
+        sample.allocs_per_op,
+        sample.alloc_bytes_per_op,
+        RECOVERY_ALLOC_CEILING
+    );
+    sample
 }
 
 fn json_num(x: f64) -> String {
@@ -295,7 +376,7 @@ fn json_num(x: f64) -> String {
     }
 }
 
-fn emit_json(mode: &str, samples: &[Sample], speedups: &[(&str, f64)]) -> String {
+fn emit_json(mode: &str, samples: &[Sample], speedups: &[(String, f64)]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"ccnvm-bench-perf/1\",\n");
@@ -304,11 +385,12 @@ fn emit_json(mode: &str, samples: &[Sample], speedups: &[(&str, f64)]) -> String
     out.push_str("  \"results\": [\n");
     for (i, s) in samples.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"variant\": \"{}\", \"ops\": {}, \
+            "    {{\"name\": \"{}\", \"variant\": \"{}\", \"tier\": \"{}\", \"ops\": {}, \
              \"ns_per_op\": {}, \"ops_per_sec\": {}, \"hmacs_per_op\": {}, \
              \"aes_per_op\": {}, \"allocs_per_op\": {}, \"alloc_bytes_per_op\": {}}}{}\n",
             s.name,
             s.variant,
+            s.tier,
             s.ops,
             json_num(s.ns_per_op),
             json_num(s.ops_per_sec()),
@@ -350,60 +432,71 @@ fn main() {
 
     println!("perf bench — mode {mode}, fixed-seed workloads, paper configuration");
     println!(
-        "{:<14} {:>9} {:>12} {:>12} {:>9} {:>9} {:>10}",
-        "workload", "variant", "ns/op", "ops/sec", "hmac/op", "aes/op", "allocs/op"
+        "host crypto tier under `auto`: {}",
+        tier_name(CryptoSelect::Auto)
+    );
+    println!(
+        "{:<14} {:>9} {:>9} {:>12} {:>12} {:>9} {:>9} {:>10}",
+        "workload", "variant", "tier", "ns/op", "ops/sec", "hmac/op", "aes/op", "allocs/op"
     );
 
     let mut samples = Vec::new();
-    let mut speedups = Vec::new();
-
-    let mut both = |name: &'static str, f: &dyn Fn(bool) -> Sample| {
-        let legacy = f(true);
-        let fast = f(false);
-        let ratio = legacy.ns_per_op / fast.ns_per_op;
-        for s in [legacy, fast] {
-            println!(
-                "{:<14} {:>9} {:>12.1} {:>12.0} {:>9.2} {:>9.2} {:>10.2}",
-                s.name,
-                s.variant,
-                s.ns_per_op,
-                s.ops_per_sec(),
-                s.hmacs_per_op,
-                s.aes_per_op,
-                s.allocs_per_op
-            );
-            samples.push(s);
-        }
-        speedups.push((name, ratio));
+    let mut speedups: Vec<(String, f64)> = Vec::new();
+    let print_row = |s: &Sample| {
+        println!(
+            "{:<14} {:>9} {:>9} {:>12.1} {:>12.0} {:>9.2} {:>9.2} {:>10.2}",
+            s.name,
+            s.variant,
+            s.tier,
+            s.ns_per_op,
+            s.ops_per_sec(),
+            s.hmacs_per_op,
+            s.aes_per_op,
+            s.allocs_per_op
+        );
     };
 
-    both("write_back", &|legacy| {
-        bench_write_back("write_back", DesignKind::CcNvm, legacy, target_ns, wb_ops)
+    let mut all = |name: &'static str, f: &dyn Fn(&'static str, Variant) -> Sample| {
+        let rows: Vec<Sample> = VARIANTS.iter().map(|&(v, sel)| f(v, sel)).collect();
+        speedups.push((name.to_owned(), rows[0].ns_per_op / rows[1].ns_per_op));
+        speedups.push((
+            format!("{name}_simd"),
+            rows[1].ns_per_op / rows[2].ns_per_op,
+        ));
+        for s in rows {
+            print_row(&s);
+            samples.push(s);
+        }
+    };
+
+    all("write_back", &|v, sel| {
+        bench_write_back("write_back", DesignKind::CcNvm, v, sel, target_ns, wb_ops)
     });
-    both("write_back_sc", &|legacy| {
+    all("write_back_sc", &|v, sel| {
         bench_write_back(
             "write_back_sc",
             DesignKind::StrictConsistency,
-            legacy,
+            v,
+            sel,
             target_ns,
             wb_ops,
         )
     });
-    both("read", &|legacy| bench_read(legacy, target_ns, rd_ops));
-    both("drain", &|legacy| bench_drain(legacy, target_ns, epochs));
+    all("read", &|v, sel| bench_read(v, sel, target_ns, rd_ops));
+    all("drain", &|v, sel| bench_drain(v, sel, target_ns, epochs));
 
-    let rec = bench_recovery(target_ns, rec_ops);
-    println!(
-        "{:<14} {:>9} {:>12.1} {:>12.0} {:>9.2} {:>9.2} {:>10.2}",
-        rec.name,
-        rec.variant,
-        rec.ns_per_op,
-        rec.ops_per_sec(),
-        rec.hmacs_per_op,
-        rec.aes_per_op,
-        rec.allocs_per_op
-    );
-    samples.push(rec);
+    // Recovery ignores `legacy_hmac` (its engine always rebuilds from
+    // the crash image in midstate mode), so it runs once per tier.
+    let rec_portable = bench_recovery("midstate", CryptoSelect::Portable, target_ns, rec_ops);
+    let rec_simd = bench_recovery("simd", CryptoSelect::Auto, target_ns, rec_ops);
+    speedups.push((
+        "recovery_simd".to_owned(),
+        rec_portable.ns_per_op / rec_simd.ns_per_op,
+    ));
+    for rec in [rec_portable, rec_simd] {
+        print_row(&rec);
+        samples.push(rec);
+    }
 
     // Steady-state guarantee: the read, write-back and drain hot
     // paths allocate nothing once warmed. Recovery is excluded — it
@@ -421,9 +514,9 @@ fn main() {
         }
     }
 
-    println!("\nspeedup (legacy / midstate time per op):");
+    println!("\nspeedup (legacy / midstate, and `_simd` = midstate / simd, time per op):");
     for (name, v) in &speedups {
-        println!("  {name:<14} {v:.2}x");
+        println!("  {name:<20} {v:.2}x");
     }
 
     let json = emit_json(mode, &samples, &speedups);

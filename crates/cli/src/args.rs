@@ -14,6 +14,7 @@
 
 use ccnvm::config::DesignKind;
 use ccnvm::obs::audit::AuditMode;
+use ccnvm_crypto::CryptoSelect;
 use ccnvm_mem::FsyncStrategy;
 use std::fmt;
 
@@ -86,6 +87,10 @@ pub struct RunArgs {
     /// Flush/fsync policy for the file backend (`--fsync always |
     /// batch:<n> | interval:<cycles>`). Ignored for `mem`.
     pub fsync: FsyncStrategy,
+    /// Crypto implementation tier (`--crypto auto | portable | simd`).
+    /// Bit-identical output across tiers; only wall-clock speed
+    /// changes. Defers to `CCNVM_CRYPTO` when the flag is absent.
+    pub crypto: CryptoSelect,
 }
 
 /// The durable store behind the secure memory.
@@ -120,6 +125,7 @@ impl Default for RunArgs {
             shards: 1,
             backend: BackendChoice::Mem,
             fsync: FsyncStrategy::Always,
+            crypto: CryptoSelect::Auto,
         }
     }
 }
@@ -207,6 +213,10 @@ OPTIONS:
                       with --shards > 1)
   --fsync S           file-backend flush policy:
                       always | batch:<n> | interval:<cycles>          [always]
+  --crypto T          crypto tier: auto | portable | simd             [auto]
+                      (bit-identical output; simd errors out when the
+                      build/host has no hardware path; falls back to the
+                      CCNVM_CRYPTO env var when the flag is absent)
 
 REPORT OPTIONS:
   --compare A B       the two profile JSON files to diff (baseline, candidate)
@@ -308,6 +318,11 @@ fn parse_common<'a, I: Iterator<Item = &'a str>>(
             args.fsync = take_value(flag, iter)?
                 .parse()
                 .map_err(|e| ParseArgsError(format!("--fsync: {e}")))?;
+        }
+        "--crypto" => {
+            args.crypto = take_value(flag, iter)?
+                .parse()
+                .map_err(|e| ParseArgsError(format!("--crypto: {e}")))?;
         }
         _ => return Ok(false),
     }
@@ -485,6 +500,21 @@ mod tests {
         assert_eq!(args.trace_out.as_deref(), Some("events.jsonl"));
         assert!(args.epoch_report);
         assert_eq!(args.threads, Some(3));
+    }
+
+    #[test]
+    fn crypto_tier_parses_and_rejects_garbage() {
+        assert_eq!(RunArgs::default().crypto, CryptoSelect::Auto);
+        let Command::Run(args) = parse(&["run", "--crypto", "portable"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.crypto, CryptoSelect::Portable);
+        let Command::Recover(args) = parse(&["recover", "--crypto", "simd"]).unwrap() else {
+            panic!("expected recover");
+        };
+        assert_eq!(args.crypto, CryptoSelect::Simd);
+        let err = parse(&["run", "--crypto", "avx512"]).unwrap_err();
+        assert!(err.to_string().contains("--crypto"));
     }
 
     #[test]

@@ -13,11 +13,27 @@
 //! scratch after any update sequence matches the incrementally
 //! maintained root — without materializing millions of lines.
 
-use crate::engine::CryptoEngine;
+use crate::engine::{CryptoEngine, MT_MSG_LEN};
 use crate::layout::{SecureLayout, MACS_PER_LINE};
 use crate::view::{MetaSource, MetaView};
 use ccnvm_crypto::Mac128;
-use ccnvm_mem::{Line, LineStore};
+use ccnvm_mem::{Line, LineAddr, LineStore};
+
+/// Reusable working storage for [`Bmt::rebuild_with`], owned by the
+/// caller so repeated rebuilds (the recovery bench, multi-shard
+/// recovery) reuse the same four buffers instead of reallocating the
+/// level slices and MAC batches every pass.
+#[derive(Debug, Default)]
+pub struct RebuildScratch {
+    /// Sorted `(node idx, content)` slice of the level being consumed.
+    current: Vec<(u64, Line)>,
+    /// The level being produced (swapped with `current` per level).
+    parents: Vec<(u64, Line)>,
+    /// Prebuilt node-MAC messages for one level's children.
+    msgs: Vec<[u8; MT_MSG_LEN]>,
+    /// Their lane-batched MACs.
+    macs: Vec<Mac128>,
+}
 
 /// A parent/child HMAC mismatch found while verifying the tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -245,54 +261,97 @@ impl Bmt {
         I: IntoIterator<Item = (u64, Line)>,
     {
         let mut nodes = LineStore::new();
+        let mut scratch = RebuildScratch::default();
+        let (root, _) = self.rebuild_with(counters, &mut scratch, &mut nodes);
+        (nodes, root)
+    }
+
+    /// [`Bmt::rebuild`] with caller-owned scratch and node store:
+    /// writes every rebuilt node into `nodes` and returns the root
+    /// plus the number of node lines written. Value-identical to
+    /// `rebuild`; only the allocation profile differs (repeated calls
+    /// reuse all buffers), and child MACs within a level are dispatched
+    /// through the lane-batched HMAC path.
+    pub fn rebuild_with<I>(
+        &self,
+        counters: I,
+        scratch: &mut RebuildScratch,
+        nodes: &mut LineStore,
+    ) -> (Mac128, u64)
+    where
+        I: IntoIterator<Item = (u64, Line)>,
+    {
         // Sorted `(node idx, content)` level slices, ping-ponged
         // between two Vec buffers so every tree level reuses the same
         // two allocations (a per-level BTreeMap here dominated the
         // recovery bench's allocation count). Only non-default nodes
         // appear; indices are unique per level, so ascending order
         // reproduces the previous BTreeMap iteration exactly.
-        let mut current: Vec<(u64, Line)> = counters.into_iter().collect();
-        current.sort_unstable_by_key(|&(idx, _)| idx);
-        let mut parents: Vec<(u64, Line)> = Vec::with_capacity(current.len());
+        scratch.current.clear();
+        scratch.current.extend(counters);
+        scratch.current.sort_unstable_by_key(|&(idx, _)| idx);
         let mut child_level = 0usize;
         let mut top_content = self.default_node(self.layout.internal_levels());
+        let mut written = 0u64;
         for level in 1..=self.layout.internal_levels() {
-            parents.clear();
-            for &(child_idx, ref content) in &current {
+            // All child MACs of one level are independent: stage their
+            // messages in `current` order and let the engine fill the
+            // SIMD lanes (same values as MAC-at-a-time).
+            scratch.msgs.clear();
+            for &(child_idx, ref content) in &scratch.current {
+                scratch.msgs.push(CryptoEngine::node_mac_msg(
+                    child_level,
+                    (child_idx % MACS_PER_LINE) as u8,
+                    content,
+                ));
+            }
+            scratch.macs.clear();
+            scratch.macs.resize(scratch.msgs.len(), [0u8; 16]);
+            self.engine
+                .mac128_batch_msgs(&scratch.msgs, &mut scratch.macs);
+            scratch.parents.clear();
+            for (&(child_idx, _), mac) in scratch.current.iter().zip(&scratch.macs) {
                 let parent_idx = child_idx / MACS_PER_LINE;
                 // `current` is sorted, so parent indices arrive in
                 // non-decreasing order and grouping is a last-entry
                 // check — `parents` stays sorted for the next level.
-                if parents.last().map(|&(idx, _)| idx) != Some(parent_idx) {
-                    parents.push((parent_idx, self.default_node(level)));
+                if scratch.parents.last().map(|&(idx, _)| idx) != Some(parent_idx) {
+                    scratch.parents.push((parent_idx, self.default_node(level)));
                 }
-                let parent = &mut parents.last_mut().expect("just pushed").1;
-                let mac = self.child_mac(child_level, child_idx, content);
-                Self::patch_slot(parent, child_idx, &mac);
+                let parent = &mut scratch.parents.last_mut().expect("just pushed").1;
+                Self::patch_slot(parent, child_idx, mac);
             }
-            for &(idx, ref content) in &parents {
+            for &(idx, ref content) in &scratch.parents {
                 nodes.write(self.layout.node_line(level, idx), *content);
+                written += 1;
             }
             if level == self.layout.internal_levels() {
-                if let Some(&(0, content)) = parents.first() {
+                if let Some(&(0, content)) = scratch.parents.first() {
                     top_content = content;
                 }
             }
-            std::mem::swap(&mut current, &mut parents);
+            std::mem::swap(&mut scratch.current, &mut scratch.parents);
             child_level = level;
         }
         let root = self
             .engine
             .node_mac(self.layout.internal_levels(), 0, &top_content);
-        (nodes, root)
+        (root, written)
     }
 
     /// Scans every materialized counter/tree line in `src` and returns
     /// all parent/child mismatches — recovery step 1, which *locates*
     /// replay attacks on the stored tree (§4.4).
     pub fn consistency_scan(&self, src: &LineStore) -> Vec<TreeMismatch> {
+        self.consistency_scan_over(src, &src.sorted_addrs())
+    }
+
+    /// [`Bmt::consistency_scan`] over a precomputed sorted address
+    /// list (recovery already holds one), avoiding a second full-store
+    /// address collection.
+    pub fn consistency_scan_over(&self, src: &LineStore, addrs: &[LineAddr]) -> Vec<TreeMismatch> {
         let mut mismatches = Vec::new();
-        for line in src.sorted_addrs() {
+        for &line in addrs {
             let (level, idx) = if self.layout.is_counter_line(line) {
                 (0, self.layout.counter_index(line))
             } else if self.layout.is_tree_line(line) {

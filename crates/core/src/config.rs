@@ -2,6 +2,7 @@
 //! paper's hardware parameters (§5).
 
 use crate::metacache::MetaCacheOrg;
+use ccnvm_crypto::CryptoSelect;
 use ccnvm_mem::{CacheConfig, MemControllerConfig};
 use std::fmt;
 use std::str::FromStr;
@@ -165,6 +166,11 @@ pub struct SimConfig {
     /// this exists so the perf bench and the golden-stats tests can
     /// compare against the original hot-path cost.
     pub legacy_hmac: bool,
+    /// Crypto implementation tier: `Auto` picks the fastest tier this
+    /// host supports; `Portable`/`Simd` force one. Every tier is
+    /// bit-identical — stats, traces and profiles never change — so
+    /// this knob only exists for benchmarking and reproducibility.
+    pub crypto: CryptoSelect,
     /// This instance's shard index when it runs as one epoch domain of
     /// a [`crate::shard::ShardRouter`] (0 for the single-owner case).
     pub shard_index: u32,
@@ -196,6 +202,7 @@ impl SimConfig {
             key_seed: 0xcc_17,
             check_plaintext: true,
             legacy_hmac: false,
+            crypto: CryptoSelect::Auto,
             shard_index: 0,
             shard_count: 1,
         }
@@ -242,6 +249,9 @@ impl SimConfig {
                 index: self.shard_index,
                 count: self.shard_count,
             });
+        }
+        if self.crypto.resolve().is_err() {
+            return Err(ConfigError::CryptoTierUnavailable);
         }
         Ok(())
     }

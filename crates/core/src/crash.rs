@@ -78,9 +78,17 @@ impl CrashSurface {
 impl CrashImage {
     /// Classifies the image's durable lines by region.
     pub fn surface(&self) -> CrashSurface {
-        let layout = SecureLayout::new(self.capacity_bytes);
+        self.surface_with(
+            &SecureLayout::new(self.capacity_bytes),
+            &self.nvm.sorted_addrs(),
+        )
+    }
+
+    /// [`CrashImage::surface`] over a precomputed layout and address
+    /// walk (recovery holds both), avoiding their reconstruction.
+    pub fn surface_with(&self, layout: &SecureLayout, addrs: &[LineAddr]) -> CrashSurface {
         let mut s = CrashSurface::default();
-        for line in self.nvm.sorted_addrs() {
+        for &line in addrs {
             if layout.is_data_line(line) {
                 s.data_lines += 1;
             } else if layout.is_counter_line(line) {

@@ -17,7 +17,7 @@
 use crate::counter::CounterLine;
 use crate::tcb::Keys;
 use ccnvm_crypto::otp::OtpGenerator;
-use ccnvm_crypto::{Aes128, HmacEngine, HmacSha1, Mac128};
+use ccnvm_crypto::{Aes128, CryptoTier, HmacEngine, HmacSha1, Mac128};
 use ccnvm_mem::{Line, LineAddr};
 use std::cell::Cell;
 
@@ -54,6 +54,9 @@ pub struct CryptoEngine {
     hmac: HmacEngine,
     hmac_key: [u8; 16],
     mode: HmacMode,
+    /// Resolved implementation tier (bit-identical across tiers; the
+    /// default is whatever this host detects).
+    tier: CryptoTier,
     /// Pad generations performed by this instance (functional op
     /// count; the recovery phase timeline sizes itself from deltas).
     aes_ops: Cell<u64>,
@@ -61,11 +64,11 @@ pub struct CryptoEngine {
     hmac_ops: Cell<u64>,
 }
 
-/// Data-HMAC message: `"DH" ‖ ciphertext ‖ address ‖ counter`.
-const DH_MSG_LEN: usize = 2 + 64 + 8 + 8 + 1;
+/// Data-HMAC message length: `"DH" ‖ ciphertext ‖ address ‖ counter`.
+pub const DH_MSG_LEN: usize = 2 + 64 + 8 + 8 + 1;
 
-/// Node-MAC message: `"MT" ‖ level ‖ position ‖ child content`.
-const MT_MSG_LEN: usize = 2 + 4 + 1 + 64;
+/// Node-MAC message length: `"MT" ‖ level ‖ position ‖ child content`.
+pub const MT_MSG_LEN: usize = 2 + 4 + 1 + 64;
 
 impl CryptoEngine {
     /// Builds an engine from the TCB keys.
@@ -76,11 +79,19 @@ impl CryptoEngine {
     /// Builds an engine with an explicit HMAC mode (the perf bench and
     /// equivalence tests compare the two).
     pub fn with_mode(keys: &Keys, mode: HmacMode) -> Self {
+        Self::with_options(keys, mode, CryptoTier::detect())
+    }
+
+    /// Builds an engine with explicit HMAC mode *and* crypto tier. The
+    /// tier never changes any output — only how fast the host computes
+    /// it — so `new`/`with_mode` safely default to the detected tier.
+    pub fn with_options(keys: &Keys, mode: HmacMode, tier: CryptoTier) -> Self {
         Self {
             otp: OtpGenerator::new(Aes128::new(&keys.aes)),
             hmac: HmacEngine::new(&keys.hmac),
             hmac_key: keys.hmac,
             mode,
+            tier,
             aes_ops: Cell::new(0),
             hmac_ops: Cell::new(0),
         }
@@ -89,6 +100,11 @@ impl CryptoEngine {
     /// The active HMAC mode.
     pub fn hmac_mode(&self) -> HmacMode {
         self.mode
+    }
+
+    /// The resolved crypto tier this engine dispatches under.
+    pub fn tier(&self) -> CryptoTier {
+        self.tier
     }
 
     /// Pad generations (encrypts + decrypts) this instance performed.
@@ -104,19 +120,21 @@ impl CryptoEngine {
     /// Encrypts `plain` for `line` under split counter `(major, minor)`.
     pub fn encrypt_line(&self, plain: &Line, line: LineAddr, major: u64, minor: u8) -> Line {
         self.aes_ops.set(self.aes_ops.get() + 1);
-        self.otp.xor64(plain, line.0, major, minor as u64)
+        self.otp
+            .xor64_with(self.tier, plain, line.0, major, minor as u64)
     }
 
     /// Decrypts `cipher` (the inverse of [`Self::encrypt_line`]).
     pub fn decrypt_line(&self, cipher: &Line, line: LineAddr, major: u64, minor: u8) -> Line {
         self.aes_ops.set(self.aes_ops.get() + 1);
-        self.otp.xor64(cipher, line.0, major, minor as u64)
+        self.otp
+            .xor64_with(self.tier, cipher, line.0, major, minor as u64)
     }
 
     fn mac_bytes(&self, msg: &[u8]) -> Mac128 {
         self.hmac_ops.set(self.hmac_ops.get() + 1);
         match self.mode {
-            HmacMode::Midstate => self.hmac.mac128(msg),
+            HmacMode::Midstate => self.hmac.mac128_with(self.tier, msg),
             HmacMode::Rekey => {
                 let mut h = HmacSha1::new(&self.hmac_key);
                 h.update(msg);
@@ -125,16 +143,23 @@ impl CryptoEngine {
         }
     }
 
-    /// Data HMAC of a line: 128-bit code over
-    /// `(encrypted data ‖ address ‖ counter)` as in Figure 1.
-    pub fn data_hmac(&self, cipher: &Line, line: LineAddr, major: u64, minor: u8) -> Mac128 {
+    /// Builds the data-HMAC message without computing the MAC (drain
+    /// batching collects messages first, then MACs them lane-wise).
+    /// Pure framing: no op counters move.
+    pub fn data_hmac_msg(cipher: &Line, line: LineAddr, major: u64, minor: u8) -> [u8; DH_MSG_LEN] {
         let mut msg = [0u8; DH_MSG_LEN];
         msg[..2].copy_from_slice(b"DH");
         msg[2..66].copy_from_slice(cipher);
         msg[66..74].copy_from_slice(&line.0.to_le_bytes());
         msg[74..82].copy_from_slice(&major.to_le_bytes());
         msg[82] = minor;
-        self.mac_bytes(&msg)
+        msg
+    }
+
+    /// Data HMAC of a line: 128-bit code over
+    /// `(encrypted data ‖ address ‖ counter)` as in Figure 1.
+    pub fn data_hmac(&self, cipher: &Line, line: LineAddr, major: u64, minor: u8) -> Mac128 {
+        self.mac_bytes(&Self::data_hmac_msg(cipher, line, major, minor))
     }
 
     /// Data HMAC computed from a decoded counter line.
@@ -154,13 +179,41 @@ impl CryptoEngine {
     /// their parents' slots, and swapping identical content is a
     /// semantic no-op.
     pub fn node_mac(&self, level: usize, position: u8, content: &Line) -> Mac128 {
+        self.mac_bytes(&Self::node_mac_msg(level, position, content))
+    }
+
+    /// Builds the node-MAC message without computing the MAC (the
+    /// batched counterpart of [`Self::node_mac`], for lane scheduling).
+    /// Pure framing: no op counters move.
+    pub fn node_mac_msg(level: usize, position: u8, content: &Line) -> [u8; MT_MSG_LEN] {
         debug_assert!(position < 4, "4-ary tree positions are 0..4");
         let mut msg = [0u8; MT_MSG_LEN];
         msg[..2].copy_from_slice(b"MT");
         msg[2..6].copy_from_slice(&(level as u32).to_le_bytes());
         msg[6] = position;
         msg[7..71].copy_from_slice(content);
-        self.mac_bytes(&msg)
+        msg
+    }
+
+    /// MACs a whole batch of prebuilt messages into `out`, spreading
+    /// independent messages across SIMD lanes where the tier allows.
+    ///
+    /// Bit-identical to calling the scalar MAC per message (and does
+    /// exactly that under [`HmacMode::Rekey`], which stays on the
+    /// reference path). Op counters advance by the batch length.
+    pub fn mac128_batch_msgs<M: AsRef<[u8]>>(&self, msgs: &[M], out: &mut [Mac128]) {
+        assert_eq!(msgs.len(), out.len(), "mac128_batch_msgs length mismatch");
+        self.hmac_ops.set(self.hmac_ops.get() + msgs.len() as u64);
+        match self.mode {
+            HmacMode::Midstate => self.hmac.mac128_batch(self.tier, msgs, out),
+            HmacMode::Rekey => {
+                for (msg, slot) in msgs.iter().zip(out.iter_mut()) {
+                    let mut h = HmacSha1::new(&self.hmac_key);
+                    h.update(msg.as_ref());
+                    *slot = truncate(h.finalize());
+                }
+            }
+        }
     }
 
     /// The HMAC key (recovery re-derives engines from the TCB).
@@ -283,6 +336,55 @@ mod tests {
                 fast.node_mac(i as usize % 12, (i % 4) as u8, &ct),
                 slow.node_mac(i as usize % 12, (i % 4) as u8, &ct),
                 "node_mac {i}"
+            );
+        }
+    }
+
+    /// Batched MACs must equal per-message MACs in every mode and
+    /// tier, and advance the op counter by the batch length.
+    #[test]
+    fn batch_macs_are_bit_identical_across_modes_and_tiers() {
+        let keys = Keys::from_seed(11);
+        let msgs: Vec<[u8; MT_MSG_LEN]> = (0..9u8)
+            .map(|i| {
+                let content: Line = core::array::from_fn(|j| i ^ (j as u8));
+                CryptoEngine::node_mac_msg(i as usize % 12, i % 4, &content)
+            })
+            .collect();
+        for mode in [HmacMode::Midstate, HmacMode::Rekey] {
+            for tier in [CryptoTier::Portable, CryptoTier::Simd] {
+                let e = CryptoEngine::with_options(&keys, mode, tier);
+                assert_eq!(e.tier(), tier);
+                let mut out = vec![[0u8; 16]; msgs.len()];
+                e.mac128_batch_msgs(&msgs, &mut out);
+                assert_eq!(e.hmac_ops(), msgs.len() as u64);
+                for (i, got) in out.iter().enumerate() {
+                    let content: Line = core::array::from_fn(|j| (i as u8) ^ (j as u8));
+                    assert_eq!(
+                        *got,
+                        e.node_mac(i % 12, (i % 4) as u8, &content),
+                        "mode {mode:?}, tier {tier}, msg {i}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Both tiers produce identical ciphertexts and MACs end to end.
+    #[test]
+    fn tiers_are_bit_identical_for_engine_outputs() {
+        let keys = Keys::from_seed(77);
+        let portable = CryptoEngine::with_options(&keys, HmacMode::Midstate, CryptoTier::Portable);
+        let simd = CryptoEngine::with_options(&keys, HmacMode::Midstate, CryptoTier::Simd);
+        for i in 0..8u64 {
+            let plain: Line = core::array::from_fn(|j| ((j as u64).wrapping_mul(i + 3)) as u8);
+            let ct_p = portable.encrypt_line(&plain, LineAddr(i * 64), i, (i % 64) as u8);
+            let ct_s = simd.encrypt_line(&plain, LineAddr(i * 64), i, (i % 64) as u8);
+            assert_eq!(ct_p, ct_s, "ciphertext {i}");
+            assert_eq!(
+                portable.data_hmac(&ct_p, LineAddr(i * 64), i, (i % 64) as u8),
+                simd.data_hmac(&ct_s, LineAddr(i * 64), i, (i % 64) as u8),
+                "data_hmac {i}"
             );
         }
     }

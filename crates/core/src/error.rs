@@ -97,6 +97,9 @@ pub enum ConfigError {
         /// Configured shard count.
         count: u32,
     },
+    /// The `simd` crypto tier was forced but this build or host has no
+    /// hardware crypto path.
+    CryptoTierUnavailable,
 }
 
 impl fmt::Display for ConfigError {
@@ -121,6 +124,11 @@ impl fmt::Display for ConfigError {
             ConfigError::ShardTopologyInvalid { index, count } => write!(
                 f,
                 "shard index {index} is not valid for a {count}-shard topology"
+            ),
+            ConfigError::CryptoTierUnavailable => write!(
+                f,
+                "crypto tier 'simd' forced but this build/host has no hardware crypto path \
+                 (try 'auto' or 'portable')"
             ),
         }
     }

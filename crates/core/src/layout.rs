@@ -112,8 +112,8 @@ impl SecureLayout {
         let dh_lines = data_lines.div_ceil(MACS_PER_LINE);
         let dh_base = counter_base + counter_lines;
 
-        let mut level_base = Vec::new();
-        let mut level_count = Vec::new();
+        let mut level_base = Vec::with_capacity(MAX_TREE_LEVELS);
+        let mut level_count = Vec::with_capacity(MAX_TREE_LEVELS);
         let mut next_base = dh_base + dh_lines;
         let mut nodes = counter_lines.div_ceil(MACS_PER_LINE);
         // Build levels until a single top node caps the tree. A

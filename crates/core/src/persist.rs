@@ -107,7 +107,9 @@ impl SecureMemory {
         } else {
             HmacMode::Midstate
         };
-        let engine = CryptoEngine::with_mode(&keys, mode);
+        // validate() already proved the selection resolvable.
+        let tier = config.crypto.resolve().expect("validated crypto tier");
+        let engine = CryptoEngine::with_options(&keys, mode, tier);
         let bmt = Bmt::new(layout.clone(), engine);
         let tcb = Tcb::new(keys, bmt.default_root());
         Ok(Self {
@@ -184,7 +186,12 @@ impl SecureMemory {
         let mut config = config;
         config.check_plaintext = false;
         let mut mem = Self::new(config)?;
-        mem.bmt = Bmt::new(mem.layout.clone(), CryptoEngine::new(&image.tcb.keys));
+        let mode = mem.bmt.engine().hmac_mode();
+        let tier = mem.bmt.engine().tier();
+        mem.bmt = Bmt::new(
+            mem.layout.clone(),
+            CryptoEngine::with_options(&image.tcb.keys, mode, tier),
+        );
         mem.tcb = Tcb::new(image.tcb.keys.clone(), report.rebuilt_root);
         mem.nvm.durable.restore(&report.recovered_nvm);
         Ok(mem)

@@ -102,6 +102,13 @@ impl Aes128 {
         Self { rk }
     }
 
+    /// Encrypts one 16-byte block under an explicit crypto tier:
+    /// AES-NI where the host has it, otherwise the T-table cipher.
+    /// Bit-identical to [`Self::encrypt_block`].
+    pub fn encrypt_block_with(&self, tier: crate::tier::CryptoTier, block: [u8; 16]) -> [u8; 16] {
+        crate::lanes::aes128_encrypt(tier, &self.rk, block, |b| self.encrypt_block(b))
+    }
+
     /// Encrypts one 16-byte block.
     ///
     /// State columns live in little-endian `u32`s, so row `r` of column
@@ -290,5 +297,42 @@ mod tests {
         let a = aes.encrypt_block(p);
         p[0] = 1;
         assert_ne!(a, aes.encrypt_block(p));
+    }
+
+    #[test]
+    fn tiers_are_bit_identical() {
+        use crate::tier::CryptoTier;
+        // FIPS 197 Appendix B through both tiers, then random points.
+        let key = [
+            0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf,
+            0x4f, 0x3c,
+        ];
+        let pt = [
+            0x32, 0x43, 0xf6, 0xa8, 0x88, 0x5a, 0x30, 0x8d, 0x31, 0x31, 0x98, 0xa2, 0xe0, 0x37,
+            0x07, 0x34,
+        ];
+        let expect = [
+            0x39, 0x25, 0x84, 0x1d, 0x02, 0xdc, 0x09, 0xfb, 0xdc, 0x11, 0x85, 0x97, 0x19, 0x6a,
+            0x0b, 0x32,
+        ];
+        let aes = Aes128::new(&key);
+        for tier in [CryptoTier::Portable, CryptoTier::Simd] {
+            assert_eq!(aes.encrypt_block_with(tier, pt), expect);
+        }
+        let mut x = 0xfeed_f00d_dead_beefu64;
+        let mut next = move || {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            x
+        };
+        for _ in 0..64 {
+            let key: [u8; 16] = core::array::from_fn(|_| next() as u8);
+            let block: [u8; 16] = core::array::from_fn(|_| next() as u8);
+            let aes = Aes128::new(&key);
+            let want = aes.encrypt_block(block);
+            assert_eq!(aes.encrypt_block_with(CryptoTier::Portable, block), want);
+            assert_eq!(aes.encrypt_block_with(CryptoTier::Simd, block), want);
+        }
     }
 }

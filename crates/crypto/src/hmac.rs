@@ -11,10 +11,49 @@
 //! Both are truncated HMAC-SHA1; [`hmac_sha1_128`] is the convenience
 //! entry point the rest of the workspace uses.
 
+use crate::lanes;
 use crate::sha1::Sha1;
+use crate::tier::CryptoTier;
 use crate::Mac128;
 
 const BLOCK_LEN: usize = 64;
+
+/// Serializes a SHA-1 state to its big-endian digest bytes.
+fn state_bytes(state: [u32; 5]) -> [u8; 20] {
+    let mut out = [0u8; 20];
+    for (i, word) in state.iter().enumerate() {
+        out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+    }
+    out
+}
+
+/// Writes block `b` (of `nblocks`) of the padded SHA-1 message stream
+/// `msg ‖ 0x80 ‖ zeros ‖ bitlen` into `block`. The stream starts one
+/// block into the hash (the ipad block the midstate already absorbed),
+/// so `bitlen` must count those 64 bytes too.
+fn fill_padded_block(msg: &[u8], b: usize, nblocks: usize, bitlen: [u8; 8], block: &mut [u8; 64]) {
+    *block = [0u8; 64];
+    let base = b * 64;
+    if base < msg.len() {
+        let n = (msg.len() - base).min(64);
+        block[..n].copy_from_slice(&msg[base..base + n]);
+    }
+    if (base..base + 64).contains(&msg.len()) {
+        block[msg.len() - base] = 0x80;
+    }
+    if b + 1 == nblocks {
+        // Never collides with message bytes or the 0x80 marker:
+        // `nblocks` was sized to leave at least 9 free trailing bytes.
+        block[56..64].copy_from_slice(&bitlen);
+    }
+}
+
+/// Whether every message in the group has the same length (lane groups
+/// must advance through the same number of blocks).
+fn equal_lens<M: AsRef<[u8]>>(msgs: &[M]) -> bool {
+    let len = msgs[0].as_ref().len();
+    msgs.iter().all(|m| m.as_ref().len() == len)
+}
 
 /// Incremental HMAC-SHA1 computation.
 ///
@@ -161,6 +200,116 @@ impl HmacEngine {
         let mut out = [0u8; 16];
         out.copy_from_slice(&full[..16]);
         out
+    }
+
+    /// One-shot tag over `data` under an explicit crypto tier
+    /// (bit-identical to [`Self::mac`]; `Simd` uses SHA-NI when the
+    /// host has it).
+    pub fn mac_with(&self, tier: CryptoTier, data: &[u8]) -> [u8; 20] {
+        let mut state = self.inner_midstate;
+        let mut chunks = data.chunks_exact(64);
+        for chunk in &mut chunks {
+            let block: &[u8; 64] = chunk.try_into().expect("exact chunk");
+            state = lanes::compress_block(tier, state, block);
+        }
+        let rem = chunks.remainder();
+        let bitlen = (((BLOCK_LEN + data.len()) as u64) * 8).to_be_bytes();
+        let mut block = [0u8; 64];
+        block[..rem.len()].copy_from_slice(rem);
+        block[rem.len()] = 0x80;
+        if rem.len() + 9 <= 64 {
+            block[56..64].copy_from_slice(&bitlen);
+            state = lanes::compress_block(tier, state, &block);
+        } else {
+            state = lanes::compress_block(tier, state, &block);
+            let mut last = [0u8; 64];
+            last[56..64].copy_from_slice(&bitlen);
+            state = lanes::compress_block(tier, state, &last);
+        }
+        self.outer_finish(tier, &state_bytes(state))
+    }
+
+    /// Truncated variant of [`Self::mac_with`].
+    pub fn mac128_with(&self, tier: CryptoTier, data: &[u8]) -> Mac128 {
+        let full = self.mac_with(tier, data);
+        let mut out = [0u8; 16];
+        out.copy_from_slice(&full[..16]);
+        out
+    }
+
+    /// Computes `out[i] = mac128(msgs[i])` for a whole batch, spreading
+    /// independent messages across SIMD lanes.
+    ///
+    /// Runs of [`lanes::wide_lanes`] (or 4) consecutive equal-length
+    /// messages go through the multi-lane compression; ragged leftovers
+    /// fall back to the scalar path. Results are bit-identical to
+    /// calling [`Self::mac128`] per message, and nothing allocates.
+    ///
+    /// # Panics
+    ///
+    /// When `out` is not exactly as long as `msgs`.
+    pub fn mac128_batch<M: AsRef<[u8]>>(&self, tier: CryptoTier, msgs: &[M], out: &mut [Mac128]) {
+        assert_eq!(msgs.len(), out.len(), "mac128_batch output length mismatch");
+        let wide = lanes::wide_lanes(tier);
+        let mut i = 0;
+        while i < msgs.len() {
+            if wide == 8 && i + 8 <= msgs.len() && equal_lens(&msgs[i..i + 8]) {
+                let group: [&[u8]; 8] = core::array::from_fn(|l| msgs[i + l].as_ref());
+                self.mac128_lanes(tier, &group, &mut out[i..i + 8]);
+                i += 8;
+            } else if i + 4 <= msgs.len() && equal_lens(&msgs[i..i + 4]) {
+                let group: [&[u8]; 4] = core::array::from_fn(|l| msgs[i + l].as_ref());
+                self.mac128_lanes(tier, &group, &mut out[i..i + 4]);
+                i += 4;
+            } else {
+                out[i] = self.mac128_with(tier, msgs[i].as_ref());
+                i += 1;
+            }
+        }
+    }
+
+    /// MACs `N` equal-length messages, one per lane: all inner blocks
+    /// advance in lockstep from the ipad midstate (each built on the
+    /// stack from the virtual padded stream), then one wide outer
+    /// compression finishes every lane.
+    fn mac128_lanes<const N: usize>(
+        &self,
+        tier: CryptoTier,
+        msgs: &[&[u8]; N],
+        out: &mut [Mac128],
+    ) {
+        let len = msgs[0].len();
+        debug_assert!(msgs.iter().all(|m| m.len() == len));
+        let nblocks = (len + 9).div_ceil(64);
+        let bitlen = (((BLOCK_LEN + len) as u64) * 8).to_be_bytes();
+        let mut states = [self.inner_midstate; N];
+        let mut blocks = [[0u8; 64]; N];
+        for b in 0..nblocks {
+            for (l, msg) in msgs.iter().enumerate() {
+                fill_padded_block(msg, b, nblocks, bitlen, &mut blocks[l]);
+            }
+            lanes::compress_lanes(tier, &mut states, &blocks);
+        }
+        let mut outer_states = [self.outer_midstate; N];
+        for (l, state) in states.iter().enumerate() {
+            blocks[l] = [0u8; 64];
+            blocks[l][..20].copy_from_slice(&state_bytes(*state));
+            blocks[l][20] = 0x80;
+            blocks[l][56..64].copy_from_slice(&(84u64 * 8).to_be_bytes());
+        }
+        lanes::compress_lanes(tier, &mut outer_states, &blocks);
+        for (l, state) in outer_states.iter().enumerate() {
+            out[l].copy_from_slice(&state_bytes(*state)[..16]);
+        }
+    }
+
+    /// Runs the single outer compression over an inner digest.
+    fn outer_finish(&self, tier: CryptoTier, inner_digest: &[u8; 20]) -> [u8; 20] {
+        let mut block = [0u8; 64];
+        block[..20].copy_from_slice(inner_digest);
+        block[20] = 0x80;
+        block[56..64].copy_from_slice(&(84u64 * 8).to_be_bytes());
+        state_bytes(lanes::compress_block(tier, self.outer_midstate, &block))
     }
 }
 
@@ -332,5 +481,52 @@ mod tests {
         let first = engine.mac(b"m1");
         let _ = engine.mac(b"m2");
         assert_eq!(engine.mac(b"m1"), first, "begin() must not share state");
+    }
+
+    #[test]
+    fn tiered_mac_matches_reference_across_lengths() {
+        let engine = HmacEngine::new(b"tier key");
+        let msg: Vec<u8> = (0..=255u8).cycle().take(400).collect();
+        for len in [
+            0usize, 1, 20, 55, 56, 63, 64, 65, 71, 83, 119, 128, 200, 400,
+        ] {
+            for tier in [CryptoTier::Portable, CryptoTier::Simd] {
+                assert_eq!(
+                    engine.mac_with(tier, &msg[..len]),
+                    HmacSha1::mac(b"tier key", &msg[..len]),
+                    "len {len}, tier {tier}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_matches_scalar_including_ragged_tail() {
+        let engine = HmacEngine::new(b"batch key");
+        // 8-lane group + 4-lane group + unequal-length ragged tail.
+        let msgs: Vec<Vec<u8>> = (0..15usize)
+            .map(|i| {
+                let len = if i < 12 { 83 } else { 10 + i };
+                (0..len).map(|j| (i * 31 + j) as u8).collect()
+            })
+            .collect();
+        for tier in [CryptoTier::Portable, CryptoTier::Simd] {
+            let mut out = vec![[0u8; 16]; msgs.len()];
+            engine.mac128_batch(tier, &msgs, &mut out);
+            for (msg, got) in msgs.iter().zip(&out) {
+                assert_eq!(*got, engine.mac128(msg), "tier {tier}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_accepts_fixed_size_arrays_without_refs() {
+        let engine = HmacEngine::new(b"arrays");
+        let msgs: [[u8; 71]; 9] = core::array::from_fn(|i| core::array::from_fn(|j| (i ^ j) as u8));
+        let mut out = [[0u8; 16]; 9];
+        engine.mac128_batch(CryptoTier::Simd, &msgs, &mut out);
+        for (msg, got) in msgs.iter().zip(&out) {
+            assert_eq!(*got, engine.mac128(msg));
+        }
     }
 }

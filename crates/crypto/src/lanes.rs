@@ -1,0 +1,646 @@
+//! Multi-lane and hardware-accelerated SHA-1 / AES block functions.
+//!
+//! Four implementations of the FIPS 180-4 SHA-1 compression function,
+//! all bit-identical to the scalar one in [`crate::sha1`]:
+//!
+//! * [`compress_lanes`] — a portable N-lane "SWAR-style" array
+//!   transposition (one independent message stream per lane) that any
+//!   backend can auto-vectorize, so the lane API works on every target;
+//! * a 4-lane SSE2 and an 8-lane AVX2 multi-stream version
+//!   (state-of-arrays layout, one `u32` per lane per register slot);
+//! * a single-stream SHA-NI version ([`compress_block`]) for MAC
+//!   chains that are serially dependent and cannot be spread across
+//!   lanes (e.g. the counter-path walk on every SC write-back).
+//!
+//! AES gets the same treatment: [`aes128_encrypt`] runs the T-table
+//! cipher or a single-block AES-NI encrypt depending on the tier.
+//!
+//! Which implementation runs is decided at runtime from
+//! [`crate::tier`]; every entry point takes the resolved
+//! [`CryptoTier`] and falls back per-capability, so a forced `simd`
+//! tier on a host with, say, AVX2 but no SHA-NI still uses the lanes
+//! it has. All hardware paths live behind `cfg(feature = "simd",
+//! target_arch = "x86_64")` and are the only unsafe code in the crate.
+
+use crate::tier::{caps, CryptoTier};
+
+/// SHA-1 round constants, one per 20-round group.
+const K: [u32; 4] = [0x5a82_7999, 0x6ed9_eba1, 0x8f1b_bcdc, 0xca62_c1d6];
+
+/// Lane width the wide paths use under `tier` (8 with AVX2, else 4).
+/// Callers batch work in groups of this size; smaller ragged groups
+/// take the scalar path.
+pub fn wide_lanes(tier: CryptoTier) -> usize {
+    if tier == CryptoTier::Simd && caps().avx2 {
+        8
+    } else {
+        4
+    }
+}
+
+/// One SHA-1 compression applied to `N` independent streams: lane `l`
+/// advances `states[l]` over `blocks[l]`. Dispatches to AVX2 (`N == 8`)
+/// or SSE2 (`N == 4`) under the `Simd` tier, otherwise to the portable
+/// SWAR version. Bit-identical to `N` scalar compressions.
+pub fn compress_lanes<const N: usize>(
+    tier: CryptoTier,
+    states: &mut [[u32; 5]; N],
+    blocks: &[[u8; 64]; N],
+) {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if tier == CryptoTier::Simd {
+        let c = caps();
+        if N == 8 && c.avx2 {
+            // Const-generic N is proven 8 here; reborrow at the
+            // concrete width for the intrinsic kernel.
+            let states8 = unsafe { &mut *(states as *mut _ as *mut [[u32; 5]; 8]) };
+            let blocks8 = unsafe { &*(blocks as *const _ as *const [[u8; 64]; 8]) };
+            unsafe { x86::compress_lanes8_avx2(states8, blocks8) };
+            return;
+        }
+        if N == 4 && c.sse2 {
+            let states4 = unsafe { &mut *(states as *mut _ as *mut [[u32; 5]; 4]) };
+            let blocks4 = unsafe { &*(blocks as *const _ as *const [[u8; 64]; 4]) };
+            unsafe { x86::compress_lanes4_sse2(states4, blocks4) };
+            return;
+        }
+    }
+    let _ = tier;
+    compress_lanes_portable(states, blocks);
+}
+
+/// One single-stream SHA-1 compression under `tier`: SHA-NI when
+/// available, otherwise the scalar FIPS code. Bit-identical to
+/// [`crate::sha1`]'s compression.
+pub fn compress_block(tier: CryptoTier, state: [u32; 5], block: &[u8; 64]) -> [u32; 5] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if tier == CryptoTier::Simd && caps().sha_ni {
+        return unsafe { x86::compress_block_shani(state, block) };
+    }
+    let _ = tier;
+    crate::sha1::Sha1::compress_block(state, block)
+}
+
+/// One AES-128 block encryption under `tier` from pre-expanded round
+/// keys in state-column layout (`rk[round][column]`, little-endian
+/// packed — byte-for-byte the FIPS 197 expanded key, which is exactly
+/// what AES-NI consumes). Bit-identical to the T-table cipher.
+pub(crate) fn aes128_encrypt(
+    tier: CryptoTier,
+    rk: &[[u32; 4]; 11],
+    block: [u8; 16],
+    ttable: impl Fn([u8; 16]) -> [u8; 16],
+) -> [u8; 16] {
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if tier == CryptoTier::Simd && caps().aes_ni {
+        return unsafe { x86::aes128_encrypt_aesni(rk, block) };
+    }
+    let _ = (tier, rk);
+    ttable(block)
+}
+
+/// Portable N-lane SWAR compression: every working variable is an
+/// `[u32; N]` array with lane-wise loops the compiler can vectorize.
+/// This is the reference the hardware kernels are tested against, and
+/// the fallback that keeps the lane API available on every target.
+pub fn compress_lanes_portable<const N: usize>(states: &mut [[u32; 5]; N], blocks: &[[u8; 64]; N]) {
+    // Transposed schedule: `w[i][l]` is word `i` of lane `l`, kept as a
+    // 16-entry ring so the working set stays register/cache friendly.
+    let mut w = [[0u32; N]; 16];
+    for (l, block) in blocks.iter().enumerate() {
+        for (i, chunk) in block.chunks_exact(4).enumerate() {
+            w[i][l] = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+        }
+    }
+    let mut a = [0u32; N];
+    let mut b = [0u32; N];
+    let mut c = [0u32; N];
+    let mut d = [0u32; N];
+    let mut e = [0u32; N];
+    for l in 0..N {
+        [a[l], b[l], c[l], d[l], e[l]] = states[l];
+    }
+    for t in 0..80 {
+        let s = t & 15;
+        if t >= 16 {
+            #[allow(clippy::needless_range_loop)] // lane index spans four w[] slots
+            for l in 0..N {
+                // `w[s]` still holds w[t-16] at this point.
+                let x = w[(t + 13) & 15][l] ^ w[(t + 8) & 15][l] ^ w[(t + 2) & 15][l] ^ w[s][l];
+                w[s][l] = x.rotate_left(1);
+            }
+        }
+        for l in 0..N {
+            let f = match t {
+                0..=19 => (b[l] & c[l]) | ((!b[l]) & d[l]),
+                20..=39 => b[l] ^ c[l] ^ d[l],
+                40..=59 => (b[l] & c[l]) | (b[l] & d[l]) | (c[l] & d[l]),
+                _ => b[l] ^ c[l] ^ d[l],
+            };
+            let tmp = a[l]
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e[l])
+                .wrapping_add(K[t / 20])
+                .wrapping_add(w[s][l]);
+            e[l] = d[l];
+            d[l] = c[l];
+            c[l] = b[l].rotate_left(30);
+            b[l] = a[l];
+            a[l] = tmp;
+        }
+    }
+    for l in 0..N {
+        states[l][0] = states[l][0].wrapping_add(a[l]);
+        states[l][1] = states[l][1].wrapping_add(b[l]);
+        states[l][2] = states[l][2].wrapping_add(c[l]);
+        states[l][3] = states[l][3].wrapping_add(d[l]);
+        states[l][4] = states[l][4].wrapping_add(e[l]);
+    }
+}
+
+#[cfg(all(feature = "simd", target_arch = "x86_64"))]
+mod x86 {
+    //! The x86-64 intrinsic kernels. Safety: every function is
+    //! `target_feature`-gated and only reached after the corresponding
+    //! CPUID capability check in the dispatchers above; the pointer
+    //! reborrows in the dispatchers are between identical layouts whose
+    //! widths the `N == …` guards establish.
+    #![allow(unsafe_code)]
+
+    use super::K;
+    use core::arch::x86_64::*;
+
+    /// 8-lane AVX2 multi-stream SHA-1 compression (one message per
+    /// lane, state-of-arrays in `__m256i` registers).
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn compress_lanes8_avx2(states: &mut [[u32; 5]; 8], blocks: &[[u8; 64]; 8]) {
+        // No vprold outside AVX-512: rotate = shift-left | shift-right.
+        macro_rules! rotl {
+            ($x:expr, $n:literal) => {
+                _mm256_or_si256(
+                    _mm256_slli_epi32::<$n>($x),
+                    _mm256_srli_epi32::<{ 32 - $n }>($x),
+                )
+            };
+        }
+        let lane_word = |i: usize| {
+            let word = |l: usize| {
+                i32::from_be_bytes([
+                    blocks[l][i * 4],
+                    blocks[l][i * 4 + 1],
+                    blocks[l][i * 4 + 2],
+                    blocks[l][i * 4 + 3],
+                ])
+            };
+            _mm256_set_epi32(
+                word(7),
+                word(6),
+                word(5),
+                word(4),
+                word(3),
+                word(2),
+                word(1),
+                word(0),
+            )
+        };
+        let state_word = |i: usize| {
+            _mm256_set_epi32(
+                states[7][i] as i32,
+                states[6][i] as i32,
+                states[5][i] as i32,
+                states[4][i] as i32,
+                states[3][i] as i32,
+                states[2][i] as i32,
+                states[1][i] as i32,
+                states[0][i] as i32,
+            )
+        };
+        let mut w = [_mm256_setzero_si256(); 16];
+        for (i, slot) in w.iter_mut().enumerate() {
+            *slot = lane_word(i);
+        }
+        let mut a = state_word(0);
+        let mut b = state_word(1);
+        let mut c = state_word(2);
+        let mut d = state_word(3);
+        let mut e = state_word(4);
+        let (a0, b0, c0, d0, e0) = (a, b, c, d, e);
+        for t in 0..80 {
+            let s = t & 15;
+            if t >= 16 {
+                let x = _mm256_xor_si256(
+                    _mm256_xor_si256(w[(t + 13) & 15], w[(t + 8) & 15]),
+                    _mm256_xor_si256(w[(t + 2) & 15], w[s]),
+                );
+                w[s] = rotl!(x, 1);
+            }
+            let f = match t / 20 {
+                // Ch(b,c,d) = d ^ (b & (c ^ d))
+                0 => _mm256_xor_si256(d, _mm256_and_si256(b, _mm256_xor_si256(c, d))),
+                // Parity
+                1 | 3 => _mm256_xor_si256(_mm256_xor_si256(b, c), d),
+                // Maj(b,c,d) = (b & c) | (d & (b | c))
+                _ => _mm256_or_si256(
+                    _mm256_and_si256(b, c),
+                    _mm256_and_si256(d, _mm256_or_si256(b, c)),
+                ),
+            };
+            let k = _mm256_set1_epi32(K[t / 20] as i32);
+            let tmp = _mm256_add_epi32(
+                _mm256_add_epi32(_mm256_add_epi32(rotl!(a, 5), f), _mm256_add_epi32(e, k)),
+                w[s],
+            );
+            e = d;
+            d = c;
+            c = rotl!(b, 30);
+            b = a;
+            a = tmp;
+        }
+        a = _mm256_add_epi32(a, a0);
+        b = _mm256_add_epi32(b, b0);
+        c = _mm256_add_epi32(c, c0);
+        d = _mm256_add_epi32(d, d0);
+        e = _mm256_add_epi32(e, e0);
+        let mut out = [[0u32; 8]; 5];
+        _mm256_storeu_si256(out[0].as_mut_ptr() as *mut __m256i, a);
+        _mm256_storeu_si256(out[1].as_mut_ptr() as *mut __m256i, b);
+        _mm256_storeu_si256(out[2].as_mut_ptr() as *mut __m256i, c);
+        _mm256_storeu_si256(out[3].as_mut_ptr() as *mut __m256i, d);
+        _mm256_storeu_si256(out[4].as_mut_ptr() as *mut __m256i, e);
+        for (l, state) in states.iter_mut().enumerate() {
+            for i in 0..5 {
+                state[i] = out[i][l];
+            }
+        }
+    }
+
+    /// 4-lane SSE2 multi-stream SHA-1 compression.
+    #[target_feature(enable = "sse2")]
+    pub(super) unsafe fn compress_lanes4_sse2(states: &mut [[u32; 5]; 4], blocks: &[[u8; 64]; 4]) {
+        macro_rules! rotl {
+            ($x:expr, $n:literal) => {
+                _mm_or_si128(_mm_slli_epi32::<$n>($x), _mm_srli_epi32::<{ 32 - $n }>($x))
+            };
+        }
+        let lane_word = |i: usize| {
+            let word = |l: usize| {
+                i32::from_be_bytes([
+                    blocks[l][i * 4],
+                    blocks[l][i * 4 + 1],
+                    blocks[l][i * 4 + 2],
+                    blocks[l][i * 4 + 3],
+                ])
+            };
+            _mm_set_epi32(word(3), word(2), word(1), word(0))
+        };
+        let state_word = |i: usize| {
+            _mm_set_epi32(
+                states[3][i] as i32,
+                states[2][i] as i32,
+                states[1][i] as i32,
+                states[0][i] as i32,
+            )
+        };
+        let mut w = [_mm_setzero_si128(); 16];
+        for (i, slot) in w.iter_mut().enumerate() {
+            *slot = lane_word(i);
+        }
+        let mut a = state_word(0);
+        let mut b = state_word(1);
+        let mut c = state_word(2);
+        let mut d = state_word(3);
+        let mut e = state_word(4);
+        let (a0, b0, c0, d0, e0) = (a, b, c, d, e);
+        for t in 0..80 {
+            let s = t & 15;
+            if t >= 16 {
+                let x = _mm_xor_si128(
+                    _mm_xor_si128(w[(t + 13) & 15], w[(t + 8) & 15]),
+                    _mm_xor_si128(w[(t + 2) & 15], w[s]),
+                );
+                w[s] = rotl!(x, 1);
+            }
+            let f = match t / 20 {
+                0 => _mm_xor_si128(d, _mm_and_si128(b, _mm_xor_si128(c, d))),
+                1 | 3 => _mm_xor_si128(_mm_xor_si128(b, c), d),
+                _ => _mm_or_si128(_mm_and_si128(b, c), _mm_and_si128(d, _mm_or_si128(b, c))),
+            };
+            let k = _mm_set1_epi32(K[t / 20] as i32);
+            let tmp = _mm_add_epi32(
+                _mm_add_epi32(_mm_add_epi32(rotl!(a, 5), f), _mm_add_epi32(e, k)),
+                w[s],
+            );
+            e = d;
+            d = c;
+            c = rotl!(b, 30);
+            b = a;
+            a = tmp;
+        }
+        a = _mm_add_epi32(a, a0);
+        b = _mm_add_epi32(b, b0);
+        c = _mm_add_epi32(c, c0);
+        d = _mm_add_epi32(d, d0);
+        e = _mm_add_epi32(e, e0);
+        let mut out = [[0u32; 4]; 5];
+        _mm_storeu_si128(out[0].as_mut_ptr() as *mut __m128i, a);
+        _mm_storeu_si128(out[1].as_mut_ptr() as *mut __m128i, b);
+        _mm_storeu_si128(out[2].as_mut_ptr() as *mut __m128i, c);
+        _mm_storeu_si128(out[3].as_mut_ptr() as *mut __m128i, d);
+        _mm_storeu_si128(out[4].as_mut_ptr() as *mut __m128i, e);
+        for (l, state) in states.iter_mut().enumerate() {
+            for i in 0..5 {
+                state[i] = out[i][l];
+            }
+        }
+    }
+
+    /// Single-stream SHA-1 compression with the SHA-NI round
+    /// instructions (the classic fully unrolled schedule: `SHA1RNDS4`
+    /// processes four rounds, `SHA1MSG1`/`SHA1MSG2`/`SHA1NEXTE`
+    /// maintain the message expansion).
+    #[target_feature(enable = "sha,ssse3,sse4.1")]
+    pub(super) unsafe fn compress_block_shani(state: [u32; 5], block: &[u8; 64]) -> [u32; 5] {
+        // Big-endian word loads: byte-reverse each 32-bit lane.
+        let mask = _mm_set_epi64x(
+            0x0001_0203_0405_0607u64 as i64,
+            0x0809_0a0b_0c0d_0e0fu64 as i64,
+        );
+        let mut abcd = _mm_loadu_si128(state.as_ptr() as *const __m128i);
+        abcd = _mm_shuffle_epi32::<0x1B>(abcd);
+        let mut e0 = _mm_set_epi32(state[4] as i32, 0, 0, 0);
+        let abcd_save = abcd;
+        let e_save = e0;
+        let load = |off: usize| {
+            _mm_shuffle_epi8(
+                _mm_loadu_si128(block.as_ptr().add(off) as *const __m128i),
+                mask,
+            )
+        };
+
+        // Rounds 0..4
+        let mut msg0 = load(0);
+        e0 = _mm_add_epi32(e0, msg0);
+        let mut e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e0);
+        // Rounds 4..8
+        let mut msg1 = load(16);
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e1);
+        msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+        // Rounds 8..12
+        let mut msg2 = load(32);
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e0);
+        msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+        msg0 = _mm_xor_si128(msg0, msg2);
+        // Rounds 12..16
+        let mut msg3 = load(48);
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e1);
+        msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+        msg1 = _mm_xor_si128(msg1, msg3);
+        // Rounds 16..20
+        e0 = _mm_sha1nexte_epu32(e0, msg0);
+        e1 = abcd;
+        msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+        abcd = _mm_sha1rnds4_epu32::<0>(abcd, e0);
+        msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+        msg2 = _mm_xor_si128(msg2, msg0);
+        // Rounds 20..24
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e1);
+        msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+        msg3 = _mm_xor_si128(msg3, msg1);
+        // Rounds 24..28
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e0);
+        msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+        msg0 = _mm_xor_si128(msg0, msg2);
+        // Rounds 28..32
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e1);
+        msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+        msg1 = _mm_xor_si128(msg1, msg3);
+        // Rounds 32..36
+        e0 = _mm_sha1nexte_epu32(e0, msg0);
+        e1 = abcd;
+        msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e0);
+        msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+        msg2 = _mm_xor_si128(msg2, msg0);
+        // Rounds 36..40
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+        abcd = _mm_sha1rnds4_epu32::<1>(abcd, e1);
+        msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+        msg3 = _mm_xor_si128(msg3, msg1);
+        // Rounds 40..44
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e0);
+        msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+        msg0 = _mm_xor_si128(msg0, msg2);
+        // Rounds 44..48
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e1);
+        msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+        msg1 = _mm_xor_si128(msg1, msg3);
+        // Rounds 48..52
+        e0 = _mm_sha1nexte_epu32(e0, msg0);
+        e1 = abcd;
+        msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e0);
+        msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+        msg2 = _mm_xor_si128(msg2, msg0);
+        // Rounds 52..56
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e1);
+        msg0 = _mm_sha1msg1_epu32(msg0, msg1);
+        msg3 = _mm_xor_si128(msg3, msg1);
+        // Rounds 56..60
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+        abcd = _mm_sha1rnds4_epu32::<2>(abcd, e0);
+        msg1 = _mm_sha1msg1_epu32(msg1, msg2);
+        msg0 = _mm_xor_si128(msg0, msg2);
+        // Rounds 60..64
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        msg0 = _mm_sha1msg2_epu32(msg0, msg3);
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e1);
+        msg2 = _mm_sha1msg1_epu32(msg2, msg3);
+        msg1 = _mm_xor_si128(msg1, msg3);
+        // Rounds 64..68
+        e0 = _mm_sha1nexte_epu32(e0, msg0);
+        e1 = abcd;
+        msg1 = _mm_sha1msg2_epu32(msg1, msg0);
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e0);
+        msg3 = _mm_sha1msg1_epu32(msg3, msg0);
+        msg2 = _mm_xor_si128(msg2, msg0);
+        // Rounds 68..72
+        e1 = _mm_sha1nexte_epu32(e1, msg1);
+        e0 = abcd;
+        msg2 = _mm_sha1msg2_epu32(msg2, msg1);
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e1);
+        msg3 = _mm_xor_si128(msg3, msg1);
+        // Rounds 72..76
+        e0 = _mm_sha1nexte_epu32(e0, msg2);
+        e1 = abcd;
+        msg3 = _mm_sha1msg2_epu32(msg3, msg2);
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e0);
+        // Rounds 76..80
+        e1 = _mm_sha1nexte_epu32(e1, msg3);
+        e0 = abcd;
+        abcd = _mm_sha1rnds4_epu32::<3>(abcd, e1);
+
+        e0 = _mm_sha1nexte_epu32(e0, e_save);
+        abcd = _mm_add_epi32(abcd, abcd_save);
+
+        let mut out = [0u32; 5];
+        let abcd_out = _mm_shuffle_epi32::<0x1B>(abcd);
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, abcd_out);
+        out[4] = _mm_extract_epi32::<3>(e0) as u32;
+        out
+    }
+
+    /// Single-block AES-128 encryption with AES-NI. The round keys the
+    /// T-table cipher pre-expands (`rk[round][column]`, little-endian
+    /// packed) are byte-for-byte the FIPS 197 expanded key, so they
+    /// load directly.
+    #[target_feature(enable = "aes,sse2")]
+    pub(super) unsafe fn aes128_encrypt_aesni(rk: &[[u32; 4]; 11], block: [u8; 16]) -> [u8; 16] {
+        let key = |r: usize| _mm_loadu_si128(rk[r].as_ptr() as *const __m128i);
+        let mut b = _mm_loadu_si128(block.as_ptr() as *const __m128i);
+        b = _mm_xor_si128(b, key(0));
+        b = _mm_aesenc_si128(b, key(1));
+        b = _mm_aesenc_si128(b, key(2));
+        b = _mm_aesenc_si128(b, key(3));
+        b = _mm_aesenc_si128(b, key(4));
+        b = _mm_aesenc_si128(b, key(5));
+        b = _mm_aesenc_si128(b, key(6));
+        b = _mm_aesenc_si128(b, key(7));
+        b = _mm_aesenc_si128(b, key(8));
+        b = _mm_aesenc_si128(b, key(9));
+        b = _mm_aesenclast_si128(b, key(10));
+        let mut out = [0u8; 16];
+        _mm_storeu_si128(out.as_mut_ptr() as *mut __m128i, b);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha1::Sha1;
+    use ccnvm_rng::Rng;
+
+    fn scalar(state: [u32; 5], block: &[u8; 64]) -> [u32; 5] {
+        Sha1::compress_block(state, block)
+    }
+
+    fn random_state(rng: &mut Rng) -> [u32; 5] {
+        core::array::from_fn(|_| rng.next_u64() as u32)
+    }
+
+    fn random_block(rng: &mut Rng) -> [u8; 64] {
+        rng.gen_array()
+    }
+
+    #[test]
+    fn portable_lanes_match_scalar() {
+        let mut rng = Rng::seed_from_u64(0x1a9e5);
+        for _ in 0..64 {
+            let mut states4: [[u32; 5]; 4] = core::array::from_fn(|_| random_state(&mut rng));
+            let blocks4: [[u8; 64]; 4] = core::array::from_fn(|_| random_block(&mut rng));
+            let expect: Vec<[u32; 5]> = states4
+                .iter()
+                .zip(&blocks4)
+                .map(|(s, b)| scalar(*s, b))
+                .collect();
+            compress_lanes_portable(&mut states4, &blocks4);
+            assert_eq!(states4.to_vec(), expect);
+
+            let mut states8: [[u32; 5]; 8] = core::array::from_fn(|_| random_state(&mut rng));
+            let blocks8: [[u8; 64]; 8] = core::array::from_fn(|_| random_block(&mut rng));
+            let expect: Vec<[u32; 5]> = states8
+                .iter()
+                .zip(&blocks8)
+                .map(|(s, b)| scalar(*s, b))
+                .collect();
+            compress_lanes_portable(&mut states8, &blocks8);
+            assert_eq!(states8.to_vec(), expect);
+        }
+    }
+
+    /// On hosts with the hardware, the dispatched `Simd` tier must be
+    /// bit-identical to scalar for every width (on hosts without it,
+    /// this degenerates to re-testing the portable path — still valid).
+    #[test]
+    fn simd_lanes_match_scalar() {
+        let mut rng = Rng::seed_from_u64(0x51b0);
+        for _ in 0..64 {
+            let mut states4: [[u32; 5]; 4] = core::array::from_fn(|_| random_state(&mut rng));
+            let blocks4: [[u8; 64]; 4] = core::array::from_fn(|_| random_block(&mut rng));
+            let expect: Vec<[u32; 5]> = states4
+                .iter()
+                .zip(&blocks4)
+                .map(|(s, b)| scalar(*s, b))
+                .collect();
+            compress_lanes(CryptoTier::Simd, &mut states4, &blocks4);
+            assert_eq!(states4.to_vec(), expect, "4-lane");
+
+            let mut states8: [[u32; 5]; 8] = core::array::from_fn(|_| random_state(&mut rng));
+            let blocks8: [[u8; 64]; 8] = core::array::from_fn(|_| random_block(&mut rng));
+            let expect: Vec<[u32; 5]> = states8
+                .iter()
+                .zip(&blocks8)
+                .map(|(s, b)| scalar(*s, b))
+                .collect();
+            compress_lanes(CryptoTier::Simd, &mut states8, &blocks8);
+            assert_eq!(states8.to_vec(), expect, "8-lane");
+        }
+    }
+
+    #[test]
+    fn single_block_simd_matches_scalar() {
+        let mut rng = Rng::seed_from_u64(0x5ab1);
+        for _ in 0..128 {
+            let state = random_state(&mut rng);
+            let block = random_block(&mut rng);
+            assert_eq!(
+                compress_block(CryptoTier::Simd, state, &block),
+                scalar(state, &block)
+            );
+            assert_eq!(
+                compress_block(CryptoTier::Portable, state, &block),
+                scalar(state, &block)
+            );
+        }
+    }
+
+    #[test]
+    fn wide_lanes_is_4_or_8() {
+        for tier in [CryptoTier::Portable, CryptoTier::Simd] {
+            assert!(matches!(wide_lanes(tier), 4 | 8));
+        }
+        assert_eq!(wide_lanes(CryptoTier::Portable), 4);
+    }
+}

@@ -12,6 +12,7 @@
 //! so the four pad blocks differ.
 
 use crate::aes::Aes128;
+use crate::tier::CryptoTier;
 
 /// Generates one-time pads for 64-byte lines.
 ///
@@ -40,6 +41,12 @@ impl OtpGenerator {
     /// Produces the 64-byte pad for the line at `line_addr` under the
     /// split counter `(major, minor)`.
     pub fn pad64(&self, line_addr: u64, major: u64, minor: u64) -> [u8; 64] {
+        self.pad64_with(CryptoTier::Portable, line_addr, major, minor)
+    }
+
+    /// [`Self::pad64`] under an explicit crypto tier (AES-NI where the
+    /// host has it; bit-identical output).
+    pub fn pad64_with(&self, tier: CryptoTier, line_addr: u64, major: u64, minor: u64) -> [u8; 64] {
         let mut pad = [0u8; 64];
         for blk in 0..4u8 {
             let mut seed = [0u8; 16];
@@ -48,7 +55,7 @@ impl OtpGenerator {
             // Pack the 7-bit minor counter and the 2-bit block index into the
             // final seed byte alongside the top major byte folded in above.
             seed[15] = ((minor as u8) & 0x7f) ^ (blk << 6) ^ major.to_le_bytes()[7];
-            let block = self.aes.encrypt_block(seed);
+            let block = self.aes.encrypt_block_with(tier, seed);
             pad[blk as usize * 16..blk as usize * 16 + 16].copy_from_slice(&block);
         }
         pad
@@ -59,7 +66,19 @@ impl OtpGenerator {
     /// Applying the same call to the result restores the original line,
     /// which is how CME decrypts.
     pub fn xor64(&self, line: &[u8; 64], line_addr: u64, major: u64, minor: u64) -> [u8; 64] {
-        let pad = self.pad64(line_addr, major, minor);
+        self.xor64_with(CryptoTier::Portable, line, line_addr, major, minor)
+    }
+
+    /// [`Self::xor64`] under an explicit crypto tier.
+    pub fn xor64_with(
+        &self,
+        tier: CryptoTier,
+        line: &[u8; 64],
+        line_addr: u64,
+        major: u64,
+        minor: u64,
+    ) -> [u8; 64] {
+        let pad = self.pad64_with(tier, line_addr, major, minor);
         let mut out = [0u8; 64];
         for i in 0..64 {
             out[i] = line[i] ^ pad[i];
@@ -117,5 +136,19 @@ mod tests {
         let g = otp();
         let ct = g.xor64(&line, 8, 1, 1);
         assert_ne!(g.xor64(&ct, 8, 1, 2), line);
+    }
+
+    #[test]
+    fn tiers_produce_identical_pads() {
+        let g = otp();
+        for (addr, major, minor) in [(0u64, 0u64, 0u64), (64, 1, 9), (0x7fc0, 1 << 50, 127)] {
+            let want = g.pad64(addr, major, minor);
+            assert_eq!(g.pad64_with(CryptoTier::Simd, addr, major, minor), want);
+            let line: [u8; 64] = core::array::from_fn(|i| (i * 7) as u8);
+            assert_eq!(
+                g.xor64_with(CryptoTier::Simd, &line, addr, major, minor),
+                g.xor64(&line, addr, major, minor)
+            );
+        }
     }
 }

@@ -83,9 +83,17 @@ impl LineStore {
     /// Materialized line addresses, sorted ascending (for deterministic
     /// recovery walks).
     pub fn sorted_addrs(&self) -> Vec<LineAddr> {
-        let mut v: Vec<LineAddr> = self.lines.keys().copied().map(LineAddr).collect();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.sorted_addrs_into(&mut v);
         v
+    }
+
+    /// [`LineStore::sorted_addrs`] into caller-owned scratch (cleared
+    /// first), so repeated walks reuse one allocation.
+    pub fn sorted_addrs_into(&self, out: &mut Vec<LineAddr>) {
+        out.clear();
+        out.extend(self.lines.keys().copied().map(LineAddr));
+        out.sort_unstable();
     }
 }
 

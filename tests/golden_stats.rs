@@ -15,6 +15,7 @@
 
 use ccnvm::prelude::*;
 use ccnvm_bench::parallel::parallel_map;
+use ccnvm_crypto::CryptoSelect;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
@@ -66,8 +67,13 @@ fn assert_matches_golden(name: &str, actual: &str) {
 }
 
 fn config(design: DesignKind, legacy_hmac: bool) -> SimConfig {
+    config_tier(design, legacy_hmac, CryptoSelect::Auto)
+}
+
+fn config_tier(design: DesignKind, legacy_hmac: bool, crypto: CryptoSelect) -> SimConfig {
     let mut c = SimConfig::paper(design);
     c.legacy_hmac = legacy_hmac;
+    c.crypto = crypto;
     c
 }
 
@@ -75,14 +81,24 @@ fn config(design: DesignKind, legacy_hmac: bool) -> SimConfig {
 /// every `RunStats` through its `Debug` form, one matrix point per
 /// paragraph.
 fn render_matrix(threads: usize, legacy_hmac: bool) -> String {
+    render_matrix_tier(threads, legacy_hmac, CryptoSelect::Auto)
+}
+
+/// [`render_matrix`] under a forced crypto tier selection.
+fn render_matrix_tier(threads: usize, legacy_hmac: bool, crypto: CryptoSelect) -> String {
     let points: Vec<(String, DesignKind)> = BENCHES
         .iter()
         .flat_map(|b| DesignKind::ALL.iter().map(|&d| (b.to_string(), d)))
         .collect();
     let stats = parallel_map(&points, threads, |_, (bench, design)| {
         let profile = profiles::by_name(bench).expect("known benchmark");
-        run_profile(config(*design, legacy_hmac), &profile, INSTRUCTIONS, SEED)
-            .expect("attack-free run is clean")
+        run_profile(
+            config_tier(*design, legacy_hmac, crypto),
+            &profile,
+            INSTRUCTIONS,
+            SEED,
+        )
+        .expect("attack-free run is clean")
     });
     let mut out = String::new();
     for ((bench, design), s) in points.iter().zip(&stats) {
@@ -93,8 +109,14 @@ fn render_matrix(threads: usize, legacy_hmac: bool) -> String {
 
 /// Records a cc-NVM run and exports the event trace as JSONL bytes.
 fn render_trace(legacy_hmac: bool) -> Vec<u8> {
+    render_trace_tier(legacy_hmac, CryptoSelect::Auto)
+}
+
+/// [`render_trace`] under a forced crypto tier selection.
+fn render_trace_tier(legacy_hmac: bool, crypto: CryptoSelect) -> Vec<u8> {
     let profile = profiles::by_name("lbm").expect("known benchmark");
-    let mut sim = Simulator::new(config(DesignKind::CcNvm, legacy_hmac)).expect("paper config");
+    let mut sim =
+        Simulator::new(config_tier(DesignKind::CcNvm, legacy_hmac, crypto)).expect("paper config");
     sim.memory_mut().attach_recorder(RecorderConfig::default());
     sim.run(TraceGenerator::new(profile, SEED), INSTRUCTIONS)
         .expect("attack-free run is clean");
@@ -201,6 +223,30 @@ fn legacy_hmac_mode_is_bit_identical() {
         render_trace(true),
         render_trace(false),
         "recorded traces must not depend on the HMAC implementation"
+    );
+}
+
+/// The SIMD crypto tier (multi-lane SHA-1 batches, SHA-NI, AES-NI)
+/// must be a pure speedup: forcing the portable and SIMD tiers over
+/// the same matrix has to produce byte-identical stats and traces —
+/// including every golden snapshot, which is therefore tier-independent.
+#[test]
+fn crypto_tiers_are_bit_identical() {
+    if CryptoSelect::Simd.resolve().is_err() {
+        eprintln!("skipping: this build/host has no SIMD crypto tier");
+        return;
+    }
+    let portable = render_matrix_tier(1, false, CryptoSelect::Portable);
+    assert_eq!(
+        portable,
+        render_matrix_tier(1, false, CryptoSelect::Simd),
+        "portable and SIMD crypto tiers must simulate identically"
+    );
+    assert_matches_golden("stats.txt", &portable);
+    assert_eq!(
+        render_trace_tier(false, CryptoSelect::Portable),
+        render_trace_tier(false, CryptoSelect::Simd),
+        "recorded traces must not depend on the crypto tier"
     );
 }
 
