@@ -8,6 +8,7 @@
 //!                   [--threads T]
 //! ccnvm-sim sweep   --param {n|m} --values a,b,c [run options]
 //! ccnvm-sim recover [run options]                 # run, crash, recover, report
+//! ccnvm-sim forensics --backend file:DIR [--kill LABEL] [run options]
 //! ccnvm-sim report  --compare A.json B.json [--tolerance PCT]
 //! ccnvm-sim list    # available designs and benchmarks
 //! ```
@@ -27,6 +28,9 @@ pub enum Command {
     Sweep(SweepArgs),
     /// Run, crash at the end, recover and report.
     Recover(RunArgs),
+    /// Run with the flight recorder on, optionally kill at a persist
+    /// boundary, recover from disk and emit a forensic report.
+    Forensics(RunArgs),
     /// Compare two saved stage profiles.
     Report(ReportArgs),
     /// List designs and benchmarks.
@@ -91,6 +95,21 @@ pub struct RunArgs {
     /// Bit-identical output across tiers; only wall-clock speed
     /// changes. Defers to `CCNVM_CRYPTO` when the flag is absent.
     pub crypto: CryptoSelect,
+    /// Attach the flight recorder: an in-process ring of recent flight
+    /// entries, mirrored into the file backend's durable `flight.log`
+    /// sidecar when `--backend file:` is in use. `forensics` forces
+    /// this on.
+    pub flight: bool,
+    /// Write the `ccnvm-forensics/1` JSON report to this path
+    /// (`recover` / `forensics` only).
+    pub forensics_out: Option<String>,
+    /// Exit nonzero on any non-clean recovery verdict — including
+    /// `DURABILITY LOSS`, which the default exit treats as expected
+    /// under a relaxed fsync strategy (`recover` / `forensics` only).
+    pub strict: bool,
+    /// Persist boundary to kill the run at: a label (first crossing)
+    /// or a 1-based boundary index (`forensics` only).
+    pub kill: Option<String>,
 }
 
 /// The durable store behind the secure memory.
@@ -126,6 +145,10 @@ impl Default for RunArgs {
             backend: BackendChoice::Mem,
             fsync: FsyncStrategy::Always,
             crypto: CryptoSelect::Auto,
+            flight: false,
+            forensics_out: None,
+            strict: false,
+            kill: None,
         }
     }
 }
@@ -142,6 +165,9 @@ pub struct ReportArgs {
     /// Per-stage growth tolerance in percent before a stage is flagged
     /// as a regression.
     pub tolerance: f64,
+    /// Exit nonzero when the metrics export's footer records dropped
+    /// samples (the summary silently understated the run otherwise).
+    pub strict_drops: bool,
 }
 
 /// `sweep` subcommand options.
@@ -184,6 +210,10 @@ USAGE:
   ccnvm-sim run     [OPTIONS]          run one simulation
   ccnvm-sim sweep   --param {n|m} --values A,B,C [OPTIONS]
   ccnvm-sim recover [OPTIONS]          run, crash, recover, report
+  ccnvm-sim forensics --backend file:DIR [--kill LABEL] [OPTIONS]
+                                       run with the flight recorder, kill at
+                                       a persist boundary, recover from disk
+                                       and print the forensic report
   ccnvm-sim report  --compare A.json B.json [--tolerance PCT]
   ccnvm-sim list                       list designs and benchmarks
 
@@ -217,11 +247,24 @@ OPTIONS:
                       (bit-identical output; simd errors out when the
                       build/host has no hardware path; falls back to the
                       CCNVM_CRYPTO env var when the flag is absent)
+  --flight            attach the flight recorder (with --backend file: the
+                      entries also persist to the flight.log sidecar)
+
+RECOVER / FORENSICS OPTIONS:
+  --forensics-out FILE  write the ccnvm-forensics/1 JSON report
+  --strict            exit nonzero on any non-clean recovery verdict,
+                      including DURABILITY LOSS
+  --kill B            (forensics) kill the run at persist boundary B: a
+                      label (wpq-retire, drain-stage, root-alternate,
+                      nwb-update, manifest-swap; first crossing) or a
+                      1-based boundary index
 
 REPORT OPTIONS:
   --compare A B       the two profile JSON files to diff (baseline, candidate)
   --metrics FILE      summarize a metrics time-series export (min/mean/p99/max)
   --tolerance PCT     per-stage growth allowed before flagging      [5]
+  --strict-drops      exit nonzero when the metrics footer records
+                      dropped samples
 ";
 
 fn take_value<'a, I: Iterator<Item = &'a str>>(
@@ -324,6 +367,10 @@ fn parse_common<'a, I: Iterator<Item = &'a str>>(
                 .parse()
                 .map_err(|e| ParseArgsError(format!("--crypto: {e}")))?;
         }
+        "--flight" => args.flight = true,
+        "--forensics-out" => args.forensics_out = Some(take_value(flag, iter)?.to_owned()),
+        "--strict" => args.strict = true,
+        "--kill" => args.kill = Some(take_value(flag, iter)?.to_owned()),
         _ => return Ok(false),
     }
     Ok(true)
@@ -349,25 +396,46 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
         "list" => Ok(Command::List),
-        "run" | "recover" => {
+        "run" | "recover" | "forensics" => {
             let mut args = RunArgs::default();
             while let Some(flag) = iter.next() {
                 if !parse_common(&mut args, flag, &mut iter)? {
                     return Err(ParseArgsError(format!("unknown option {flag:?}")));
                 }
             }
-            Ok(if sub == "run" {
-                Command::Run(args)
-            } else {
-                Command::Recover(args)
+            if sub != "forensics" && args.kill.is_some() {
+                return Err(ParseArgsError(format!(
+                    "--kill only applies to the forensics subcommand, not `{sub}`"
+                )));
+            }
+            if sub == "run" {
+                if args.forensics_out.is_some() {
+                    return Err(ParseArgsError(
+                        "--forensics-out needs a recovery to report on — use \
+                         `recover` or `forensics`"
+                            .into(),
+                    ));
+                }
+                if args.strict {
+                    return Err(ParseArgsError(
+                        "--strict gates recovery verdicts — use `recover` or `forensics`".into(),
+                    ));
+                }
+            }
+            Ok(match sub {
+                "run" => Command::Run(args),
+                "recover" => Command::Recover(args),
+                _ => Command::Forensics(args),
             })
         }
         "report" => {
             let mut compare = None;
             let mut metrics = None;
             let mut tolerance = 5.0f64;
+            let mut strict_drops = false;
             while let Some(flag) = iter.next() {
                 match flag {
+                    "--strict-drops" => strict_drops = true,
                     "--compare" => {
                         let a = take_value(flag, &mut iter)?.to_owned();
                         let b = iter.next().ok_or_else(|| {
@@ -397,6 +465,7 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
                 compare,
                 metrics,
                 tolerance,
+                strict_drops,
             }))
         }
         "sweep" => {
@@ -722,6 +791,67 @@ mod tests {
         let err = parse(&["run", "--metrics-interval", "0"]).unwrap_err();
         assert!(err.to_string().contains("--metrics-interval"));
         assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn forensics_shares_run_grammar_plus_kill() {
+        let Command::Forensics(args) = parse(&[
+            "forensics",
+            "--backend",
+            "file:/tmp/f",
+            "--kill",
+            "drain-stage",
+            "--forensics-out",
+            "report.json",
+            "--strict",
+        ])
+        .unwrap() else {
+            panic!("expected forensics");
+        };
+        assert_eq!(args.backend, BackendChoice::File("/tmp/f".to_owned()));
+        assert_eq!(args.kill.as_deref(), Some("drain-stage"));
+        assert_eq!(args.forensics_out.as_deref(), Some("report.json"));
+        assert!(args.strict);
+        assert_eq!(RunArgs::default().kill, None);
+        assert!(!RunArgs::default().flight);
+    }
+
+    #[test]
+    fn flight_parses_everywhere_but_kill_is_forensics_only() {
+        let Command::Run(args) = parse(&["run", "--flight"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert!(args.flight);
+        let Command::Recover(args) =
+            parse(&["recover", "--forensics-out", "r.json", "--strict"]).unwrap()
+        else {
+            panic!("expected recover");
+        };
+        assert_eq!(args.forensics_out.as_deref(), Some("r.json"));
+        assert!(args.strict);
+
+        let err = parse(&["run", "--kill", "drain-stage"]).unwrap_err();
+        assert!(err.to_string().contains("--kill"));
+        let err = parse(&["recover", "--kill", "3"]).unwrap_err();
+        assert!(err.to_string().contains("--kill"));
+        let err = parse(&["run", "--forensics-out", "r.json"]).unwrap_err();
+        assert!(err.to_string().contains("--forensics-out"));
+        let err = parse(&["run", "--strict"]).unwrap_err();
+        assert!(err.to_string().contains("--strict"));
+    }
+
+    #[test]
+    fn report_parses_strict_drops() {
+        let Command::Report(args) =
+            parse(&["report", "--metrics", "m.csv", "--strict-drops"]).unwrap()
+        else {
+            panic!("expected report");
+        };
+        assert!(args.strict_drops);
+        let Command::Report(args) = parse(&["report", "--metrics", "m.csv"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert!(!args.strict_drops, "opt-in");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! ccnvm-sim recover --bench gcc
 //! ccnvm-sim run --trace my_trace.txt --design sc
 //! ccnvm-sim run --shards 4 --bench lbm        # sharded service
+//! ccnvm-sim forensics --backend file:/tmp/f --kill drain-stage
 //! ```
 //!
 //! With `--shards N` (N > 1) the run goes through the
@@ -25,7 +26,7 @@ use ccnvm::obs::metrics::render_shard_gauges;
 use ccnvm::obs::profile::{compare, parse_profile};
 use ccnvm::prelude::*;
 use ccnvm_bench::parallel::{parallel_for_mut, parallel_map, thread_count};
-use ccnvm_mem::{DurableBackend, FileBackend, FileBackendConfig, FileIoCounters};
+use ccnvm_mem::{crashpoint, DurableBackend, FileBackend, FileBackendConfig, FileIoCounters};
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 use std::process::ExitCode;
@@ -52,6 +53,7 @@ fn main() -> ExitCode {
         Command::Run(run) => cmd_run(&run),
         Command::Sweep(sweep) => cmd_sweep(&sweep),
         Command::Recover(run) => cmd_recover(&run),
+        Command::Forensics(run) => cmd_forensics(&run),
         Command::Report(report) => cmd_report(&report),
     };
     match result {
@@ -108,8 +110,35 @@ fn config_of(run: &RunArgs) -> Result<SimConfig, String> {
 fn backend_cfg(run: &RunArgs) -> FileBackendConfig {
     FileBackendConfig {
         fsync: run.fsync,
+        flight: run.flight,
         ..FileBackendConfig::default()
     }
+}
+
+/// Feeds the workload — a replayed trace or a synthetic profile — into
+/// the simulator until the instruction budget is met.
+fn drive(sim: &mut Simulator, run: &RunArgs) -> Result<(), String> {
+    if let Some(path) = &run.trace {
+        let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
+        let ops = ccnvm_trace::text::read_trace(BufReader::new(file))
+            .map_err(|e| format!("{path}: {e}"))?;
+        if ops.is_empty() {
+            return Err(format!("{path}: trace is empty"));
+        }
+        // Replay the trace cyclically until the instruction budget is
+        // met, so short captures still produce steady-state numbers.
+        while sim.instructions() < run.instructions {
+            sim.run(ops.iter().copied(), run.instructions - sim.instructions())
+                .map_err(|e| e.to_string())?;
+        }
+    } else {
+        let profile = profiles::by_name(&run.bench)
+            .ok_or_else(|| format!("unknown benchmark {:?} (try `list`)", run.bench))?;
+        let trace = TraceGenerator::new(profile, run.seed);
+        sim.run(trace, run.instructions)
+            .map_err(|e| e.to_string())?;
+    }
+    Ok(())
 }
 
 /// Builds the simulator over the chosen durable backend. The second
@@ -157,6 +186,10 @@ fn simulate(run: &RunArgs) -> Result<(Simulator, Option<Arc<FileIoCounters>>), S
             ..MetricsConfig::default()
         });
     }
+    if run.flight {
+        sim.memory_mut()
+            .attach_flight(ccnvm::obs::flight::FlightConfig::default());
+    }
     if let Some(mode) = run.audit {
         sim.memory_mut().attach_auditor(mode);
         if std::env::var_os("CCNVM_AUDIT_SELFTEST").is_some() {
@@ -170,26 +203,7 @@ fn simulate(run: &RunArgs) -> Result<(Simulator, Option<Arc<FileIoCounters>>), S
             sim.memory_mut().audit_now(t);
         }
     }
-    if let Some(path) = &run.trace {
-        let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-        let ops = ccnvm_trace::text::read_trace(BufReader::new(file))
-            .map_err(|e| format!("{path}: {e}"))?;
-        if ops.is_empty() {
-            return Err(format!("{path}: trace is empty"));
-        }
-        // Replay the trace cyclically until the instruction budget is
-        // met, so short captures still produce steady-state numbers.
-        while sim.instructions() < run.instructions {
-            sim.run(ops.iter().copied(), run.instructions - sim.instructions())
-                .map_err(|e| e.to_string())?;
-        }
-    } else {
-        let profile = profiles::by_name(&run.bench)
-            .ok_or_else(|| format!("unknown benchmark {:?} (try `list`)", run.bench))?;
-        let trace = TraceGenerator::new(profile, run.seed);
-        sim.run(trace, run.instructions)
-            .map_err(|e| e.to_string())?;
-    }
+    drive(&mut sim, run)?;
     Ok((sim, io))
 }
 
@@ -382,6 +396,9 @@ fn simulate_sharded(run: &RunArgs) -> Result<ShardRouter, String> {
             interval: run.metrics_interval,
             ..MetricsConfig::default()
         });
+    }
+    if run.flight {
+        router.attach_flight_recorders(ccnvm::obs::flight::FlightConfig::default());
     }
     if let Some(mode) = run.audit {
         router.attach_auditors(mode);
@@ -804,7 +821,14 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
     };
     let (sim, _io) = simulate(&mem_run)?;
     let mut image = sim.memory().crash_image();
+    // The flight sidecar is read before the reopen below so the
+    // forensic analysis sees the log exactly as the power cut left it
+    // (reopening truncates a torn tail in place).
+    let mut flight_raw: Option<(Vec<String>, u64)> = None;
     if let BackendChoice::File(dir) = &run.backend {
+        if run.forensics_out.is_some() {
+            flight_raw = Some(ccnvm_mem::read_flight_log(dir).map_err(|e| e.to_string())?);
+        }
         // A real crash recovery: reopen the directory from disk and
         // recover from what the filesystem actually preserved —
         // records the fsync strategy had not flushed are gone, exactly
@@ -874,6 +898,35 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
     emit_metrics(run, &sim)?;
     emit_chrome(run, &sim, Some(&report), chrome_file)?;
     emit_profile(run, &sim, Some(&report))?;
+    if let Some(path) = &run.forensics_out {
+        // File backend: the recovered sidecar. Mem backend: the
+        // in-process ring (empty unless --flight was set — a crash
+        // would have destroyed it, but recover's mem path never
+        // actually dies, so the ring is still readable).
+        let (entries, discarded) = flight_raw.unwrap_or_else(|| {
+            (
+                sim.memory()
+                    .flight()
+                    .map(|f| f.entries().map(str::to_owned).collect())
+                    .unwrap_or_default(),
+                0,
+            )
+        });
+        let analysis =
+            ccnvm::obs::flight::analyze(&entries).map_err(|e| format!("flight log: {e}"))?;
+        let fsync_name = match &run.backend {
+            BackendChoice::File(_) => run.fsync.to_string(),
+            // The in-memory image has no fsync-loss window.
+            BackendChoice::Mem => "always".to_owned(),
+        };
+        let forensic =
+            ccnvm::obs::flight::forensic_report(&image, &report, analysis, discarded, &fsync_name);
+        std::fs::write(path, forensic.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "wrote forensic report ({}) to {path}",
+            ccnvm::obs::flight::FORENSICS_SCHEMA
+        );
+    }
     audit_verdict(&sim)?;
     if report.is_clean() {
         println!("verdict: CLEAN — memory fully recovered");
@@ -888,25 +941,278 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
              ADR-faithful zero-loss mode)",
             run.fsync
         );
+        if run.strict {
+            return Err(format!(
+                "--strict: durability loss under fsync={} is a gated verdict",
+                run.fsync
+            ));
+        }
         Ok(())
     } else if run.design.is_crash_consistent() {
         Err("recovery reported attacks on an attack-free run (bug!)".into())
     } else {
         println!("verdict: UNRECOVERABLE — expected for w/o CC, the motivating deficiency");
+        if run.strict {
+            return Err("--strict: unrecoverable image is a gated verdict".into());
+        }
         Ok(())
     }
 }
 
+/// Turns `--kill` into a 1-based boundary index: a number passes
+/// through; a label is resolved by a recording pass that replays the
+/// workload under `dir/record` (removed afterwards) and takes the
+/// label's first crossing.
+fn resolve_kill_boundary(
+    spec: &str,
+    config: &SimConfig,
+    run: &RunArgs,
+    dir: &std::path::Path,
+    cfg: FileBackendConfig,
+) -> Result<u64, String> {
+    if let Ok(k) = spec.replace('_', "").parse::<u64>() {
+        if k == 0 {
+            return Err("--kill: boundaries are 1-based".into());
+        }
+        return Ok(k);
+    }
+    let record_dir = dir.join("record");
+    let backend = FileBackend::open(&record_dir, cfg).map_err(|e| e.to_string())?;
+    if !backend.is_empty() {
+        return Err(format!(
+            "record directory {} already holds {} lines from a previous run; \
+             point --backend file: at a new (or emptied) directory",
+            record_dir.display(),
+            backend.len()
+        ));
+    }
+    let mut sim =
+        Simulator::with_backend(config.clone(), Box::new(backend)).map_err(|e| e.to_string())?;
+    let (res, labels) =
+        crashpoint::record(|| drive(&mut sim, run).map(|()| sim.memory_mut().sync_durable()));
+    drop(sim);
+    std::fs::remove_dir_all(&record_dir).ok();
+    res?;
+    match labels.iter().position(|l| l == spec) {
+        Some(p) => {
+            eprintln!(
+                "recording pass: {} boundaries crossed; first {spec:?} crossing is #{}",
+                labels.len(),
+                p + 1
+            );
+            Ok(p as u64 + 1)
+        }
+        None => {
+            let mut seen: Vec<&str> = Vec::new();
+            for l in &labels {
+                if !seen.contains(&l.as_str()) {
+                    seen.push(l);
+                }
+            }
+            Err(format!(
+                "--kill {spec:?}: the workload never crossed that boundary (crossed: {})",
+                if seen.is_empty() {
+                    "none".to_owned()
+                } else {
+                    seen.join(", ")
+                }
+            ))
+        }
+    }
+}
+
+/// `forensics`: run the workload with the flight recorder writing the
+/// durable sidecar, optionally kill the run at a persist boundary,
+/// recover the directory from disk and print the forensic report.
+fn cmd_forensics(run: &RunArgs) -> Result<(), String> {
+    let BackendChoice::File(dir) = &run.backend else {
+        return Err(
+            "forensics needs --backend file:<dir> — the flight sidecar and the \
+             crash image it explains both live on disk"
+                .into(),
+        );
+    };
+    if run.shards > 1 {
+        return Err(format!(
+            "forensics is a single-owner command; it cannot be combined with \
+             --shards {}",
+            run.shards
+        ));
+    }
+    let config = config_of(run)?;
+    let mut flight_run = run.clone();
+    flight_run.flight = true;
+    let cfg = backend_cfg(&flight_run);
+    let dir = std::path::Path::new(dir);
+
+    // A kill replays the workload in a subdirectory so the recording
+    // pass and the crashed run never share a log.
+    let (run_dir, kill_target) = match &run.kill {
+        None => (dir.to_path_buf(), None),
+        Some(spec) => {
+            let k = resolve_kill_boundary(spec, &config, run, dir, cfg)?;
+            (dir.join("crashed"), Some(k))
+        }
+    };
+
+    let backend = FileBackend::open(&run_dir, cfg).map_err(|e| e.to_string())?;
+    if !backend.is_empty() {
+        return Err(format!(
+            "file store {} already holds {} lines from a previous run; point \
+             --backend file: at a new (or emptied) directory",
+            run_dir.display(),
+            backend.len()
+        ));
+    }
+    let mut sim =
+        Simulator::with_backend(config.clone(), Box::new(backend)).map_err(|e| e.to_string())?;
+    sim.memory_mut()
+        .attach_flight(ccnvm::obs::flight::FlightConfig::default());
+    let armed_label = match kill_target {
+        None => {
+            drive(&mut sim, run)?;
+            sim.memory_mut().sync_durable();
+            None
+        }
+        Some(k) => {
+            let killed = crashpoint::kill_at(k, || {
+                drive(&mut sim, run).map(|()| sim.memory_mut().sync_durable())
+            });
+            match killed {
+                Err(sig) => {
+                    println!(
+                        "killed at persist boundary #{} ({})",
+                        sig.boundary, sig.label
+                    );
+                    Some(sig.label)
+                }
+                Ok(res) => {
+                    res?;
+                    return Err(format!(
+                        "the workload completed without reaching boundary #{k} — \
+                         nothing to kill (lower --kill or raise --instructions)"
+                    ));
+                }
+            }
+        }
+    };
+    // TCB registers are battery-backed hardware state; they survive
+    // the power cut exactly as they were at the kill instant.
+    let tcb = sim.memory().tcb().clone();
+    // Dropping the simulator drops the backend: unsynced bytes are
+    // lost, file handles close — the power cut (a no-op for the
+    // completed, synced run).
+    drop(sim);
+
+    // Forensics reads the sidecar before the reopen truncates a torn
+    // tail in place.
+    let (entries, discarded) = ccnvm_mem::read_flight_log(&run_dir).map_err(|e| e.to_string())?;
+    let reopened = FileBackend::open(&run_dir, cfg).map_err(|e| e.to_string())?;
+    let s = reopened.io_counters().stats();
+    println!(
+        "reopened file store {}: {} log records replayed, {} torn/unsynced \
+         bytes discarded",
+        run_dir.display(),
+        s.replayed_records,
+        s.discarded_bytes
+    );
+    let image = CrashImage {
+        design: run.design,
+        capacity_bytes: config.capacity_bytes,
+        update_limit: config.update_limit,
+        tcb,
+        nvm: reopened.snapshot(),
+        // Staged-but-uncommitted lines never reached the durable log;
+        // recovery re-derives them, and the flight log's open
+        // drain-stage bracket (not this count) attributes them.
+        staged_lines_lost: 0,
+    };
+    drop(reopened);
+    let recovery = recover(&image);
+    let analysis = ccnvm::obs::flight::analyze(&entries).map_err(|e| format!("flight log: {e}"))?;
+    let forensic = ccnvm::obs::flight::forensic_report(
+        &image,
+        &recovery,
+        analysis,
+        discarded,
+        &run.fsync.to_string(),
+    );
+    println!("{forensic}");
+    let cause_ok = match &armed_label {
+        Some(label) => forensic.flight.inferred_cause.as_deref() == Some(label.as_str()),
+        None => forensic.flight.inferred_cause.is_none(),
+    };
+    match (&armed_label, &forensic.flight.inferred_cause) {
+        (Some(label), _) if cause_ok => {
+            println!("cause attribution: inferred cause matches the armed kill ({label})");
+        }
+        (Some(label), inferred) => println!(
+            "cause attribution: MISMATCH — armed {label}, inferred {}",
+            inferred.as_deref().unwrap_or("(quiescent)")
+        ),
+        (None, None) => {
+            println!("cause attribution: quiescent log, as a completed run must leave");
+        }
+        (None, Some(inferred)) => {
+            println!("cause attribution: UNEXPECTED open boundary {inferred} after a completed run")
+        }
+    }
+    if let Some(path) = &run.forensics_out {
+        std::fs::write(path, forensic.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        eprintln!(
+            "wrote forensic report ({}) to {path}",
+            ccnvm::obs::flight::FORENSICS_SCHEMA
+        );
+    }
+    if run.strict {
+        let mut problems = Vec::new();
+        if !cause_ok {
+            problems.push("cause attribution mismatched".to_owned());
+        }
+        if !forensic.staged_attribution_consistent() {
+            problems.push("staged-line attribution inconsistent".to_owned());
+        }
+        if !forensic.clean && run.design.is_crash_consistent() {
+            problems.push(format!("gated verdict {}", forensic.verdict()));
+        }
+        if !problems.is_empty() {
+            return Err(format!("--strict: {}", problems.join("; ")));
+        }
+    }
+    Ok(())
+}
+
 fn cmd_report(args: &ReportArgs) -> Result<(), String> {
+    let mut dropped_samples = 0u64;
     if let Some(path) = &args.metrics {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let samples =
-            ccnvm::obs::metrics::parse_metrics(&text).map_err(|e| format!("{path}: {e}"))?;
+        let (samples, footer) = ccnvm::obs::metrics::parse_metrics_with_footer(&text)
+            .map_err(|e| format!("{path}: {e}"))?;
         println!("{path}:");
         print!("{}", ccnvm::obs::metrics::render_summary(&samples));
+        if let Some(f) = footer {
+            if f.dropped > 0 {
+                dropped_samples = f.dropped;
+                eprintln!(
+                    "warning: {path}: the export's footer records {} dropped sample(s) \
+                     at capacity — the summary above understates the run (re-export \
+                     with a coarser --metrics-interval or a larger registry capacity)",
+                    f.dropped
+                );
+            }
+        }
     }
+    let strict_drops_gate = |dropped: u64| -> Result<(), String> {
+        if args.strict_drops && dropped > 0 {
+            Err(format!(
+                "--strict-drops: the metrics export dropped {dropped} sample(s)"
+            ))
+        } else {
+            Ok(())
+        }
+    };
     let Some((path_a, path_b)) = &args.compare else {
-        return Ok(());
+        return strict_drops_gate(dropped_samples);
     };
     let read = |path: &str| {
         let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
@@ -927,7 +1233,7 @@ fn cmd_report(args: &ReportArgs) -> Result<(), String> {
             args.tolerance
         ))
     } else {
-        Ok(())
+        strict_drops_gate(dropped_samples)
     }
 }
 

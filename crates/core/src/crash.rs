@@ -184,6 +184,14 @@ pub struct BoundaryOutcome {
     /// appended to the log tail before reopening — the
     /// power-failed-mid-write case.
     pub clean_after_tear: bool,
+    /// The crash cause the recovered flight log inferred (the
+    /// innermost unmatched boundary bracket; see
+    /// [`crate::obs::flight::analyze`]).
+    pub inferred_cause: Option<String>,
+    /// The inferred cause names exactly the boundary the kill was
+    /// armed at (quiescent for a completed run) — the forensic
+    /// cause-attribution check.
+    pub cause_matches: bool,
 }
 
 /// Result of [`sweep_crash_points`]: one outcome per persist boundary
@@ -221,6 +229,17 @@ impl CrashSweepReport {
             .filter(|o| !(o.clean && o.clean_after_tear))
             .collect()
     }
+
+    /// Every kill's forensic cause inference named the armed boundary
+    /// — the flight recorder explained every crash in the sweep.
+    pub fn cause_attribution_ok(&self) -> bool {
+        self.outcomes.iter().all(|o| o.cause_matches)
+    }
+
+    /// The boundaries whose flight log misattributed the crash.
+    pub fn misattributed(&self) -> Vec<&BoundaryOutcome> {
+        self.outcomes.iter().filter(|o| !o.cause_matches).collect()
+    }
 }
 
 impl fmt::Display for CrashSweepReport {
@@ -239,7 +258,7 @@ impl fmt::Display for CrashSweepReport {
         )?;
         let unclean = self.unclean();
         if unclean.is_empty() {
-            write!(f, "all boundaries recovered clean (incl. torn tails)")?;
+            writeln!(f, "all boundaries recovered clean (incl. torn tails)")?;
         } else {
             writeln!(f, "{} boundaries did NOT recover clean:", unclean.len())?;
             for o in unclean {
@@ -247,6 +266,25 @@ impl fmt::Display for CrashSweepReport {
                     f,
                     "  #{} {} — clean {}, after tear {}",
                     o.boundary, o.label, o.clean, o.clean_after_tear
+                )?;
+            }
+        }
+        let misattributed = self.misattributed();
+        if misattributed.is_empty() {
+            write!(f, "flight log attributed every kill to its boundary")?;
+        } else {
+            writeln!(
+                f,
+                "{} kills were MISATTRIBUTED by the flight log:",
+                misattributed.len()
+            )?;
+            for o in &misattributed {
+                writeln!(
+                    f,
+                    "  #{} {} — inferred {}",
+                    o.boundary,
+                    o.label,
+                    o.inferred_cause.as_deref().unwrap_or("(quiescent)")
                 )?;
             }
         }
@@ -297,6 +335,9 @@ pub fn sweep_crash_points(
         fsync: FsyncStrategy::Always,
         // Low threshold so the sweep exercises manifest-swap points.
         compact_threshold: 32,
+        // The flight sidecar closes the loop: every kill's forensic
+        // cause inference is checked against the armed boundary.
+        flight: true,
     };
 
     // Recording pass: enumerate the boundaries and capture ground
@@ -355,6 +396,21 @@ pub fn sweep_crash_points(
         // lost, open file handles close — the power cut.
         drop(mem);
 
+        // Forensics first: read the flight sidecar exactly as the
+        // power cut left it (reopening below truncates torn tails).
+        // Under `fsync=always` the attribution is exact, so the sweep
+        // demands the inferred cause *equal* the armed boundary — and
+        // a completed run must leave a quiescent log.
+        let (flight_entries, _) = ccnvm_mem::read_flight_log(&kill_dir)?;
+        let inferred_cause = crate::obs::flight::analyze(&flight_entries)
+            .map(|a| a.inferred_cause)
+            .unwrap_or(None);
+        let cause_matches = if label == "run-completed" {
+            inferred_cause.is_none()
+        } else {
+            inferred_cause.as_deref() == Some(label.as_str())
+        };
+
         let clean = reopen_and_recover(&kill_dir, backend_cfg, config, &tcb)?;
         // Power failures tear records mid-write: append a partial
         // frame to the log and make sure reopen discards it.
@@ -374,6 +430,8 @@ pub fn sweep_crash_points(
             label,
             clean,
             clean_after_tear,
+            inferred_cause,
+            cause_matches,
         });
     }
 
@@ -437,6 +495,7 @@ mod tests {
             report.labels_seen
         );
         assert!(report.all_clean(), "{report}");
+        assert!(report.cause_attribution_ok(), "{report}");
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -59,11 +59,25 @@ impl SecureMemory {
             trigger: Some(trigger),
             lines: queued,
         });
+        self.flight_event(|| obs::Event::Drain {
+            at: now,
+            stage: obs::DrainStage::Stage,
+            trigger: Some(trigger),
+            lines: queued,
+        });
+        self.flight_boundary("begin", "drain-stage");
         let end = self.stage_drain(now);
         // Staged-but-uncommitted: killing here models a crash before
         // the `end` signal — nothing of this epoch is durable yet.
         ccnvm_mem::crashpoint::fire("drain-stage");
+        self.flight_boundary("end", "drain-stage");
         self.commit_staged();
+        self.flight_event(|| obs::Event::Drain {
+            at: end,
+            stage: obs::DrainStage::Commit,
+            trigger: Some(trigger),
+            lines: queued,
+        });
         if self.recorder.is_some() {
             // Fold the stage's WPQ accepts in first so the trace stays
             // chronologically ordered, then close out the epoch.
@@ -79,6 +93,10 @@ impl SecureMemory {
             rec.epoch_committed(trigger, end, queued, wbs, high_water);
         }
         self.stats.drains += 1;
+        if self.flight_active() {
+            let line = obs::flight::epoch_line(end, self.stats.drains - 1);
+            self.flight_note(&line);
+        }
         match trigger {
             DrainTrigger::QueueFull => self.stats.drains_queue_full += 1,
             DrainTrigger::DirtyEviction => self.stats.drains_evict += 1,
@@ -247,8 +265,10 @@ impl SecureMemory {
         staged.clear();
         self.staged = staged;
         self.dirty_queue.clear();
+        self.flight_boundary("begin", "root-alternate");
         self.tcb.commit_drain();
         ccnvm_mem::crashpoint::fire("root-alternate");
+        self.flight_boundary("end", "root-alternate");
         self.epoch_lengths.record(self.wbs_this_epoch);
         self.wbs_this_epoch = 0;
     }
@@ -266,6 +286,12 @@ impl SecureMemory {
             // no simulated-time cost; stamp it with the last known
             // event time (0 when nothing was ever traced).
             self.obs_event(|| obs::Event::Drain {
+                at: 0,
+                stage: obs::DrainStage::Discard,
+                trigger: None,
+                lines: staged,
+            });
+            self.flight_event(|| obs::Event::Drain {
                 at: 0,
                 stage: obs::DrainStage::Discard,
                 trigger: None,

@@ -265,6 +265,69 @@ impl MetricsRegistry {
     }
 }
 
+/// The ring/drop accounting a metrics export carries in its footer
+/// record. `dropped > 0` means the ring overflowed and the series is
+/// truncated at the front — summaries over it silently under-report
+/// the early run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsFooter {
+    /// Samples the export contains.
+    pub samples: u64,
+    /// Samples dropped because the ring was full.
+    pub dropped: u64,
+    /// The sampling interval (simulated cycles).
+    pub interval: u64,
+}
+
+/// [`parse_metrics`] plus the footer's drop accounting (`None` when
+/// the export carries no footer record — hand-trimmed files parse but
+/// their truncation state is unknown).
+///
+/// # Errors
+///
+/// Same as [`parse_metrics`], plus a malformed footer record.
+pub fn parse_metrics_with_footer(
+    text: &str,
+) -> Result<(Vec<Sample>, Option<MetricsFooter>), String> {
+    let samples = parse_metrics(text)?;
+    let mut footer = None;
+    for (i, line) in text.lines().filter(|l| !l.trim().is_empty()).enumerate() {
+        if line.starts_with('{') {
+            let obj = crate::obs::json::parse(line).map_err(|e| format!("line {}: {e}", i + 1))?;
+            if obj.get("metric").is_none() {
+                continue;
+            }
+            footer = Some(MetricsFooter {
+                samples: obj
+                    .num_field("samples")
+                    .map_err(|e| format!("footer: {e}"))?,
+                dropped: obj
+                    .num_field("dropped")
+                    .map_err(|e| format!("footer: {e}"))?,
+                interval: obj
+                    .num_field("interval")
+                    .map_err(|e| format!("footer: {e}"))?,
+            });
+        } else if let Some(rest) = line.strip_prefix("footer,") {
+            let fields: Vec<&str> = rest.split(',').collect();
+            if fields.len() < 3 {
+                return Err(format!("footer row too short: {line:?}"));
+            }
+            let num = |j: usize, name: &str| -> Result<u64, String> {
+                fields[j]
+                    .parse()
+                    .map_err(|e| format!("footer field {name}: {e}"))
+            };
+            footer = Some(MetricsFooter {
+                samples: num(0, "samples")?,
+                dropped: num(1, "dropped")?,
+                interval: num(2, "interval")?,
+            });
+        }
+    }
+    Ok((samples, footer))
+}
+
 /// Parses a metrics export (either format: the CSV and JSONL exports
 /// are auto-detected) back into samples, skipping the footer record.
 ///
@@ -587,6 +650,67 @@ mod tests {
         // Degenerate input renders without dividing by zero.
         let empty = render_shard_gauges(&[ShardGauge::default()]);
         assert!(empty.contains("0.0%"), "{empty}");
+    }
+
+    #[test]
+    fn footer_round_trips_in_both_formats() {
+        let mut m = MetricsRegistry::new(MetricsConfig {
+            interval: 10,
+            capacity: 2,
+        });
+        for i in 1..=3 {
+            m.record(sample(i * 10, i));
+        }
+        assert_eq!(m.dropped(), 1);
+        let mut csv = Vec::new();
+        m.write_csv(&mut csv).unwrap();
+        let mut jsonl = Vec::new();
+        m.write_jsonl(&mut jsonl).unwrap();
+        let expect = MetricsFooter {
+            samples: 2,
+            dropped: 1,
+            interval: 10,
+        };
+        let (a, fa) = parse_metrics_with_footer(std::str::from_utf8(&csv).unwrap()).unwrap();
+        let (b, fb) = parse_metrics_with_footer(std::str::from_utf8(&jsonl).unwrap()).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(fa, Some(expect));
+        assert_eq!(fb, Some(expect));
+        // A footer-less export parses with unknown truncation state.
+        let body: String = std::str::from_utf8(&jsonl)
+            .unwrap()
+            .lines()
+            .filter(|l| !l.contains("footer"))
+            .map(|l| format!("{l}\n"))
+            .collect();
+        let (c, fc) = parse_metrics_with_footer(&body).unwrap();
+        assert_eq!(c, a);
+        assert_eq!(fc, None);
+    }
+
+    #[test]
+    fn empty_registry_exports_parse_to_no_samples() {
+        let m = MetricsRegistry::new(MetricsConfig {
+            interval: 10,
+            capacity: 2,
+        });
+        let mut csv = Vec::new();
+        m.write_csv(&mut csv).unwrap();
+        let mut jsonl = Vec::new();
+        m.write_jsonl(&mut jsonl).unwrap();
+        for text in [csv, jsonl] {
+            let (samples, footer) =
+                parse_metrics_with_footer(std::str::from_utf8(&text).unwrap()).unwrap();
+            assert!(samples.is_empty());
+            assert_eq!(
+                footer,
+                Some(MetricsFooter {
+                    samples: 0,
+                    dropped: 0,
+                    interval: 10,
+                })
+            );
+        }
     }
 
     #[test]

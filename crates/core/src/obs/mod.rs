@@ -44,6 +44,7 @@
 
 pub mod audit;
 pub mod chrome;
+pub mod flight;
 pub mod json;
 pub mod metrics;
 pub mod profile;

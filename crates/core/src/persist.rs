@@ -56,16 +56,33 @@ impl NvmState {
     /// Persists a metadata line into durable NVM (and removes any
     /// stale overlay copy so runtime reads stay coherent).
     pub(crate) fn persist_meta(&mut self, line: LineAddr, content: Line) {
+        self.flight_boundary("begin", "wpq-retire");
         self.durable.store(line, content);
         self.overlay.erase(line);
         ccnvm_mem::crashpoint::fire("wpq-retire");
+        self.flight_boundary("end", "wpq-retire");
     }
 
     /// Persists a data or data-HMAC line (no overlay interaction —
     /// those regions never shadow).
     pub(crate) fn persist_data(&mut self, line: LineAddr, content: Line) {
+        self.flight_boundary("begin", "wpq-retire");
         self.durable.store(line, content);
         ccnvm_mem::crashpoint::fire("wpq-retire");
+        self.flight_boundary("end", "wpq-retire");
+    }
+
+    /// Writes one flight boundary bracket straight to the durable
+    /// sidecar. `NvmState` cannot reach the in-process ring on
+    /// [`SecureMemory`], so WPQ-retire brackets live only in
+    /// `flight.log` — the crash-persistent half, which is the one
+    /// forensics reads.
+    fn flight_boundary(&mut self, op: &str, label: &str) {
+        if !self.durable.flight_enabled() {
+            return;
+        }
+        self.durable
+            .flight_append(ccnvm_mem::flight_boundary_line(op, label).as_bytes());
     }
 
     /// Opens an atomic persist group on the backend (one write-back's
@@ -133,6 +150,7 @@ impl SecureMemory {
             profiler: None,
             metrics: None,
             auditor: None,
+            flight: None,
             in_write_back: false,
             config,
         })

@@ -82,6 +82,17 @@ pub enum RootMatch {
     Neither,
 }
 
+impl RootMatch {
+    /// Stable lower-case name used in machine-readable reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            RootMatch::New => "new",
+            RootMatch::Old => "old",
+            RootMatch::Neither => "neither",
+        }
+    }
+}
+
 /// One attributed phase of the recovery timeline.
 ///
 /// Spans are contiguous from cycle 0 and carry the same deterministic

@@ -164,6 +164,12 @@ pub struct SecureMemory {
     /// Optional runtime invariant auditor (see [`crate::obs::audit`]);
     /// same zero-cost-when-off contract as the recorder.
     pub(crate) auditor: Option<Box<crate::obs::audit::Auditor>>,
+    /// Optional in-process flight-recorder ring (see
+    /// [`crate::obs::flight`]); same zero-cost-when-off contract as
+    /// the recorder. Entries are also mirrored into the durable
+    /// backend's `flight.log` sidecar whenever that backend keeps one,
+    /// independently of whether this ring is attached.
+    pub(crate) flight: Option<Box<crate::obs::flight::FlightRecorder>>,
     /// True while `write_back` is on the stack: engine-domain charges
     /// in the shared verify/drain helpers count toward
     /// `engine_cycles` only in that scope (mirroring how
@@ -413,6 +419,72 @@ impl SecureMemory {
             .as_deref_mut()
             .expect("checked above")
             .record(sample);
+        if self.flight_active() {
+            let line = crate::obs::flight::metric_line(&sample);
+            self.flight_note(&line);
+        }
+    }
+
+    // ----- flight recorder --------------------------------------------
+
+    /// Attaches a fresh in-process
+    /// [`FlightRecorder`](crate::obs::flight::FlightRecorder) ring,
+    /// replacing any existing one. Durable flight recording (the
+    /// file backend's `flight.log` sidecar) is enabled separately on
+    /// the backend; either half activates the flight hooks.
+    pub fn attach_flight(&mut self, config: crate::obs::flight::FlightConfig) {
+        self.flight = Some(Box::new(crate::obs::flight::FlightRecorder::new(config)));
+    }
+
+    /// The attached flight recorder, if any.
+    pub fn flight(&self) -> Option<&crate::obs::flight::FlightRecorder> {
+        self.flight.as_deref()
+    }
+
+    /// Detaches and returns the flight recorder.
+    pub fn take_flight(&mut self) -> Option<Box<crate::obs::flight::FlightRecorder>> {
+        self.flight.take()
+    }
+
+    /// Whether any flight sink is live — the in-process ring or the
+    /// backend's durable sidecar. Gates entry construction so the
+    /// default path pays one branch.
+    #[inline]
+    pub(crate) fn flight_active(&self) -> bool {
+        self.flight.is_some() || self.nvm.durable.flight_enabled()
+    }
+
+    /// Records one prebuilt flight entry into every live sink.
+    pub(crate) fn flight_note(&mut self, line: &str) {
+        if let Some(f) = self.flight.as_deref_mut() {
+            f.record(line.to_string());
+        }
+        self.nvm.durable.flight_append(line.as_bytes());
+    }
+
+    /// Records one trace event as a flight entry, building it only
+    /// when a flight sink is live.
+    #[inline]
+    pub(crate) fn flight_event(&mut self, make: impl FnOnce() -> crate::obs::Event) {
+        if !self.flight_active() {
+            return;
+        }
+        let line = crate::obs::flight::event_line(&make());
+        self.flight_note(&line);
+    }
+
+    /// Writes one boundary bracket (`begin`/`end` around a crash-point
+    /// label). The begin must reach the durable sidecar *before* the
+    /// bracketed action so a kill inside it leaves the begin
+    /// unmatched — that ordering is what makes the forensic cause
+    /// inference sound.
+    #[inline]
+    pub(crate) fn flight_boundary(&mut self, op: &str, label: &str) {
+        if !self.flight_active() {
+            return;
+        }
+        let line = ccnvm_mem::flight_boundary_line(op, label);
+        self.flight_note(&line);
     }
 
     // ----- invariant auditor ------------------------------------------
@@ -486,6 +558,11 @@ impl SecureMemory {
             .observe_tcb(point, root_old, root_new, nwb, &mut found);
         for (check, detail) in found {
             self.obs_event(|| crate::obs::Event::Audit {
+                at: now,
+                check,
+                point,
+            });
+            self.flight_event(|| crate::obs::Event::Audit {
                 at: now,
                 check,
                 point,

@@ -248,6 +248,13 @@ impl ShardRouter {
         }
     }
 
+    /// Attaches an in-process flight-recorder ring to every shard.
+    pub fn attach_flight_recorders(&mut self, config: crate::obs::flight::FlightConfig) {
+        for shard in &mut self.shards {
+            shard.memory_mut().attach_flight(config);
+        }
+    }
+
     /// The service-wide stage profile: every attached shard profiler
     /// merged (stage-wise sums, see [`SpanProfiler::merge`]), or
     /// `None` if no shard has a profiler attached.
@@ -310,7 +317,42 @@ impl ShardRouter {
     /// Panics if `index` is out of range.
     pub fn inject_mid_drain_crash(&mut self, index: usize) {
         let now = self.shards[index].cycles();
-        self.shards[index].memory_mut().stage_drain(now);
+        let mem = self.shards[index].memory_mut();
+        // The injected crash dies between the stage and its `end`
+        // signal — exactly the state an open `drain-stage` bracket
+        // records, so the per-shard forensics can attribute the
+        // staged-lines loss to this shard.
+        mem.flight_boundary("begin", "drain-stage");
+        mem.stage_drain(now);
+    }
+
+    /// Post-crash forensics for every shard, in shard order: each
+    /// shard's crash image is recovered independently and joined with
+    /// that shard's own flight ring, so a service-wide power failure
+    /// attributes staged-line losses shard by shard (cross-checked
+    /// against each image's [`CrashSurface`](crate::crash::CrashSurface)
+    /// accounting through
+    /// [`staged_attribution_consistent`](crate::obs::flight::ForensicReport::staged_attribution_consistent)).
+    /// Shards without a flight ring get an empty analysis. In-memory
+    /// shards have no fsync-loss window, so reports carry `always`.
+    pub fn forensic_reports(&self) -> Vec<crate::obs::flight::ForensicReport> {
+        use crate::obs::flight;
+        self.shards
+            .iter()
+            .map(|shard| {
+                let mem = shard.memory();
+                let image = mem.crash_image();
+                let recovery = crate::recovery::recover(&image);
+                let analysis = mem
+                    .flight()
+                    .map(|f| {
+                        let entries: Vec<String> = f.entries().map(str::to_string).collect();
+                        flight::analyze(&entries).expect("ring entries are well-formed")
+                    })
+                    .unwrap_or_default();
+                flight::forensic_report(&image, &recovery, analysis, 0, "always")
+            })
+            .collect()
     }
 }
 
@@ -462,6 +504,47 @@ mod tests {
                 report.is_clean(),
                 "shard {i} must recover regardless of drain phase: {report:?}"
             );
+        }
+    }
+
+    #[test]
+    fn forensic_reports_attribute_the_mid_drain_shard() {
+        let mut r = router(2);
+        r.attach_flight_recorders(crate::obs::flight::FlightConfig::default());
+        r.run(
+            TraceGenerator::new(profiles::by_name("lbm").unwrap(), 13),
+            60_000,
+        )
+        .unwrap();
+        let victim = r
+            .shard_gauges()
+            .iter()
+            .max_by_key(|g| g.dirty_queue_depth)
+            .unwrap()
+            .shard as usize;
+        for i in 0..r.shard_count() as usize {
+            if i != victim {
+                r.shard_mut(i).flush_caches().unwrap();
+            }
+        }
+        assert!(r.shard(victim).memory().dirty_queue_len() > 0);
+        r.inject_mid_drain_crash(victim);
+
+        let reports = r.forensic_reports();
+        assert_eq!(reports.len(), 2);
+        for (i, rep) in reports.iter().enumerate() {
+            assert!(
+                rep.staged_attribution_consistent(),
+                "shard {i}: staged-lines loss must match the flight log\n{rep}"
+            );
+            if i == victim {
+                assert!(rep.staged_lines_lost > 0, "shard {i} was caught mid-drain");
+                assert_eq!(rep.flight.inferred_cause.as_deref(), Some("drain-stage"));
+            } else {
+                assert_eq!(rep.staged_lines_lost, 0, "shard {i} was quiescent");
+                assert!(rep.flight.quiescent(), "shard {i}: {rep}");
+            }
+            assert_eq!(rep.verdict(), "CLEAN", "shard {i}: {rep}");
         }
     }
 }

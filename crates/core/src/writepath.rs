@@ -377,6 +377,7 @@ impl SecureMemory {
         // would disagree with `N_wb` after a legal power failure.
         match eager_root {
             Some(root) => {
+                self.flight_boundary("begin", "root-alternate");
                 self.tcb.root_new = root;
                 if !self.design().has_drainer() {
                     // SC and Osiris Plus persist the root atomically
@@ -384,10 +385,13 @@ impl SecureMemory {
                     self.tcb.root_old = root;
                 }
                 ccnvm_mem::crashpoint::fire("root-alternate");
+                self.flight_boundary("end", "root-alternate");
             }
             None => {
+                self.flight_boundary("begin", "nwb-update");
                 self.tcb.nwb += 1;
                 ccnvm_mem::crashpoint::fire("nwb-update");
+                self.flight_boundary("end", "nwb-update");
             }
         }
 

@@ -84,6 +84,19 @@ pub trait DurableBackend: std::fmt::Debug + Send {
     /// Feeds the simulated clock, for backends with time-based flush
     /// policies. No-op by default.
     fn tick(&mut self, _now: Cycle) {}
+
+    /// Appends one flight-recorder entry (an opaque line of bytes) to
+    /// the backend's crash-persistent sidecar, if it keeps one.
+    /// In-memory backends have no crash-survivable medium and keep the
+    /// default no-op; [`crate::FileBackend`] frames the entry into
+    /// `flight.log` when flight recording is enabled.
+    fn flight_append(&mut self, _entry: &[u8]) {}
+
+    /// Whether [`flight_append`](Self::flight_append) actually
+    /// persists anything — callers use this to skip building entries.
+    fn flight_enabled(&self) -> bool {
+        false
+    }
 }
 
 /// A [`DurableBackend`] view belonging to one shard of a partitioned

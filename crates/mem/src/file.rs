@@ -52,6 +52,8 @@ pub const LOG_FILE: &str = "commit.log";
 pub const MANIFEST_FILE: &str = "manifest";
 /// Temporary manifest written before the atomic rename.
 pub const MANIFEST_TMP_FILE: &str = "manifest.tmp";
+/// Flight-recorder sidecar file name inside the backend directory.
+pub const FLIGHT_FILE: &str = "flight.log";
 
 const MANIFEST_MAGIC: [u8; 8] = *b"CCNVMMF1";
 
@@ -59,6 +61,13 @@ const KIND_STORE: u8 = 1;
 const KIND_ERASE: u8 = 2;
 const KIND_BEGIN: u8 = 3;
 const KIND_COMMIT: u8 = 4;
+
+/// Record kind of every `flight.log` frame:
+/// `b'F' + u32 payload length + payload + crc32(kind..payload)`.
+const KIND_FLIGHT: u8 = b'F';
+
+/// Flight frame overhead: kind byte, length word, trailing CRC.
+const FLIGHT_OVERHEAD: usize = 1 + 4 + 4;
 
 /// `kind + u64 + crc32` — the frame of every non-`STORE` record.
 const SHORT_RECORD: usize = 1 + 8 + 4;
@@ -126,6 +135,11 @@ pub struct FileBackendConfig {
     /// Compact the log into the manifest once this many records were
     /// appended since the last compaction.
     pub compact_threshold: u64,
+    /// Keep a crash-persistent flight-recorder sidecar (`flight.log`)
+    /// next to the commit log. Off by default: the sidecar adds I/O
+    /// per persist boundary, and the default path must stay
+    /// byte-identical on disk.
+    pub flight: bool,
 }
 
 impl Default for FileBackendConfig {
@@ -133,6 +147,7 @@ impl Default for FileBackendConfig {
         Self {
             fsync: FsyncStrategy::Always,
             compact_threshold: 4096,
+            flight: false,
         }
     }
 }
@@ -262,6 +277,15 @@ pub struct FileBackend {
     /// Encoded records not yet written + fsynced. A kill loses these.
     pending: Vec<u8>,
     pending_records: u64,
+    /// Flight sidecar handle, present when `config.flight` is set.
+    flight: Option<File>,
+    /// Encoded flight frames not yet written + fsynced. Under
+    /// `always` this never survives a statement boundary (flight
+    /// appends flush immediately so the entry is durable before the
+    /// crash point it brackets can fire); under `batch`/`interval` it
+    /// rides the commit log's flush cadence — the fsync-loss window
+    /// the forensic report quantifies.
+    flight_pending: Vec<u8>,
     /// Sequence number of the open atomic group, if any.
     group: Option<u64>,
     next_seq: u64,
@@ -345,6 +369,11 @@ impl FileBackend {
                 path: log_path,
                 source,
             })?;
+        let flight = if config.flight {
+            Some(open_flight_sidecar(&dir)?)
+        } else {
+            None
+        };
         Ok(Self {
             dir,
             log,
@@ -352,6 +381,8 @@ impl FileBackend {
             config,
             pending: Vec::new(),
             pending_records: 0,
+            flight,
+            flight_pending: Vec::new(),
             group: None,
             next_seq: replay.next_seq,
             records_since_compact: replay.applied_records,
@@ -405,7 +436,71 @@ impl FileBackend {
             self.pending.clear();
             self.pending_records = 0;
         }
+        self.flush_flight();
         self.last_sync = self.now;
+    }
+
+    /// Frames `entry` into the flight buffer (no-op without a
+    /// sidecar). Does not flush; callers pick the durability point.
+    fn encode_flight(&mut self, entry: &[u8]) {
+        if self.flight.is_none() {
+            return;
+        }
+        let start = self.flight_pending.len();
+        self.flight_pending.push(KIND_FLIGHT);
+        self.flight_pending
+            .extend_from_slice(&(entry.len() as u32).to_le_bytes());
+        self.flight_pending.extend_from_slice(entry);
+        let crc = crc32(&self.flight_pending[start..]);
+        self.flight_pending.extend_from_slice(&crc.to_le_bytes());
+    }
+
+    /// Writes + fsyncs the buffered flight frames. The forensic
+    /// record's durability frontier moves to this point.
+    fn flush_flight(&mut self) {
+        if self.flight_pending.is_empty() {
+            return;
+        }
+        let Some(f) = self.flight.as_mut() else {
+            self.flight_pending.clear();
+            return;
+        };
+        let res = f
+            .write_all(&self.flight_pending)
+            .and_then(|()| f.sync_data());
+        if let Err(e) = res {
+            self.io_panic("append to the flight log", e);
+        }
+        self.flight_pending.clear();
+    }
+
+    /// Truncates the flight sidecar and stamps a rotation marker —
+    /// called once a compaction has folded history into the manifest,
+    /// so the sidecar stays bounded alongside the commit log.
+    fn rotate_flight(&mut self) {
+        let Some(f) = self.flight.as_mut() else {
+            return;
+        };
+        let res = f.set_len(0).and_then(|()| f.sync_data());
+        if let Err(e) = res {
+            self.io_panic("rotate the flight log", e);
+        }
+        self.flight_pending.clear();
+        self.encode_flight(flight_boundary_line("rotate", "compact").as_bytes());
+        self.flush_flight();
+    }
+
+    /// Emits the durable *intent* half of a boundary bracket. Under
+    /// `always` the entry is fsynced before this returns, so a kill at
+    /// the bracketed crash point leaves an unmatched `begin` — the
+    /// forensic analyzer's cause signal.
+    fn flight_begin(&mut self, label: &str) {
+        self.flight_append(flight_boundary_line("begin", label).as_bytes());
+    }
+
+    /// Emits the completion half of a boundary bracket.
+    fn flight_end(&mut self, label: &str) {
+        self.flight_append(flight_boundary_line("end", label).as_bytes());
     }
 
     /// Applies the fsync strategy at a safe point (never inside an
@@ -448,17 +543,21 @@ impl FileBackend {
         if let Err(e) = self.write_manifest() {
             self.io_panic("swap the manifest", e);
         }
+        self.flight_begin("manifest-swap");
         if let Err(e) = self.log.set_len(0).and_then(|()| self.log.sync_data()) {
             self.io_panic("truncate the compacted log", e);
         }
         crashpoint::fire("manifest-swap");
+        self.flight_end("manifest-swap");
         self.records_since_compact = 0;
         self.counters.add(&self.counters.compactions, 1);
+        self.rotate_flight();
     }
 
     /// Writes `manifest.tmp`, fsyncs it, renames it over `manifest`
     /// and fsyncs the directory — the atomic-replace idiom.
     fn write_manifest(&mut self) -> std::io::Result<()> {
+        self.flight_begin("manifest-swap");
         let mut addrs: Vec<LineAddr> = self.mirror.iter().map(|(l, _)| l).collect();
         addrs.sort_unstable();
         let mut bytes = Vec::with_capacity(8 + 8 + addrs.len() * 72 + 4);
@@ -484,8 +583,108 @@ impl FileBackend {
             let _ = d.sync_all();
         }
         crashpoint::fire("manifest-swap");
+        self.flight_end("manifest-swap");
         Ok(())
     }
+}
+
+/// Opens the flight sidecar for appending, first cutting off any torn
+/// tail left by a kill mid-write (same discipline as the commit log).
+fn open_flight_sidecar(dir: &Path) -> Result<File, FileBackendError> {
+    let path = dir.join(FLIGHT_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(source) => {
+            return Err(FileBackendError::Io {
+                path: path.clone(),
+                source,
+            })
+        }
+    };
+    let valid = flight_valid_prefix(&bytes);
+    if valid < bytes.len() {
+        let f = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)
+            .map_err(|source| FileBackendError::Io {
+                path: path.clone(),
+                source,
+            })?;
+        f.set_len(valid as u64)
+            .and_then(|()| f.sync_data())
+            .map_err(|source| FileBackendError::Io {
+                path: path.clone(),
+                source,
+            })?;
+    }
+    OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|source| FileBackendError::Io { path, source })
+}
+
+/// Byte length of the longest well-formed prefix of a flight log.
+fn flight_valid_prefix(bytes: &[u8]) -> usize {
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        if bytes[pos] != KIND_FLIGHT || pos + 5 > bytes.len() {
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4")) as usize;
+        let frame = FLIGHT_OVERHEAD + len;
+        if pos + frame > bytes.len() {
+            break;
+        }
+        let body = &bytes[pos..pos + frame - 4];
+        let crc = u32::from_le_bytes(bytes[pos + frame - 4..pos + frame].try_into().expect("4"));
+        if crc32(body) != crc {
+            break;
+        }
+        pos += frame;
+    }
+    pos
+}
+
+/// Reads the flight sidecar under `dir` without opening the backend:
+/// returns the well-formed entries (oldest first) and the number of
+/// torn tail bytes discarded. A missing sidecar reads as empty.
+///
+/// Call this *before* [`FileBackend::open`] when doing forensics — an
+/// open with flight recording enabled truncates the torn tail, losing
+/// the discard count.
+///
+/// # Errors
+///
+/// Returns [`FileBackendError`] on filesystem failures.
+pub fn read_flight_log(dir: impl AsRef<Path>) -> Result<(Vec<String>, u64), FileBackendError> {
+    let path = dir.as_ref().join(FLIGHT_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(b) => b,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok((Vec::new(), 0)),
+        Err(source) => return Err(FileBackendError::Io { path, source }),
+    };
+    let valid = flight_valid_prefix(&bytes);
+    let mut entries = Vec::new();
+    let mut pos = 0usize;
+    while pos < valid {
+        let len = u32::from_le_bytes(bytes[pos + 1..pos + 5].try_into().expect("4")) as usize;
+        let payload = &bytes[pos + 5..pos + 5 + len];
+        entries.push(String::from_utf8_lossy(payload).into_owned());
+        pos += FLIGHT_OVERHEAD + len;
+    }
+    Ok((entries, (bytes.len() - valid) as u64))
+}
+
+/// The boundary-bracket flight entry: `op` is `begin`, `end` or
+/// `rotate`; `label` names the crash point the bracket straddles.
+/// Shared by the backend's own manifest-swap brackets and the engine's
+/// persist-boundary hooks so the forensic analyzer sees one grammar.
+pub fn flight_boundary_line(op: &str, label: &str) -> String {
+    format!("{{\"flight\":\"boundary\",\"op\":\"{op}\",\"label\":\"{label}\"}}")
 }
 
 struct Replay {
@@ -685,6 +884,7 @@ impl DurableBackend for FileBackend {
             self.io_panic("truncate the log during restore", e);
         }
         self.records_since_compact = 0;
+        self.rotate_flight();
     }
 
     fn begin_atomic(&mut self) {
@@ -723,6 +923,24 @@ impl DurableBackend for FileBackend {
             }
         }
         self.maybe_compact();
+    }
+
+    fn flight_append(&mut self, entry: &[u8]) {
+        if self.flight.is_none() {
+            return;
+        }
+        self.encode_flight(entry);
+        // Under `always` the entry must be durable before the caller's
+        // next crash point can fire — flight appends happen *inside*
+        // atomic groups too (WPQ retire), where `safe_point` never
+        // runs, so the flush cannot be deferred to a record boundary.
+        if self.config.fsync == FsyncStrategy::Always {
+            self.flush_flight();
+        }
+    }
+
+    fn flight_enabled(&self) -> bool {
+        self.flight.is_some()
     }
 }
 
@@ -843,6 +1061,7 @@ mod tests {
         let cfg = FileBackendConfig {
             fsync: FsyncStrategy::Always,
             compact_threshold: 8,
+            ..FileBackendConfig::default()
         };
         let mut b = FileBackend::open(&dir, cfg).expect("open");
         for i in 0..20u64 {
@@ -917,6 +1136,7 @@ mod tests {
         let cfg = FileBackendConfig {
             fsync: FsyncStrategy::Batch(100),
             compact_threshold: u64::MAX,
+            ..FileBackendConfig::default()
         };
         {
             let mut b = FileBackend::open(&dir, cfg).expect("open");
@@ -945,6 +1165,7 @@ mod tests {
         let cfg = FileBackendConfig {
             fsync: FsyncStrategy::Interval(1_000),
             compact_threshold: u64::MAX,
+            ..FileBackendConfig::default()
         };
         {
             let mut b = FileBackend::open(&dir, cfg).expect("open");
@@ -976,6 +1197,102 @@ mod tests {
         assert_eq!(b.load(LineAddr(1)), None);
         assert_eq!(b.load(LineAddr(7)), Some([7u8; 64]));
         assert_eq!(b.load(LineAddr(8)), Some([8u8; 64]));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_entries_survive_reopen_and_torn_tail_is_cut() {
+        let dir = temp_dir("flight");
+        let cfg = FileBackendConfig {
+            flight: true,
+            ..FileBackendConfig::default()
+        };
+        {
+            let mut b = FileBackend::open(&dir, cfg).expect("open");
+            b.store(LineAddr(1), [1u8; 64]);
+            b.flight_append(b"{\"flight\":\"boundary\",\"op\":\"begin\",\"label\":\"x\"}");
+            b.flight_append(b"{\"flight\":\"boundary\",\"op\":\"end\",\"label\":\"x\"}");
+        }
+        let (entries, discarded) = read_flight_log(&dir).expect("read");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(discarded, 0);
+        assert!(entries[0].contains("\"op\":\"begin\""));
+        // A kill mid-append leaves a partial frame; the reader skips
+        // it and an open cuts it off.
+        let path = dir.join(FLIGHT_FILE);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&[KIND_FLIGHT, 200, 0, 0, 0, b'{']).unwrap();
+        drop(f);
+        let (entries, discarded) = read_flight_log(&dir).expect("read torn");
+        assert_eq!(entries.len(), 2, "good prefix intact");
+        assert_eq!(discarded, 6);
+        drop(FileBackend::open(&dir, cfg).expect("reopen truncates"));
+        let (entries, discarded) = read_flight_log(&dir).expect("read clean");
+        assert_eq!(entries.len(), 2);
+        assert_eq!(discarded, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn flight_disabled_writes_no_sidecar() {
+        let dir = temp_dir("noflight");
+        {
+            let mut b = open(&dir);
+            b.store(LineAddr(1), [1u8; 64]);
+            b.flight_append(b"ignored");
+            assert!(!b.flight_enabled());
+        }
+        assert!(!dir.join(FLIGHT_FILE).exists());
+        let (entries, discarded) = read_flight_log(&dir).expect("missing reads empty");
+        assert!(entries.is_empty());
+        assert_eq!(discarded, 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_rotates_flight_sidecar() {
+        let dir = temp_dir("flightrotate");
+        let cfg = FileBackendConfig {
+            fsync: FsyncStrategy::Always,
+            compact_threshold: 4,
+            flight: true,
+        };
+        let mut b = FileBackend::open(&dir, cfg).expect("open");
+        for i in 0..8u64 {
+            b.flight_append(
+                format!("{{\"flight\":\"epoch\",\"at\":{i},\"index\":{i}}}").as_bytes(),
+            );
+            b.store(LineAddr(i), [i as u8; 64]);
+            b.tick(i);
+        }
+        assert!(b.io_counters().stats().compactions >= 1);
+        drop(b);
+        let (entries, _) = read_flight_log(&dir).expect("read");
+        assert!(
+            entries[0].contains("\"op\":\"rotate\""),
+            "rotation marker must open the post-compaction sidecar: {entries:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_strategy_defers_flight_flush_to_sync() {
+        let dir = temp_dir("flightbatch");
+        let cfg = FileBackendConfig {
+            fsync: FsyncStrategy::Batch(100),
+            compact_threshold: u64::MAX,
+            flight: true,
+        };
+        {
+            let mut b = FileBackend::open(&dir, cfg).expect("open");
+            b.flight_append(b"{\"flight\":\"epoch\",\"at\":1,\"index\":1}");
+            b.sync();
+            b.flight_append(b"{\"flight\":\"epoch\",\"at\":2,\"index\":2}");
+            // Dropped unsynced: the second entry is the loss window.
+        }
+        let (entries, _) = read_flight_log(&dir).expect("read");
+        assert_eq!(entries.len(), 1, "post-sync tail lost by design");
+        assert!(entries[0].contains("\"at\":1"));
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -51,7 +51,8 @@ pub use controller::{
     MemController, MemControllerConfig, MemStats, QueueEvent, QueueKind, QueueRecorder, WearStats,
 };
 pub use file::{
-    FileBackend, FileBackendConfig, FileBackendError, FileIoCounters, FileIoStats, FsyncStrategy,
+    flight_boundary_line, read_flight_log, FileBackend, FileBackendConfig, FileBackendError,
+    FileIoCounters, FileIoStats, FsyncStrategy,
 };
 pub use store::{Line, LineStore};
 pub use timing::{Cycle, NvmTiming, NvmTimingConfig};

@@ -2,7 +2,9 @@
 //! persist boundary a workload crosses — WPQ retirements, drain
 //! stagings, root alternations, `N_wb` updates, manifest swaps — is
 //! killed once, the directory is reopened from disk, and recovery must
-//! come back clean (with and without a torn tail record).
+//! come back clean (with and without a torn tail record). The flight
+//! sidecar closes the forensic loop: for every kill, the recovered
+//! log's inferred cause must name exactly the boundary that was armed.
 
 use ccnvm::prelude::*;
 use ccnvm::secmem::SecureMemory;
@@ -37,6 +39,18 @@ fn every_design_recovers_clean_at_every_file_backed_boundary() {
         let report = sweep_crash_points(&config, &dir, &workload).expect("sweep runs");
         assert!(report.boundaries > 0, "{design}: no boundaries crossed");
         assert!(report.all_clean(), "{design}: {report}");
+        // Forensic cause attribution: every kill's recovered flight
+        // log must blame the boundary the kill was armed at, for every
+        // boundary class the design crosses.
+        assert!(report.cause_attribution_ok(), "{design}: {report}");
+        for outcome in &report.outcomes {
+            assert_eq!(
+                outcome.inferred_cause.as_deref(),
+                Some(outcome.label.as_str()),
+                "{design}: boundary #{} misattributed",
+                outcome.boundary
+            );
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 }
@@ -114,4 +128,7 @@ fn sweep_crosses_a_manifest_swap_when_compaction_triggers() {
         report.labels_seen
     );
     assert!(report.all_clean(), "{report}");
+    // Kills inside a manifest swap must still be attributed exactly,
+    // even though compaction rotates the flight sidecar.
+    assert!(report.cause_attribution_ok(), "{report}");
 }

@@ -1,0 +1,112 @@
+//! Property test: the metrics CSV and JSONL exports parse back to the
+//! same samples and the same drop-counter footer, whatever the run
+//! shape — including registries that dropped samples at capacity and
+//! the empty-registry edge case.
+
+use ccnvm::obs::metrics::{
+    parse_metrics_with_footer, MetricsConfig, MetricsFooter, MetricsRegistry, Sample,
+};
+
+/// Deterministic 64-bit LCG (same constants as Knuth's MMIX) so every
+/// failure reproduces from the seed in the assertion message.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        self.0 >> 11
+    }
+}
+
+fn random_sample(rng: &mut Lcg, at: u64) -> Sample {
+    Sample {
+        at,
+        meta_resident: rng.next() % 10_000,
+        meta_dirty: rng.next() % 10_000,
+        meta_resident_ppm: rng.next() % 1_000_000,
+        meta_dirty_ppm: rng.next() % 1_000_000,
+        dirty_queue_depth: rng.next() % 256,
+        wpq_occupancy: rng.next() % 64,
+        epochs: rng.next() % 1_000,
+        epoch_write_backs: rng.next() % 10_000,
+        write_backs: rng.next(),
+        nvm_writes: rng.next(),
+        write_amp_milli: rng.next() % 100_000,
+        engine_share_ppm: rng.next() % 1_000_000,
+    }
+}
+
+fn export_csv(reg: &MetricsRegistry) -> String {
+    let mut out = Vec::new();
+    reg.write_csv(&mut out).expect("write to Vec");
+    String::from_utf8(out).expect("CSV export is UTF-8")
+}
+
+fn export_jsonl(reg: &MetricsRegistry) -> String {
+    let mut out = Vec::new();
+    reg.write_jsonl(&mut out).expect("write to Vec");
+    String::from_utf8(out).expect("JSONL export is UTF-8")
+}
+
+#[test]
+fn csv_and_jsonl_exports_parse_identically_across_random_runs() {
+    let mut rng = Lcg(0xC0FF_EE11_D00D_2026);
+    for case in 0..64 {
+        let interval = 1 + rng.next() % 5_000;
+        let capacity = 1 + (rng.next() % 40) as usize;
+        let count = (rng.next() % 80) as usize;
+        let mut reg = MetricsRegistry::new(MetricsConfig { interval, capacity });
+        for i in 0..count {
+            reg.record(random_sample(&mut rng, (i as u64 + 1) * interval));
+        }
+
+        let (csv_samples, csv_footer) =
+            parse_metrics_with_footer(&export_csv(&reg)).expect("CSV export parses");
+        let (json_samples, json_footer) =
+            parse_metrics_with_footer(&export_jsonl(&reg)).expect("JSONL export parses");
+
+        let kept: Vec<Sample> = reg.samples().copied().collect();
+        assert_eq!(csv_samples, kept, "case {case}: CSV samples diverged");
+        assert_eq!(json_samples, kept, "case {case}: JSONL samples diverged");
+        assert_eq!(
+            csv_footer, json_footer,
+            "case {case}: footers diverged between formats"
+        );
+
+        let footer = csv_footer.expect("every export carries a footer");
+        assert_eq!(
+            footer,
+            MetricsFooter {
+                samples: kept.len() as u64,
+                dropped: count.saturating_sub(capacity) as u64,
+                interval,
+            },
+            "case {case}: footer misreports the run (capacity {capacity}, {count} recorded)"
+        );
+    }
+}
+
+#[test]
+fn empty_registry_round_trips_with_a_zero_footer() {
+    let reg = MetricsRegistry::new(MetricsConfig {
+        interval: 250,
+        capacity: 8,
+    });
+    for (format, text) in [("CSV", export_csv(&reg)), ("JSONL", export_jsonl(&reg))] {
+        let (samples, footer) =
+            parse_metrics_with_footer(&text).unwrap_or_else(|e| panic!("{format}: {e}"));
+        assert!(samples.is_empty(), "{format}: phantom samples");
+        assert_eq!(
+            footer,
+            Some(MetricsFooter {
+                samples: 0,
+                dropped: 0,
+                interval: 250,
+            }),
+            "{format}"
+        );
+    }
+}
