@@ -75,6 +75,9 @@ pub struct RunArgs {
     /// Write a Chrome trace-event (Perfetto-loadable) JSON rendering
     /// of the run to this path.
     pub chrome_trace: Option<String>,
+    /// Write the `ccnvm-wear/1` write-provenance / wear / durability-lag
+    /// report to this path (per-shard files under `--shards N`).
+    pub wear_out: Option<String>,
     /// Attach the invariant auditor in this mode (`record` keeps
     /// going, `strict` fails fast with a nonzero exit).
     pub audit: Option<AuditMode>,
@@ -139,6 +142,7 @@ impl Default for RunArgs {
             metrics_out: None,
             metrics_interval: ccnvm::obs::metrics::DEFAULT_INTERVAL,
             chrome_trace: None,
+            wear_out: None,
             audit: None,
             threads: None,
             shards: 1,
@@ -154,7 +158,7 @@ impl Default for RunArgs {
 }
 
 /// `report` subcommand options. At least one of `compare` / `metrics`
-/// is set (the parser enforces it); both at once is fine.
+/// / `wear` is set (the parser enforces it); combinations are fine.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReportArgs {
     /// Stage-profile diff: `(baseline, candidate)` paths from
@@ -162,6 +166,8 @@ pub struct ReportArgs {
     pub compare: Option<(String, String)>,
     /// Metrics time-series export to summarize (`--metrics FILE`).
     pub metrics: Option<String>,
+    /// Wear report (`ccnvm-wear/1`) to render (`--wear FILE`).
+    pub wear: Option<String>,
     /// Per-stage growth tolerance in percent before a stage is flagged
     /// as a regression.
     pub tolerance: f64,
@@ -233,6 +239,9 @@ OPTIONS:
   --metrics-out FILE  write time-series metrics (.csv => CSV, else JSON lines)
   --metrics-interval C  simulated cycles between metrics samples     [1000]
   --chrome-trace FILE write a Chrome trace-event JSON (load in Perfetto)
+  --wear-out FILE     write the ccnvm-wear/1 write-provenance, per-line
+                      wear and durability-lag report (per-shard files
+                      under --shards N)
   --audit MODE        attach the invariant auditor: record | strict
   --threads T         worker threads for sweep points and shards [all cores]
   --shards N          independent secure-memory shards behind the
@@ -261,7 +270,9 @@ RECOVER / FORENSICS OPTIONS:
 
 REPORT OPTIONS:
   --compare A B       the two profile JSON files to diff (baseline, candidate)
-  --metrics FILE      summarize a metrics time-series export (min/mean/p99/max)
+  --metrics FILE      summarize a metrics time-series export
+                      (min/mean/p50/p99/p999/max)
+  --wear FILE         render a ccnvm-wear/1 report written by --wear-out
   --tolerance PCT     per-stage growth allowed before flagging      [5]
   --strict-drops      exit nonzero when the metrics footer records
                       dropped samples
@@ -315,6 +326,7 @@ fn parse_common<'a, I: Iterator<Item = &'a str>>(
             args.metrics_interval = n;
         }
         "--chrome-trace" => args.chrome_trace = Some(take_value(flag, iter)?.to_owned()),
+        "--wear-out" => args.wear_out = Some(take_value(flag, iter)?.to_owned()),
         "--audit" => {
             args.audit = Some(match take_value(flag, iter)? {
                 "record" => AuditMode::Record,
@@ -431,11 +443,13 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
         "report" => {
             let mut compare = None;
             let mut metrics = None;
+            let mut wear = None;
             let mut tolerance = 5.0f64;
             let mut strict_drops = false;
             while let Some(flag) = iter.next() {
                 match flag {
                     "--strict-drops" => strict_drops = true,
+                    "--wear" => wear = Some(take_value(flag, &mut iter)?.to_owned()),
                     "--compare" => {
                         let a = take_value(flag, &mut iter)?.to_owned();
                         let b = iter.next().ok_or_else(|| {
@@ -456,14 +470,17 @@ pub fn parse<S: AsRef<str>>(argv: &[S]) -> Result<Command, ParseArgsError> {
                     _ => return Err(ParseArgsError(format!("unknown option {flag:?}"))),
                 }
             }
-            if compare.is_none() && metrics.is_none() {
+            if compare.is_none() && metrics.is_none() && wear.is_none() {
                 return Err(ParseArgsError(
-                    "report needs --compare A.json B.json and/or --metrics FILE".into(),
+                    "report needs --compare A.json B.json, --metrics FILE and/or \
+                     --wear FILE"
+                        .into(),
                 ));
             }
             Ok(Command::Report(ReportArgs {
                 compare,
                 metrics,
+                wear,
                 tolerance,
                 strict_drops,
             }))
@@ -757,8 +774,31 @@ mod tests {
     }
 
     #[test]
+    fn run_parses_wear_out() {
+        let Command::Run(args) = parse(&["run", "--wear-out", "wear.json"]).unwrap() else {
+            panic!("expected run");
+        };
+        assert_eq!(args.wear_out.as_deref(), Some("wear.json"));
+        assert_eq!(RunArgs::default().wear_out, None, "opt-in");
+        let Command::Recover(args) = parse(&["recover", "--wear-out", "w.json"]).unwrap() else {
+            panic!("expected recover");
+        };
+        assert_eq!(args.wear_out.as_deref(), Some("w.json"));
+    }
+
+    #[test]
+    fn report_accepts_wear_alone() {
+        let Command::Report(args) = parse(&["report", "--wear", "wear.json"]).unwrap() else {
+            panic!("expected report");
+        };
+        assert_eq!(args.wear.as_deref(), Some("wear.json"));
+        assert_eq!(args.compare, None);
+        assert_eq!(args.metrics, None);
+    }
+
+    #[test]
     fn report_rejects_bad_grammar() {
-        assert!(parse(&["report"]).is_err(), "needs --compare or --metrics");
+        assert!(parse(&["report"]).is_err(), "needs an input");
         assert!(parse(&["report", "--compare", "only-one"]).is_err());
         assert!(parse(&["report", "--compare", "a", "b", "--tolerance", "-1"]).is_err());
         assert!(parse(&["report", "--compare", "a", "b", "--bogus"]).is_err());

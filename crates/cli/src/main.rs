@@ -84,13 +84,7 @@ fn list() {
 }
 
 fn cli_name(d: DesignKind) -> &'static str {
-    match d {
-        DesignKind::WithoutCc => "wo-cc",
-        DesignKind::StrictConsistency => "sc",
-        DesignKind::OsirisPlus => "osiris-plus",
-        DesignKind::CcNvmNoDs => "ccnvm-no-ds",
-        DesignKind::CcNvm => "ccnvm",
-    }
+    d.slug()
 }
 
 fn config_of(run: &RunArgs) -> Result<SimConfig, String> {
@@ -189,6 +183,17 @@ fn simulate(run: &RunArgs) -> Result<(Simulator, Option<Arc<FileIoCounters>>), S
     if run.flight {
         sim.memory_mut()
             .attach_flight(ccnvm::obs::flight::FlightConfig::default());
+    }
+    if run.wear_out.is_some() || run.chrome_trace.is_some() {
+        sim.memory_mut().attach_wear();
+        sim.memory_mut().attach_lag();
+        if std::env::var_os("CCNVM_WEAR_SELFTEST").is_some() {
+            // Deliberately skew the ledger's attribution before the
+            // workload so the conservation check's negative path
+            // (violation -> report -> nonzero exit under strict) is
+            // exercised end-to-end.
+            sim.memory_mut().inject_wear_attribution_desync();
+        }
     }
     if let Some(mode) = run.audit {
         sim.memory_mut().attach_auditor(mode);
@@ -333,10 +338,58 @@ fn emit_chrome(
         metrics: mem.metrics(),
         profile: mem.profiler(),
         recovery: recovery.map(|r| r.timeline.as_slice()),
+        lag: mem.lag(),
     };
     let mut out = BufWriter::new(file);
     write_chrome_trace(&mut out, &input).map_err(|e| format!("{path}: {e}"))?;
     eprintln!("wrote Chrome trace to {path} (load it at https://ui.perfetto.dev)");
+    Ok(())
+}
+
+/// Writes `--wear-out`: the `ccnvm-wear/1` write-provenance, per-line
+/// wear and durability-lag report (and prints the rendered table
+/// unless `--csv`).
+fn emit_wear(run: &RunArgs, sim: &Simulator) -> Result<(), String> {
+    let Some(path) = &run.wear_out else {
+        return Ok(());
+    };
+    let report = sim
+        .memory()
+        .wear_report(&run.bench, sim.instructions())
+        .expect("the wear ledger is attached whenever --wear-out is set");
+    std::fs::write(path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+    if !run.csv {
+        print!("{}", ccnvm::obs::wear::render_report(&report));
+    }
+    eprintln!(
+        "wrote wear report ({}) to {path}",
+        ccnvm::obs::wear::WEAR_SCHEMA
+    );
+    Ok(())
+}
+
+/// Per-shard `--wear-out` files (shards are independent devices, so
+/// wear is reported per shard, never merged).
+fn emit_wear_sharded(run: &RunArgs, router: &ShardRouter) -> Result<(), String> {
+    let Some(path) = &run.wear_out else {
+        return Ok(());
+    };
+    for (i, sim) in router.shards().iter().enumerate() {
+        let report = sim
+            .memory()
+            .wear_report(&run.bench, sim.instructions())
+            .expect("wear ledgers are attached whenever --wear-out is set");
+        let path = shard_path(path, i);
+        std::fs::write(&path, report.to_json()).map_err(|e| format!("{path}: {e}"))?;
+        if !run.csv {
+            println!("=== shard {i} wear report ===");
+            print!("{}", ccnvm::obs::wear::render_report(&report));
+        }
+        eprintln!(
+            "wrote wear report ({}) to {path}",
+            ccnvm::obs::wear::WEAR_SCHEMA
+        );
+    }
     Ok(())
 }
 
@@ -399,6 +452,18 @@ fn simulate_sharded(run: &RunArgs) -> Result<ShardRouter, String> {
     }
     if run.flight {
         router.attach_flight_recorders(ccnvm::obs::flight::FlightConfig::default());
+    }
+    if run.wear_out.is_some() || run.chrome_trace.is_some() {
+        router.attach_wear_ledgers();
+        router.attach_lag_tracers();
+        if std::env::var_os("CCNVM_WEAR_SELFTEST").is_some() {
+            // Shard 0 takes the injected skew, as with the audit
+            // selftest.
+            router
+                .shard_mut(0)
+                .memory_mut()
+                .inject_wear_attribution_desync();
+        }
     }
     if let Some(mode) = run.audit {
         router.attach_auditors(mode);
@@ -499,7 +564,7 @@ fn emit_metrics_sharded(run: &RunArgs, router: &ShardRouter) -> Result<(), Strin
 }
 
 /// One Chrome trace for the whole service: shard `i` renders as
-/// process `i + 1` with the standard eight tracks.
+/// process `i + 1` with the standard nine tracks.
 fn emit_chrome_sharded(
     run: &RunArgs,
     router: &ShardRouter,
@@ -520,6 +585,7 @@ fn emit_chrome_sharded(
                 metrics: mem.metrics(),
                 profile: mem.profiler(),
                 recovery: recoveries.map(|r| r[i].timeline.as_slice()),
+                lag: mem.lag(),
             }
         })
         .collect();
@@ -618,6 +684,7 @@ fn cmd_run_sharded(run: &RunArgs) -> Result<(), String> {
     emit_metrics_sharded(run, &router)?;
     emit_chrome_sharded(run, &router, None, chrome_file)?;
     emit_profile_sharded(run, &router, None)?;
+    emit_wear_sharded(run, &router)?;
     audit_verdict_sharded(&router)
 }
 
@@ -679,6 +746,7 @@ fn cmd_recover_sharded(run: &RunArgs) -> Result<(), String> {
     emit_metrics_sharded(run, &router)?;
     emit_chrome_sharded(run, &router, Some(&reports), chrome_file)?;
     emit_profile_sharded(run, &router, Some(&reports))?;
+    emit_wear_sharded(run, &router)?;
     audit_verdict_sharded(&router)?;
     if reports.iter().all(RecoveryReport::is_clean) {
         println!(
@@ -729,6 +797,7 @@ fn cmd_run(run: &RunArgs) -> Result<(), String> {
     emit_metrics(run, &sim)?;
     emit_chrome(run, &sim, None, chrome_file)?;
     emit_profile(run, &sim, None)?;
+    emit_wear(run, &sim)?;
     audit_verdict(&sim)
 }
 
@@ -898,6 +967,7 @@ fn cmd_recover(run: &RunArgs) -> Result<(), String> {
     emit_metrics(run, &sim)?;
     emit_chrome(run, &sim, Some(&report), chrome_file)?;
     emit_profile(run, &sim, Some(&report))?;
+    emit_wear(run, &sim)?;
     if let Some(path) = &run.forensics_out {
         // File backend: the recovered sidecar. Mem backend: the
         // in-process ring (empty unless --flight was set — a crash
@@ -1200,6 +1270,19 @@ fn cmd_report(args: &ReportArgs) -> Result<(), String> {
                     f.dropped
                 );
             }
+        }
+    }
+    if let Some(path) = &args.wear {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let report = ccnvm::obs::wear::parse_wear(&text).map_err(|e| format!("{path}: {e}"))?;
+        println!("{path}:");
+        print!("{}", ccnvm::obs::wear::render_report(&report));
+        if !report.conserved() {
+            return Err(format!(
+                "{path}: wear ledger attributes {} writes but the controller \
+                 counted {} — the export violates write conservation",
+                report.attributed_writes, report.total_writes
+            ));
         }
     }
     let strict_drops_gate = |dropped: u64| -> Result<(), String> {

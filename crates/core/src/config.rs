@@ -56,6 +56,18 @@ impl DesignKind {
         }
     }
 
+    /// A stable machine-readable identifier, round-trippable through
+    /// [`FromStr`] — what structured exports (`ccnvm-wear/1`) embed.
+    pub fn slug(&self) -> &'static str {
+        match self {
+            DesignKind::WithoutCc => "wo-cc",
+            DesignKind::StrictConsistency => "sc",
+            DesignKind::OsirisPlus => "osiris-plus",
+            DesignKind::CcNvmNoDs => "ccnvm-no-ds",
+            DesignKind::CcNvm => "ccnvm",
+        }
+    }
+
     /// Whether this design guarantees a recoverable state after a
     /// crash.
     pub fn is_crash_consistent(&self) -> bool {

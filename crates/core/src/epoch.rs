@@ -72,6 +72,9 @@ impl SecureMemory {
         ccnvm_mem::crashpoint::fire("drain-stage");
         self.flight_boundary("end", "drain-stage");
         self.commit_staged();
+        // The committed epoch covers every write-back stamped so far
+        // (`discard_staged` — the crash model — keeps them pending).
+        self.lag_resolve_all(end);
         self.flight_event(|| obs::Event::Drain {
             at: end,
             stage: obs::DrainStage::Commit,
@@ -224,6 +227,7 @@ impl SecureMemory {
         for &line in &scratch.entries {
             self.staged.push((line, scratch.contents[&line.0]));
             t = self.mc.wpq_write(line, t);
+            self.wear_meta(line, true);
         }
         self.prof(obs::profile::Stage::WpqStall, t - wpq_start);
         self.drain_scratch = scratch;
@@ -269,6 +273,7 @@ impl SecureMemory {
         self.tcb.commit_drain();
         ccnvm_mem::crashpoint::fire("root-alternate");
         self.flight_boundary("end", "root-alternate");
+        self.wear_root_alt();
         self.epoch_lengths.record(self.wbs_this_epoch);
         self.wbs_this_epoch = 0;
     }

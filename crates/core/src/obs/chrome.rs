@@ -10,19 +10,20 @@
 //! timestamps (1 cycle = 1 µs of display time).
 //!
 //! Track layout (pid 1 for a single-owner run; a sharded run repeats
-//! the same eight tracks once per shard under pid = shard + 1, see
+//! the same nine tracks once per shard under pid = shard + 1, see
 //! [`write_sharded_chrome_trace`]):
 //!
-//! | tid | track        | events                                        |
-//! |-----|--------------|-----------------------------------------------|
-//! | 0   | (counters)   | `C` series from queue accepts + metrics       |
-//! | 1   | write-backs  | `X` slices per pipeline phase                  |
-//! | 2   | drain        | `B`/`E` pairs per drain (stage → commit)      |
-//! | 3   | meta-cache   | `i` instants for installs/evictions           |
-//! | 4   | epochs       | `X` slices per committed epoch                |
-//! | 5   | audit        | `i` instants per invariant violation          |
-//! | 6   | recovery     | `X` slices per recovery phase                 |
-//! | 7   | profile      | `X` stage-total ribbon (cumulative layout)    |
+//! | tid | track          | events                                        |
+//! |-----|----------------|-----------------------------------------------|
+//! | 0   | (counters)     | `C` series from queue accepts + metrics       |
+//! | 1   | write-backs    | `X` slices per pipeline phase                  |
+//! | 2   | drain          | `B`/`E` pairs per drain (stage → commit)      |
+//! | 3   | meta-cache     | `i` instants for installs/evictions           |
+//! | 4   | epochs         | `X` slices per committed epoch                |
+//! | 5   | audit          | `i` instants per invariant violation          |
+//! | 6   | recovery       | `X` slices per recovery phase                 |
+//! | 7   | profile        | `X` stage-total ribbon (cumulative layout)    |
+//! | 8   | durability-lag | `X` crash-vulnerability window per write-back |
 //!
 //! Everything emitted is integers and fixed lower-case names, so the
 //! output is byte-stable and needs no string escaping; events are
@@ -49,6 +50,8 @@ pub struct ChromeTraceInput<'a> {
     pub profile: Option<&'a SpanProfiler>,
     /// Recovery phase timeline.
     pub recovery: Option<&'a [RecoverySpan]>,
+    /// Durability-lag spans (rendered as crash-vulnerability windows).
+    pub lag: Option<&'a crate::obs::lag::LagTracer>,
 }
 
 const PID: u32 = 1;
@@ -60,8 +63,9 @@ const TID_EPOCHS: u32 = 4;
 const TID_AUDIT: u32 = 5;
 const TID_RECOVERY: u32 = 6;
 const TID_PROFILE: u32 = 7;
+const TID_LAG: u32 = 8;
 
-const TRACK_NAMES: [(u32, &str); 8] = [
+const TRACK_NAMES: [(u32, &str); 9] = [
     (TID_COUNTERS, "counters"),
     (TID_WRITEBACK, "write-backs"),
     (TID_DRAIN, "drain"),
@@ -70,6 +74,7 @@ const TRACK_NAMES: [(u32, &str); 8] = [
     (TID_AUDIT, "audit"),
     (TID_RECOVERY, "recovery"),
     (TID_PROFILE, "profile"),
+    (TID_LAG, "durability-lag"),
 ];
 
 /// One rendered trace event, pre-serialized except for its sort key.
@@ -274,7 +279,7 @@ fn render_recorder(rec: &Recorder, pid: u32, slices: &mut Vec<Slice>) {
 
 fn render_metrics(metrics: &MetricsRegistry, pid: u32, slices: &mut Vec<Slice>) {
     for s in metrics.samples() {
-        let counters: [(&str, &[(&str, u64)]); 6] = [
+        let counters: [(&str, &[(&str, u64)]); 10] = [
             (
                 "meta-cache",
                 &[("resident", s.meta_resident), ("dirty", s.meta_dirty)],
@@ -284,6 +289,10 @@ fn render_metrics(metrics: &MetricsRegistry, pid: u32, slices: &mut Vec<Slice>) 
             ("nvm-writes", &[("writes", s.nvm_writes)]),
             ("write-amp-milli", &[("milli", s.write_amp_milli)]),
             ("engine-share-ppm", &[("ppm", s.engine_share_ppm)]),
+            ("attributed-writes", &[("writes", s.attributed_writes)]),
+            ("max-line-writes", &[("writes", s.max_line_writes)]),
+            ("lag-pending", &[("stamps", s.lag_pending)]),
+            ("lag-p99", &[("cycles", s.lag_p99)]),
         ];
         for (name, args) in counters {
             push(
@@ -310,6 +319,25 @@ fn render_recovery(timeline: &[RecoverySpan], pid: u32, slices: &mut Vec<Slice>)
                 span.start,
                 Some(span.cycles()),
                 &[("ops", span.ops), ("nvm_writes", span.nvm_writes)],
+            ),
+        );
+    }
+}
+
+fn render_lag(lag: &crate::obs::lag::LagTracer, pid: u32, slices: &mut Vec<Slice>) {
+    for (issue, commit) in lag.recent_spans() {
+        push(
+            slices,
+            TID_LAG,
+            issue,
+            event_json(
+                'X',
+                "vulnerable",
+                pid,
+                TID_LAG,
+                issue,
+                Some(commit.saturating_sub(issue)),
+                &[("lag", commit.saturating_sub(issue))],
             ),
         );
     }
@@ -354,6 +382,9 @@ fn render_input(input: &ChromeTraceInput<'_>, pid: u32) -> Vec<Slice> {
     }
     if let Some(timeline) = input.recovery {
         render_recovery(timeline, pid, &mut slices);
+    }
+    if let Some(lag) = input.lag {
+        render_lag(lag, pid, &mut slices);
     }
     if let Some(profile) = input.profile {
         render_profile(profile, pid, &mut slices);
@@ -417,7 +448,7 @@ pub fn write_chrome_trace<W: Write>(out: &mut W, input: &ChromeTraceInput<'_>) -
 
 /// Writes one Chrome trace-event document for a sharded run: shard `i`
 /// becomes process `pid = i + 1` named `ccnvm shard i`, carrying the
-/// same eight tracks as the single-owner exporter. Perfetto renders
+/// same nine tracks as the single-owner exporter. Perfetto renders
 /// each shard as its own process group, so a multi-shard drain reads
 /// as N parallel `drain` B/E pairs, one per process.
 ///
@@ -465,6 +496,7 @@ mod tests {
             capacity: 1 << 12,
         });
         sim.memory_mut().attach_profiler();
+        sim.memory_mut().attach_lag();
         let trace = TraceGenerator::new(profiles::by_name("lbm").unwrap(), 3);
         sim.run(trace, 30_000).unwrap();
         let mut out = Vec::new();
@@ -475,6 +507,7 @@ mod tests {
                 metrics: sim.memory().metrics(),
                 profile: sim.memory().profiler(),
                 recovery: None,
+                lag: sim.memory().lag(),
             },
         )
         .unwrap();

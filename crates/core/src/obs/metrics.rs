@@ -94,6 +94,19 @@ pub struct Sample {
     pub write_amp_milli: u64,
     /// Fraction of elapsed cycles spent in the secure engine (ppm).
     pub engine_share_ppm: u64,
+    /// NVM line-writes the wear ledger has attributed to a cause so
+    /// far (0 when no ledger is attached; equals `nvm_writes` whenever
+    /// the conservation invariant holds).
+    pub attributed_writes: u64,
+    /// Writes endured by the single hottest NVM line so far.
+    pub max_line_writes: u64,
+    /// Write-backs stamped but not yet covered by a durable commit
+    /// (0 when no lag tracer is attached).
+    pub lag_pending: u64,
+    /// Running 99th-percentile durability lag in simulated cycles, at
+    /// power-of-two bucket resolution (0 when no lag tracer is
+    /// attached).
+    pub lag_p99: u64,
 }
 
 /// A named accessor projecting one series out of a [`Sample`].
@@ -114,13 +127,18 @@ pub const SERIES: &[SeriesAccessor] = &[
     ("nvm_writes", |s| s.nvm_writes),
     ("write_amp_milli", |s| s.write_amp_milli),
     ("engine_share_ppm", |s| s.engine_share_ppm),
+    ("attributed_writes", |s| s.attributed_writes),
+    ("max_line_writes", |s| s.max_line_writes),
+    ("lag_pending", |s| s.lag_pending),
+    ("lag_p99", |s| s.lag_p99),
 ];
 
 impl Sample {
     /// Column names for [`Sample::csv_row`], in order.
     pub const CSV_HEADER: &'static str = "at,meta_resident,meta_dirty,meta_resident_ppm,\
 meta_dirty_ppm,dirty_queue_depth,wpq_occupancy,epochs,epoch_write_backs,write_backs,\
-nvm_writes,write_amp_milli,engine_share_ppm";
+nvm_writes,write_amp_milli,engine_share_ppm,attributed_writes,max_line_writes,\
+lag_pending,lag_p99";
 
     /// Serializes the sample as one CSV row matching
     /// [`Sample::CSV_HEADER`].
@@ -407,6 +425,10 @@ fn set_series(sample: &mut Sample, name: &str, v: u64) {
         "nvm_writes" => sample.nvm_writes = v,
         "write_amp_milli" => sample.write_amp_milli = v,
         "engine_share_ppm" => sample.engine_share_ppm = v,
+        "attributed_writes" => sample.attributed_writes = v,
+        "max_line_writes" => sample.max_line_writes = v,
+        "lag_pending" => sample.lag_pending = v,
+        "lag_p99" => sample.lag_p99 = v,
         _ => unreachable!("unknown series {name}"),
     }
 }
@@ -420,8 +442,12 @@ pub struct SeriesSummary {
     pub min: u64,
     /// Mean over all samples.
     pub mean: f64,
+    /// Median (at power-of-two bucket resolution).
+    pub p50: u64,
     /// 99th percentile (at power-of-two bucket resolution).
     pub p99: u64,
+    /// 99.9th percentile (at power-of-two bucket resolution).
+    pub p999: u64,
     /// Largest sampled value.
     pub max: u64,
 }
@@ -444,7 +470,9 @@ pub fn summarize(samples: &[Sample]) -> Vec<SeriesSummary> {
                 name,
                 min: if samples.is_empty() { 0 } else { min },
                 mean: h.mean(),
+                p50: h.percentile(50.0),
                 p99: h.percentile(99.0),
+                p999: h.percentile(99.9),
                 max: h.max(),
             }
         })
@@ -525,14 +553,14 @@ pub fn render_summary(samples: &[Sample]) -> String {
     let _ = writeln!(out, "metrics samples {} ({span})", samples.len());
     let _ = writeln!(
         out,
-        "{:<20} {:>12} {:>14} {:>12} {:>12}",
-        "series", "min", "mean", "p99", "max"
+        "{:<20} {:>12} {:>14} {:>12} {:>12} {:>12} {:>12}",
+        "series", "min", "mean", "p50", "p99", "p999", "max"
     );
     for s in summarize(samples) {
         let _ = writeln!(
             out,
-            "{:<20} {:>12} {:>14.1} {:>12} {:>12}",
-            s.name, s.min, s.mean, s.p99, s.max
+            "{:<20} {:>12} {:>14.1} {:>12} {:>12} {:>12} {:>12}",
+            s.name, s.min, s.mean, s.p50, s.p99, s.p999, s.max
         );
     }
     out
@@ -625,7 +653,68 @@ mod tests {
         assert_eq!(depth.min, 1);
         assert_eq!(depth.max, 4);
         assert_eq!(depth.mean, 2.5);
+        assert!(depth.p50 >= 2, "median of 1..=4 covers at least 2");
+        assert!(depth.p50 <= depth.p99);
+        assert!(depth.p99 <= depth.p999);
         assert!(depth.p99 >= 4);
+    }
+
+    /// Nearest-rank reference for `Histogram::percentile` at the
+    /// summarizer's power-of-two bucket resolution: the k-th smallest
+    /// observation's bucket upper edge (or the recorded max for the
+    /// overflow bucket).
+    fn reference_percentile(sorted: &[u64], bounds: &[u64], p: f64) -> u64 {
+        let k = ((p / 100.0 * sorted.len() as f64).ceil() as usize).max(1);
+        let v = sorted[k - 1];
+        match bounds.iter().position(|&b| v < b) {
+            Some(i) => bounds[i] - 1,
+            None => *sorted.last().unwrap(),
+        }
+    }
+
+    #[test]
+    fn summary_percentiles_match_sorted_reference() {
+        // Seeded-random series: every percentile column the summarizer
+        // reports (p50/p99/p999) must equal the nearest-rank value
+        // computed from the fully sorted data at bucket resolution.
+        let bounds: Vec<u64> = (0..63).map(|i| 1u64 << i).collect();
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        for round in 0..16 {
+            let n = 1 + (round * 73) % 1500;
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                // Mix magnitudes: small depths and huge counters alike.
+                values.push(match x % 4 {
+                    0 => x % 7,
+                    1 => x % 1000,
+                    2 => x % 1_000_000,
+                    _ => x % (1 << 40),
+                });
+            }
+            let samples: Vec<Sample> = values
+                .iter()
+                .enumerate()
+                .map(|(i, &v)| sample((i as u64 + 1) * 10, v))
+                .collect();
+            let summary = summarize(&samples);
+            let depth = summary
+                .iter()
+                .find(|s| s.name == "dirty_queue_depth")
+                .unwrap();
+            let mut sorted = values;
+            sorted.sort_unstable();
+            for (got, p) in [(depth.p50, 50.0), (depth.p99, 99.0), (depth.p999, 99.9)] {
+                assert_eq!(
+                    got,
+                    reference_percentile(&sorted, &bounds, p),
+                    "round {round}: p{p} over {} values",
+                    sorted.len()
+                );
+            }
+        }
     }
 
     #[test]

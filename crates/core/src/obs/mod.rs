@@ -46,8 +46,10 @@ pub mod audit;
 pub mod chrome;
 pub mod flight;
 pub mod json;
+pub mod lag;
 pub mod metrics;
 pub mod profile;
+pub mod wear;
 
 use crate::secmem::DrainTrigger;
 use crate::stats::Histogram;

@@ -151,6 +151,8 @@ impl SecureMemory {
             metrics: None,
             auditor: None,
             flight: None,
+            wear: None,
+            lag: None,
             in_write_back: false,
             config,
         })

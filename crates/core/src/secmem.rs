@@ -170,6 +170,15 @@ pub struct SecureMemory {
     /// backend's `flight.log` sidecar whenever that backend keeps one,
     /// independently of whether this ring is attached.
     pub(crate) flight: Option<Box<crate::obs::flight::FlightRecorder>>,
+    /// Optional write-provenance ledger (see [`crate::obs::wear`]);
+    /// same zero-cost-when-off contract as the recorder. Every NVM
+    /// line-write is tagged with a typed cause at its call site, under
+    /// a conservation invariant against the controller's totals.
+    pub(crate) wear: Option<Box<crate::obs::wear::WearLedger>>,
+    /// Optional durability-lag tracer (see [`crate::obs::lag`]); same
+    /// zero-cost-when-off contract as the recorder. Write-backs are
+    /// stamped at acceptance and resolved at their covering commit.
+    pub(crate) lag: Option<Box<crate::obs::lag::LagTracer>>,
     /// True while `write_back` is on the stack: engine-domain charges
     /// in the shared verify/drain helpers count toward
     /// `engine_cycles` only in that scope (mirroring how
@@ -414,6 +423,16 @@ impl SecureMemory {
                 (nvm_writes as u128 * 1000 / write_backs as u128) as u64
             },
             engine_share_ppm: ppm(self.stats.engine_cycles, now),
+            attributed_writes: self
+                .wear
+                .as_deref()
+                .map_or(0, crate::obs::wear::WearLedger::attributed_total),
+            max_line_writes: self.mc.max_line_wear(),
+            lag_pending: self.lag.as_deref().map_or(0, |l| l.pending() as u64),
+            lag_p99: self
+                .lag
+                .as_deref()
+                .map_or(0, crate::obs::lag::LagTracer::p99),
         };
         self.metrics
             .as_deref_mut()
@@ -551,11 +570,25 @@ impl SecureMemory {
                 ),
             ));
         }
+        if let Some(w) = self.wear.as_deref() {
+            let attributed = w.attributed_total();
+            let counted = self.mc.stats().total_writes();
+            if attributed != counted {
+                found.push((
+                    AuditCheck::WearConservation,
+                    format!(
+                        "wear ledger attributes {attributed} writes, \
+                         controller counted {counted}"
+                    ),
+                ));
+            }
+        }
         let (root_old, root_new, nwb) = (self.tcb.root_old, self.tcb.root_new, self.tcb.nwb);
+        let drainer = self.config.design.has_drainer();
         self.auditor
             .as_deref_mut()
             .expect("checked above")
-            .observe_tcb(point, root_old, root_new, nwb, &mut found);
+            .observe_tcb(point, root_old, root_new, nwb, drainer, &mut found);
         for (check, detail) in found {
             self.obs_event(|| crate::obs::Event::Audit {
                 at: now,
@@ -598,6 +631,187 @@ impl SecureMemory {
         }
         self.dirty_queue.clear();
         Ok(t)
+    }
+
+    // ----- wear ledger & durability lag -------------------------------
+
+    /// Attaches a fresh [`WearLedger`](crate::obs::wear::WearLedger)
+    /// sized for this layout's tree depth, replacing any existing one.
+    /// From this point every NVM line-write is attributed to a typed
+    /// cause at its call site; with an auditor also attached, the
+    /// conservation invariant (attributed == controller totals) is
+    /// re-checked at every audit point.
+    pub fn attach_wear(&mut self) {
+        self.wear = Some(Box::new(crate::obs::wear::WearLedger::new(
+            self.layout.internal_levels(),
+        )));
+    }
+
+    /// The attached wear ledger, if any.
+    pub fn wear(&self) -> Option<&crate::obs::wear::WearLedger> {
+        self.wear.as_deref()
+    }
+
+    /// Detaches and returns the wear ledger.
+    pub fn take_wear(&mut self) -> Option<Box<crate::obs::wear::WearLedger>> {
+        self.wear.take()
+    }
+
+    /// Attaches a fresh [`LagTracer`](crate::obs::lag::LagTracer),
+    /// replacing any existing one. From this point every accepted
+    /// write-back is stamped at issue and resolved when its covering
+    /// durable commit completes.
+    pub fn attach_lag(&mut self) {
+        self.lag = Some(Box::new(crate::obs::lag::LagTracer::new()));
+    }
+
+    /// The attached durability-lag tracer, if any.
+    pub fn lag(&self) -> Option<&crate::obs::lag::LagTracer> {
+        self.lag.as_deref()
+    }
+
+    /// Detaches and returns the durability-lag tracer.
+    pub fn take_lag(&mut self) -> Option<Box<crate::obs::lag::LagTracer>> {
+        self.lag.take()
+    }
+
+    /// Attributes one NVM line-write to `cause` when a ledger is
+    /// attached.
+    #[inline]
+    pub(crate) fn wear_charge(&mut self, cause: crate::obs::wear::WriteCause) {
+        if let Some(w) = self.wear.as_deref_mut() {
+            w.charge(cause);
+        }
+    }
+
+    /// Attributes one metadata line-write, classified by tree level:
+    /// counter lines are level 0, tree nodes keep their 1-based level.
+    /// `wpq` selects the drain-retire cause variants.
+    #[inline]
+    pub(crate) fn wear_meta(&mut self, line: LineAddr, wpq: bool) {
+        use crate::obs::wear::WriteCause;
+        if self.wear.is_none() {
+            return;
+        }
+        let (level, _) = self.level_of(line);
+        self.wear_charge(match (level, wpq) {
+            (0, false) => WriteCause::Counter,
+            (0, true) => WriteCause::CounterWpq,
+            (l, false) => WriteCause::Bmt(l),
+            (l, true) => WriteCause::BmtWpq(l),
+        });
+    }
+
+    /// Notes one `ROOT_old ← ROOT_new` alternation — a TCB register
+    /// write, counted outside the NVM conservation sum.
+    #[inline]
+    pub(crate) fn wear_root_alt(&mut self) {
+        if let Some(w) = self.wear.as_deref_mut() {
+            w.note_root_alternation();
+        }
+    }
+
+    /// Notes one persistent `N_wb` register bump — a TCB register
+    /// write, counted outside the NVM conservation sum.
+    #[inline]
+    pub(crate) fn wear_nwb(&mut self) {
+        if let Some(w) = self.wear.as_deref_mut() {
+            w.note_nwb_update();
+        }
+    }
+
+    /// Stamps one accepted write-back at simulated time `at` for
+    /// durability-lag tracing.
+    #[inline]
+    pub(crate) fn lag_stamp(&mut self, at: Cycle) {
+        if let Some(l) = self.lag.as_deref_mut() {
+            l.stamp(at);
+        }
+    }
+
+    /// Resolves every pending durability-lag stamp at `at` — the
+    /// completion of the commit that made those write-backs durable.
+    #[inline]
+    pub(crate) fn lag_resolve_all(&mut self, at: Cycle) {
+        if let Some(l) = self.lag.as_deref_mut() {
+            l.resolve_all(at);
+        }
+    }
+
+    /// Deliberately skews the wear ledger's attribution away from the
+    /// memory controller's ground truth, so the conservation check's
+    /// negative path can be exercised end-to-end (tests, CI,
+    /// `CCNVM_WEAR_SELFTEST`). No-op without an attached ledger.
+    pub fn inject_wear_attribution_desync(&mut self) {
+        if let Some(w) = self.wear.as_deref_mut() {
+            w.inject_attribution_skew();
+        }
+    }
+
+    /// Assembles the `ccnvm-wear/1` report for this instance: per-cause
+    /// provenance from the ledger, per-line wear ground truth from the
+    /// memory controller, the durability-lag distribution from the
+    /// tracer (zeros when detached) and host-I/O counters from the
+    /// durable backend. `None` without an attached ledger.
+    pub fn wear_report(
+        &self,
+        bench: &str,
+        instructions: u64,
+    ) -> Option<crate::obs::wear::WearReport> {
+        use crate::obs::wear::{HostIo, WearReport, TOP_K, WEAR_HIST_BOUNDS};
+        let ledger = self.wear.as_deref()?;
+        let entries = self.mc.wear_entries();
+        let mut histogram = vec![0u64; WEAR_HIST_BOUNDS.len() + 1];
+        let mut total_wear = 0u64;
+        for &(_, count) in &entries {
+            total_wear += count;
+            let bucket = WEAR_HIST_BOUNDS
+                .iter()
+                .position(|&bound| count < bound)
+                .unwrap_or(WEAR_HIST_BOUNDS.len());
+            histogram[bucket] += 1;
+        }
+        let mut hot = entries;
+        // Hottest first; the address tie-break keeps the export
+        // deterministic.
+        hot.sort_by(|a, b| b.1.cmp(&a.1).then(a.0 .0.cmp(&b.0 .0)));
+        hot.truncate(TOP_K);
+        let wear = self.mc.wear_stats();
+        let host_io = self
+            .nvm
+            .durable
+            .io_stats()
+            .map(|io| HostIo {
+                appends: io.appends,
+                fsyncs: io.fsyncs,
+                compactions: io.compactions,
+                bytes_written: io.bytes_written,
+            })
+            .unwrap_or_default();
+        Some(WearReport {
+            design: self.config.design.slug().to_string(),
+            bench: bench.to_string(),
+            instructions,
+            total_writes: self.mc.stats().total_writes(),
+            attributed_writes: ledger.attributed_total(),
+            causes: ledger.causes(),
+            lines_written: wear.lines_written,
+            max_line_writes: wear.max_line_writes,
+            hottest_line: wear.hottest_line.map_or(0, |l| l.0),
+            mean_line_writes_milli: (total_wear * 1000)
+                .checked_div(wear.lines_written)
+                .unwrap_or(0),
+            wear_histogram: histogram,
+            hot_lines: hot.into_iter().map(|(l, c)| (l.0, c)).collect(),
+            lag: self
+                .lag
+                .as_deref()
+                .map(crate::obs::lag::LagTracer::summary)
+                .unwrap_or_default(),
+            root_alternations: ledger.root_alternations(),
+            nwb_updates: ledger.nwb_updates(),
+            host_io,
+        })
     }
 
     // ----- functional value resolution --------------------------------

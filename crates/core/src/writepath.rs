@@ -197,6 +197,12 @@ impl SecureMemory {
                 line,
             });
         }
+        // The write-back is now committed to happen: stamp it for
+        // durability-lag tracing. Stamped only after phase 2 so the
+        // queue-full drain above (which covers *prior* write-backs,
+        // not this one) cannot resolve the stamp prematurely; every
+        // drain that can cover this write-back runs later.
+        self.lag_stamp(release);
         // Phase 3 — bump the counter. From here to the end of the
         // write-back nothing may install into the Meta Cache (no
         // drains may fire except the ones this function issues
@@ -297,6 +303,7 @@ impl SecureMemory {
                     if issued {
                         self.stats.meta_writes += 1;
                         self.prof_write(obs::profile::Stage::TreeEager);
+                        self.wear_meta(l, false);
                     }
                     self.meta_cache.mark_clean(l);
                 }
@@ -319,6 +326,7 @@ impl SecureMemory {
                     if issued {
                         self.stats.meta_writes += 1;
                         self.prof_write(obs::profile::Stage::TreeEager);
+                        self.wear_meta(ctr_line, false);
                     }
                     self.meta_cache.mark_clean(ctr_line);
                     if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
@@ -361,6 +369,7 @@ impl SecureMemory {
         if issued {
             self.stats.data_writes += 1;
             self.prof_write(obs::profile::Stage::WbPersist);
+            self.wear_charge(obs::wear::WriteCause::Data);
         }
         let (at, issued) = self.post_write(dh_line, done);
         self.prof(obs::profile::Stage::WbPersist, at.saturating_sub(done));
@@ -368,6 +377,7 @@ impl SecureMemory {
         if issued {
             self.stats.dh_writes += 1;
             self.prof_write(obs::profile::Stage::WbPersist);
+            self.wear_charge(obs::wear::WriteCause::DataHmac);
         }
         self.nvm.commit_atomic();
         // The persistent TCB registers update in the same atomic step
@@ -386,12 +396,14 @@ impl SecureMemory {
                 }
                 ccnvm_mem::crashpoint::fire("root-alternate");
                 self.flight_boundary("end", "root-alternate");
+                self.wear_root_alt();
             }
             None => {
                 self.flight_boundary("begin", "nwb-update");
                 self.tcb.nwb += 1;
                 ccnvm_mem::crashpoint::fire("nwb-update");
                 self.flight_boundary("end", "nwb-update");
+                self.wear_nwb();
             }
         }
 
@@ -408,6 +420,13 @@ impl SecureMemory {
                 // budget (§4.4 step 2).
                 done = self.drain(done, DrainTrigger::UpdateLimit);
             }
+        }
+        if !self.design().has_drainer() {
+            // Non-drainer designs persist everything a recovery needs
+            // within the write-back itself (SC/Osiris root updates are
+            // ADR-atomic with the persist group; w/o CC offers no later
+            // commit to wait for), so the durability lag closes here.
+            self.lag_resolve_all(done);
         }
 
         // Feed the simulated clock to backends with time-based flush
@@ -493,6 +512,7 @@ impl SecureMemory {
                 if issued {
                     self.stats.reenc_writes += 1;
                     self.prof_write(obs::profile::Stage::PageReenc);
+                    self.wear_charge(obs::wear::WriteCause::PageReencrypt);
                 }
             }
             t += AES_LATENCY_CYCLES + HMAC_LATENCY_CYCLES;
@@ -516,6 +536,7 @@ impl SecureMemory {
                 if issued {
                     self.stats.reenc_writes += 1;
                     self.prof_write(obs::profile::Stage::PageReenc);
+                    self.wear_charge(obs::wear::WriteCause::PageReencrypt);
                 }
                 if let Some(p) = self.meta_cache.payload_mut(ctr_line) {
                     p.updates = 0;

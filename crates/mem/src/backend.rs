@@ -97,6 +97,15 @@ pub trait DurableBackend: std::fmt::Debug + Send {
     fn flight_enabled(&self) -> bool {
         false
     }
+
+    /// Host-I/O counters of the durable medium, if it has one: the
+    /// commit-log/manifest traffic behind the line-store abstraction.
+    /// In-memory backends have no host-I/O side and keep the default
+    /// `None`; [`crate::FileBackend`] reports its log counters so write
+    /// provenance can attribute durable-store amplification.
+    fn io_stats(&self) -> Option<crate::file::FileIoStats> {
+        None
+    }
 }
 
 /// A [`DurableBackend`] view belonging to one shard of a partitioned

@@ -218,6 +218,9 @@ pub struct MemController {
     pending_writes: std::collections::HashMap<u64, Cycle>,
     /// Array writes per line, for endurance accounting.
     wear: std::collections::HashMap<u64, u64>,
+    /// Running copy of the hottest line's write count (so gauges can
+    /// sample it without scanning the wear map).
+    wear_max: u64,
     stats: MemStats,
     /// Optional queue-event observer; `None` (the default) keeps the
     /// hot path free of any recording work or allocation.
@@ -235,6 +238,7 @@ impl MemController {
             wpq: BoundedQueue::new(config.wpq_entries),
             pending_writes: std::collections::HashMap::new(),
             wear: std::collections::HashMap::new(),
+            wear_max: 0,
             stats: MemStats::default(),
             recorder: None,
         }
@@ -344,7 +348,9 @@ impl MemController {
         let done = self.nvm.access(line, true, slot);
         self.write_queue.push(done);
         self.pending_writes.insert(line.0, done);
-        *self.wear.entry(line.0).or_insert(0) += 1;
+        let worn = self.wear.entry(line.0).or_insert(0);
+        *worn += 1;
+        self.wear_max = self.wear_max.max(*worn);
         self.stats.writes += 1;
         if let Some(rec) = &mut self.recorder {
             rec.record(QueueEvent {
@@ -367,7 +373,9 @@ impl MemController {
         self.stats.wpq_wait_cycles += slot.saturating_sub(now);
         let done = self.nvm.access(line, true, slot);
         self.wpq.push(done);
-        *self.wear.entry(line.0).or_insert(0) += 1;
+        let worn = self.wear.entry(line.0).or_insert(0);
+        *worn += 1;
+        self.wear_max = self.wear_max.max(*worn);
         self.stats.wpq_writes += 1;
         if let Some(rec) = &mut self.recorder {
             rec.record(QueueEvent {
@@ -429,6 +437,25 @@ impl MemController {
     /// Array writes endured by `line` so far.
     pub fn line_wear(&self, line: LineAddr) -> u64 {
         self.wear.get(&line.0).copied().unwrap_or(0)
+    }
+
+    /// Writes endured by the single hottest line so far — the running
+    /// equivalent of [`WearStats::max_line_writes`], cheap enough to
+    /// sample every metrics interval.
+    pub fn max_line_wear(&self) -> u64 {
+        self.wear_max
+    }
+
+    /// Every `(line, writes)` wear entry, sorted by address so the
+    /// export order is deterministic despite the map.
+    pub fn wear_entries(&self) -> Vec<(LineAddr, u64)> {
+        let mut entries: Vec<(LineAddr, u64)> = self
+            .wear
+            .iter()
+            .map(|(&line, &count)| (LineAddr(line), count))
+            .collect();
+        entries.sort_unstable_by_key(|&(line, _)| line.0);
+        entries
     }
 
     /// The configuration in use.

@@ -915,6 +915,10 @@ impl DurableBackend for FileBackend {
         self.maybe_compact();
     }
 
+    fn io_stats(&self) -> Option<FileIoStats> {
+        Some(self.counters.stats())
+    }
+
     fn tick(&mut self, now: Cycle) {
         self.now = now;
         if let FsyncStrategy::Interval(c) = self.config.fsync {

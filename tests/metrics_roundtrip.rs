@@ -36,6 +36,10 @@ fn random_sample(rng: &mut Lcg, at: u64) -> Sample {
         nvm_writes: rng.next(),
         write_amp_milli: rng.next() % 100_000,
         engine_share_ppm: rng.next() % 1_000_000,
+        attributed_writes: rng.next(),
+        max_line_writes: rng.next() % 10_000,
+        lag_pending: rng.next() % 4_096,
+        lag_p99: rng.next(),
     }
 }
 

@@ -1,0 +1,252 @@
+//! Write-provenance and durability-lag pillar tests.
+//!
+//! The load-bearing invariant is *conservation*: the wear ledger's
+//! per-cause attribution, summed, must equal the memory controller's
+//! own write count on every design, workload, seed, shard count and
+//! crypto tier — no write unexplained, none double-counted. The
+//! exported `ccnvm-wear/1` document is additionally pinned
+//! byte-for-byte (`tests/golden/wear.json`), regenerable with
+//! `CCNVM_UPDATE_GOLDEN=1` like every other snapshot.
+
+use ccnvm::obs::audit::{AuditCheck, AuditMode};
+use ccnvm::obs::wear::{parse_wear, WearReport};
+use ccnvm::prelude::*;
+use ccnvm_bench::parallel::parallel_map;
+use ccnvm_crypto::CryptoSelect;
+use std::path::PathBuf;
+
+const SEED: u64 = ccnvm_bench::SEED;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+fn assert_matches_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var("CCNVM_UPDATE_GOLDEN").as_deref() == Ok("1") {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, actual).unwrap();
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing snapshot {} ({e}); regenerate with CCNVM_UPDATE_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert!(
+        expected == actual,
+        "wear export diverged from {}.\n\
+         If the change is intentional, regenerate with CCNVM_UPDATE_GOLDEN=1 \
+         and commit the new snapshot.\n--- expected ---\n{expected}\n--- actual ---\n{actual}",
+        path.display()
+    );
+}
+
+/// Runs `bench` on `design` with the full observability stack attached
+/// (wear ledger, lag tracer, strict auditor) and returns the report.
+/// The strict auditor checks conservation at every write-back, so a
+/// mid-run divergence fails here even if it happened to cancel out by
+/// the end.
+fn instrumented_run(
+    config: SimConfig,
+    bench: &str,
+    seed: u64,
+    instructions: u64,
+) -> (Simulator, WearReport) {
+    let mut sim = Simulator::new(config).expect("valid config");
+    sim.memory_mut().attach_wear();
+    sim.memory_mut().attach_lag();
+    sim.memory_mut().attach_auditor(AuditMode::Strict);
+    let profile = profiles::by_name(bench).expect("known bench");
+    sim.run(TraceGenerator::new(profile, seed), instructions)
+        .expect("clean run");
+    assert!(
+        !sim.memory().audit_failed(),
+        "strict auditor latched: {}",
+        sim.memory().auditor().unwrap().report()
+    );
+    let report = sim
+        .memory()
+        .wear_report(bench, sim.instructions())
+        .expect("ledger attached");
+    (sim, report)
+}
+
+/// xorshift64* — deterministic point picker for the random matrix.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+#[test]
+fn conservation_holds_across_a_seeded_random_matrix() {
+    let benches = ["lbm", "libquantum", "gcc", "mixed"];
+    let mut state = 0x9E37_79B9_7F4A_7C15u64;
+    let points: Vec<(DesignKind, &str, u64, u64)> = (0..12)
+        .map(|_| {
+            let design = DesignKind::ALL[(xorshift(&mut state) % 5) as usize];
+            let bench = benches[(xorshift(&mut state) % benches.len() as u64) as usize];
+            let seed = xorshift(&mut state) % 1_000;
+            let instructions = 30_000 + xorshift(&mut state) % 50_000;
+            (design, bench, seed, instructions)
+        })
+        .collect();
+    for &(design, bench, seed, instructions) in &points {
+        let (_, report) = instrumented_run(SimConfig::small(design), bench, seed, instructions);
+        assert!(
+            report.conserved(),
+            "{design} on {bench} (seed {seed}, {instructions} instrs): ledger \
+             attributes {} of {} writes",
+            report.attributed_writes,
+            report.total_writes
+        );
+        assert!(report.total_writes > 0, "{design} on {bench}: no writes");
+        let sum: u64 = report.causes.iter().map(|(_, w)| w).sum();
+        assert_eq!(
+            sum, report.attributed_writes,
+            "causes must sum to the total"
+        );
+    }
+}
+
+#[test]
+fn per_shard_reports_conserve_and_reruns_are_byte_identical() {
+    for shards in [2u32, 4] {
+        let render = || {
+            let mut router = ShardRouter::new(SimConfig::small(DesignKind::CcNvm), shards)
+                .expect("valid topology");
+            router.attach_wear_ledgers();
+            router.attach_lag_tracers();
+            router
+                .run(
+                    TraceGenerator::new(profiles::by_name("lbm").unwrap(), SEED),
+                    60_000,
+                )
+                .expect("clean run");
+            let reports = router.wear_reports("lbm", router.total_instructions());
+            assert_eq!(reports.len(), shards as usize);
+            for (i, r) in reports.iter().enumerate() {
+                assert!(r.conserved(), "shard {i}/{shards}: {r:?}");
+            }
+            reports
+                .iter()
+                .map(WearReport::to_json)
+                .collect::<Vec<_>>()
+                .join("")
+        };
+        assert_eq!(render(), render(), "{shards}-shard export must be stable");
+    }
+}
+
+/// The export must not depend on how the harness schedules independent
+/// simulations: the same matrix fanned out on 1, 2 and 4 workers
+/// renders byte-identically.
+#[test]
+fn exports_are_byte_identical_at_any_thread_count() {
+    let render = |threads: usize| {
+        let designs: Vec<DesignKind> = DesignKind::ALL.to_vec();
+        parallel_map(&designs, threads, |_, &d| {
+            let (_, report) = instrumented_run(SimConfig::small(d), "lbm", SEED, 50_000);
+            report.to_json()
+        })
+        .join("")
+    };
+    let serial = render(1);
+    assert_eq!(serial, render(2));
+    assert_eq!(serial, render(4));
+}
+
+/// Crypto tiers and HMAC modes change wall-clock speed, never
+/// simulated behavior — the wear/lag export included.
+#[test]
+fn exports_are_byte_identical_across_crypto_tiers_and_hmac_modes() {
+    let render = |crypto: CryptoSelect, legacy_hmac: bool| {
+        let mut config = SimConfig::small(DesignKind::CcNvm);
+        config.crypto = crypto;
+        config.legacy_hmac = legacy_hmac;
+        if config.validate().is_err() {
+            return None; // tier unavailable on this host/build
+        }
+        let (_, report) = instrumented_run(config, "lbm", SEED, 50_000);
+        Some(report.to_json())
+    };
+    let baseline = render(CryptoSelect::Portable, false).expect("portable always exists");
+    for crypto in [CryptoSelect::Auto, CryptoSelect::Simd] {
+        for legacy in [false, true] {
+            if let Some(json) = render(crypto, legacy) {
+                assert_eq!(
+                    baseline, json,
+                    "{crypto:?}/legacy={legacy} diverged from portable"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn wear_export_matches_pinned_snapshot() {
+    let (_, report) = instrumented_run(SimConfig::small(DesignKind::CcNvm), "lbm", SEED, 100_000);
+    let json = report.to_json();
+    assert_matches_golden("wear.json", &json);
+    // The pinned document must also round-trip through the parser the
+    // `report --wear` path uses.
+    let parsed = parse_wear(&json).expect("golden parses");
+    assert_eq!(parsed, report);
+    assert!(parsed.conserved());
+}
+
+/// The negative path: a deliberately skewed ledger must trip the
+/// strict auditor's conservation check at the next checkpoint.
+#[test]
+fn attribution_desync_trips_the_strict_auditor() {
+    let mut sim = Simulator::new(SimConfig::small(DesignKind::CcNvm)).expect("valid config");
+    sim.memory_mut().attach_wear();
+    sim.memory_mut().attach_auditor(AuditMode::Strict);
+    sim.memory_mut().inject_wear_attribution_desync();
+    let now = sim.cycles();
+    sim.memory_mut().audit_now(now);
+    assert!(sim.memory().audit_failed(), "skew must latch under strict");
+    let auditor = sim.memory().auditor().unwrap();
+    assert!(
+        auditor
+            .violations()
+            .iter()
+            .any(|v| v.check == AuditCheck::WearConservation),
+        "expected a wear-conservation violation, got: {}",
+        auditor.report()
+    );
+}
+
+#[test]
+fn lag_distributions_are_sane_on_every_design() {
+    for design in DesignKind::ALL {
+        let (sim, report) = instrumented_run(SimConfig::small(design), "lbm", SEED, 100_000);
+        let lag = report.lag;
+        assert!(
+            lag.resolved > 0,
+            "{design}: no write-back ever became durable"
+        );
+        assert!(
+            lag.p50 <= lag.p99 && lag.p99 <= lag.p999,
+            "{design}: {lag:?}"
+        );
+        assert!(lag.mean <= lag.max, "{design}: {lag:?}");
+        if design.has_drainer() {
+            // Epoch batching defers durability: commits happen at
+            // drains, so some lag must be visible (the window the
+            // paper bounds by N_wb).
+            assert!(lag.max > 0, "{design}: drainer lag collapsed to zero");
+        }
+        // Whatever is still pending is bounded by what the dirty queue
+        // can still be holding for a future epoch.
+        let tracer = sim.memory().lag().unwrap();
+        assert_eq!(tracer.summary(), lag, "summary must be stable");
+    }
+}
